@@ -1,0 +1,46 @@
+"""Ablation — does AMR change the precision-error story?
+
+Runs the same dam break with and without refinement at min/full precision.
+The cross-precision error should sit several orders below the solution in
+both cases — i.e. the paper's fidelity claim is not an artifact of (or
+broken by) the adaptive mesh — while AMR spends ~2-3x the cells of the
+coarse uniform grid to resolve the front.
+"""
+
+import numpy as np
+
+from repro.clamr import ClamrSimulation, DamBreakConfig
+from repro.harness.report import Table
+from repro.precision.analysis import difference_metrics
+
+STEPS = 300
+
+
+def pair(max_level: int):
+    cfg = DamBreakConfig(nx=48, ny=48, max_level=max_level, start_refined=max_level > 0)
+    full = ClamrSimulation(cfg, policy="full").run(STEPS)
+    minimum = ClamrSimulation(cfg, policy="min").run(STEPS)
+    return full, minimum
+
+
+def test_amr_vs_uniform_precision_error(benchmark):
+    table = Table(
+        title="Ablation — precision error with and without AMR",
+        headers=["Mesh", "cells (final)", "max |ΔH| min vs full", "orders below"],
+    )
+    results = {}
+    for label, level in (("uniform", 0), ("AMR-2", 2)):
+        full, minimum = pair(level)
+        d = difference_metrics(full.slice_precise, minimum.slice_precise)
+        results[label] = (full, d)
+        table.add_row(label, full.ncells_history[-1], d.max_abs, d.orders_below_solution)
+    print()
+    print(table.render())
+
+    benchmark.pedantic(lambda: pair(0), rounds=1, iterations=1)
+
+    # the fidelity claim holds on both mesh types
+    for _, d in results.values():
+        assert d.within(4.0)
+    # AMR actually refined (it buys resolution for the cells it spends)
+    assert results["AMR-2"][0].ncells_history[-1] > results["uniform"][0].ncells_history[-1]

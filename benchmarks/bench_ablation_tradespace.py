@@ -1,0 +1,54 @@
+"""Ablation — constrained optimization over the trade space (abstract claim).
+
+Verifies the abstract's promise quantitatively: under tightening energy
+budgets, the optimal configuration migrates from full precision toward
+reduced precision and (where the budget allows) raised resolution — i.e.
+precision is a tradable resource, not a fixed property of the code.
+"""
+
+from repro.harness.experiments import run_clamr_levels
+from repro.harness.report import Table
+from repro.tradespace import Constraint, TradeSpace, best_under_constraints, pareto_front
+
+
+def build_space():
+    runs = run_clamr_levels(nx=32, steps=80)
+    profiles = {level: r.profile.scaled(100.0) for level, r in runs.items()}
+    ts = TradeSpace(profiles, resolutions=(0.5, 1.0, 2.0, 4.0), convergence_order=1.0)
+    ts.calibrate_accuracy(1e-2, at_resolution=1.0)
+    return ts
+
+
+def test_tradespace_budget_sweep(benchmark):
+    ts = benchmark.pedantic(build_space, rounds=1, iterations=1)
+    points = ts.enumerate()
+    front = pareto_front(points)
+
+    # the front must not be the trivial all-full column
+    assert any(p.level in ("min", "mixed") for p in front)
+
+    # budget sweep on one device: loosest budget -> best error; tighter
+    # budgets force precision (and eventually resolution) down
+    device_points = [p for p in points if p.device == "Haswell"]
+    energies = sorted(p.energy_j for p in device_points)
+    table = Table(
+        title="Ablation — optimal configuration vs energy budget (Haswell)",
+        headers=["Budget (J)", "Level", "Resolution", "Error"],
+    )
+    chosen_errors = []
+    for budget in (energies[-1], energies[len(energies) // 2], energies[1]):
+        best = best_under_constraints(
+            device_points, objective="error", constraints=[Constraint("energy_j", budget)]
+        )
+        chosen_errors.append(best.error)
+        table.add_row(budget, best.level, best.resolution, best.error)
+    print()
+    print(table.render())
+
+    # tighter budgets can only cost accuracy
+    assert chosen_errors[0] <= chosen_errors[1] <= chosen_errors[2]
+    # and the tightest feasible budget lands on a reduced-precision point
+    tight = best_under_constraints(
+        device_points, objective="error", constraints=[Constraint("energy_j", energies[1])]
+    )
+    assert tight.level in ("min", "mixed")

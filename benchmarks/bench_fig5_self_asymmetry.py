@@ -1,0 +1,32 @@
+"""Fig. 5 — asymmetry in the SELF perturbation density.
+
+Paper: "for double precision, the asymmetry oscillates frequently about
+the x-axis and assumes almost equal number of positive and negative
+values with similar magnitude. However, for the single precision run, the
+asymmetry is mostly [one-signed]."
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.harness.experiments import fig5_self_asymmetry
+from repro.precision.analysis import asymmetry_signature
+
+
+def test_fig5_shape(self_runs, benchmark):
+    fig = benchmark.pedantic(
+        fig5_self_asymmetry, kwargs=dict(results=self_runs), rounds=1, iterations=1
+    )
+    emit(fig)
+    sig_s = asymmetry_signature(self_runs["single"].slice_precise)
+    sig_d = asymmetry_signature(self_runs["double"].slice_precise)
+    print(
+        f"\n  single: max {sig_s.max_abs:.3e}, sign bias {sig_s.bias_fraction:.2f}"
+        f"\n  double: max {sig_d.max_abs:.3e}, sign bias {sig_d.bias_fraction:.2f}"
+    )
+    # single-precision asymmetry is much larger...
+    assert sig_s.max_abs > 10 * sig_d.max_abs
+    # ...and biased to one sign, while double is balanced
+    assert abs(sig_s.bias_fraction - 0.5) >= abs(sig_d.bias_fraction - 0.5)
+    # double asymmetry is at the rounding floor relative to the anomaly
+    assert sig_d.relative_max < 1e-8

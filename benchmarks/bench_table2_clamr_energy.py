@@ -1,0 +1,25 @@
+"""Table II — estimated CLAMR energy use per architecture.
+
+Paper: nominal power × runtime; min precision saves energy everywhere,
+most dramatically on the TITAN X (700 J vs 3175 J).
+"""
+
+from benchmarks.conftest import CLAMR_NX, CLAMR_STEPS, emit
+from repro.harness.experiments import table2_clamr_energy
+
+
+def test_table2_shape(clamr_runs, benchmark):
+    table = benchmark.pedantic(
+        table2_clamr_energy,
+        kwargs=dict(results=clamr_runs, nx=CLAMR_NX, steps=CLAMR_STEPS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    for row in table.rows:
+        _, e_min, e_mixed, e_full = row
+        assert e_min <= e_mixed <= e_full * 1.0001
+    titan = table.row_by_label("GTX TITAN X")
+    assert titan[3] / titan[1] > 3.0  # paper: 3175/700 = 4.5x
+    haswell = table.row_by_label("Haswell")
+    assert 1.05 < haswell[3] / haswell[1] < 2.0  # paper: 3287/2762 = 1.19x

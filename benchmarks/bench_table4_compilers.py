@@ -1,0 +1,27 @@
+"""Table IV — the GNU single-precision inversion on non-vectorized SELF.
+
+Paper: GNU 304.09 s single vs 261.65 s double (single SLOWER); Intel
+185.89 vs 252.85 (normal ordering); compilers nearly equal at double.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.harness.experiments import table4_compilers
+
+
+def test_table4_shape(benchmark):
+    table = benchmark.pedantic(
+        table4_compilers, kwargs=dict(elems=5, order=4, steps=50), rounds=1, iterations=1
+    )
+    emit(table)
+    gnu = table.row_by_label("GNU")
+    intel = table.row_by_label("Intel")
+    # the anomaly: GNU single slower than GNU double
+    assert gnu[1] > gnu[2]
+    assert gnu[1] / gnu[2] == pytest.approx(304.09 / 261.65, rel=0.08)
+    # Intel normal, with the paper's ratio
+    assert intel[1] < intel[2]
+    assert intel[1] / intel[2] == pytest.approx(185.89 / 252.85, rel=0.08)
+    # double-precision builds nearly compiler-independent
+    assert gnu[2] == pytest.approx(intel[2], rel=0.1)

@@ -1,0 +1,39 @@
+"""Table V — SELF runtime/memory per architecture, single vs double.
+
+Paper headline: single precision wins everywhere (22-51% on CPUs and
+scientific GPUs), and the consumer TITAN X gains 3x+ — enough that
+"a TITAN X overcomes the generational divide and competes well with a
+Tesla P100" at single precision.
+"""
+
+from benchmarks.conftest import SELF_ELEMS, SELF_ORDER, SELF_STEPS, emit
+from repro.harness.experiments import table5_self_architectures
+from repro.self_ import SelfSimulation, ThermalBubbleConfig
+
+
+def test_self_rk3_step_kernel(benchmark):
+    cfg = ThermalBubbleConfig(nex=SELF_ELEMS, ney=SELF_ELEMS, nez=SELF_ELEMS, order=SELF_ORDER)
+    sim = SelfSimulation(cfg, precision="single")
+    benchmark.pedantic(sim.run, args=(5,), rounds=3, iterations=1)
+
+
+def test_table5_shape(self_runs, benchmark):
+    table = benchmark.pedantic(
+        table5_self_architectures,
+        kwargs=dict(results=self_runs, elems=SELF_ELEMS, order=SELF_ORDER, steps=SELF_STEPS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    speedups = dict(zip(table.column("Arch"), table.column("Speedup (%)")))
+    assert all(s > 0 for s in speedups.values())
+    assert speedups["GTX TITAN X"] == max(speedups.values())
+    assert speedups["GTX TITAN X"] > 150  # paper: 309%
+    # memory halves (state dominates)
+    for row in table.rows:
+        _, mem_s, mem_d, *_ = row
+        assert mem_s < mem_d
+    # the paper's generational-divide claim
+    titan_single = table.row_by_label("GTX TITAN X")[3]
+    p100_double = table.row_by_label("Tesla P100")[4]
+    assert titan_single < p100_double * 1.2

@@ -1,0 +1,26 @@
+"""Table VI — estimated SELF energy use per architecture.
+
+Paper: single precision saves energy on every device; TITAN X double is
+the outlier (12425 J vs 4025 J single) because its DP throughput collapse
+stretches the runtime.
+"""
+
+from benchmarks.conftest import SELF_ELEMS, SELF_ORDER, SELF_STEPS, emit
+from repro.harness.experiments import table6_self_energy
+
+
+def test_table6_shape(self_runs, benchmark):
+    table = benchmark.pedantic(
+        table6_self_energy,
+        kwargs=dict(results=self_runs, elems=SELF_ELEMS, order=SELF_ORDER, steps=SELF_STEPS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    ratios = {}
+    for row in table.rows:
+        name, e_single, e_double = row
+        assert e_single < e_double
+        ratios[name] = e_double / e_single
+    assert ratios["GTX TITAN X"] == max(ratios.values())  # paper: 3.1x
+    assert ratios["Tesla P100"] < 2.0  # paper: 1.28x

@@ -1,0 +1,38 @@
+"""Table VII — AWS monthly cost model.
+
+Paper claims: ~23% total CLAMR savings at minimum precision, ~15% at
+mixed, ~20% SELF savings at single; CLAMR storage lines in the exact 2/3
+file-size ratio; SELF storage precision-independent.
+"""
+
+import pytest
+
+from benchmarks.conftest import CLAMR_NX, CLAMR_STEPS, SELF_ELEMS, SELF_ORDER, SELF_STEPS, emit
+from repro.harness.experiments import table7_cost
+
+
+def test_table7_shape(clamr_runs, self_runs, benchmark):
+    table = benchmark.pedantic(
+        table7_cost,
+        kwargs=dict(
+            clamr_results=clamr_runs,
+            self_results=self_runs,
+            nx=CLAMR_NX,
+            steps=CLAMR_STEPS,
+            self_elems=SELF_ELEMS,
+            self_order=SELF_ORDER,
+            self_steps=SELF_STEPS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    clamr = table.row_by_label("CLAMR total")
+    assert clamr[1] < clamr[2] < clamr[3]
+    assert 0.1 < 1 - clamr[1] / clamr[3] < 0.5  # paper: 23%
+    storage = table.row_by_label("CLAMR storage")
+    assert storage[1] / storage[3] == pytest.approx(2 / 3, abs=0.02)
+    self_total = table.row_by_label("SELF total")
+    assert 0.1 < 1 - self_total[1] / self_total[3] < 0.4  # paper: 20%
+    self_storage = table.row_by_label("SELF storage")
+    assert self_storage[1] == self_storage[3]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+The table/figure benchmarks share the underlying mini-app runs (one run per
+precision level at "bench scale" — larger than the unit tests, still
+laptop-friendly).  Runs are session-cached so the seven tables and five
+figures don't re-simulate.
+
+Every benchmark prints the regenerated table/figure, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's entire
+evaluation section on stdout; EXPERIMENTS.md records the paper-vs-measured
+comparison.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_clamr_levels, run_self_precisions
+
+# bench-scale workloads (the generators lift these to paper scale through
+# the machine model, so the *shape* does not depend on these numbers)
+CLAMR_NX = 48
+CLAMR_STEPS = 200
+SELF_ELEMS = 5
+SELF_ORDER = 4
+SELF_STEPS = 100
+
+# the paper's fidelity run for Figs 1-2 (64 grid, 2 AMR levels, 1000 iters)
+FIG_NX = 64
+FIG_STEPS = 1000
+
+
+@pytest.fixture(scope="session")
+def clamr_runs():
+    return run_clamr_levels(nx=CLAMR_NX, steps=CLAMR_STEPS)
+
+
+@pytest.fixture(scope="session")
+def self_runs():
+    return run_self_precisions(elems=SELF_ELEMS, order=SELF_ORDER, steps=SELF_STEPS)
+
+
+@pytest.fixture(scope="session")
+def clamr_fidelity_runs():
+    """The Fig 1/2 workload: longer run on the paper's 64-cell grid."""
+    return run_clamr_levels(nx=FIG_NX, steps=FIG_STEPS)
+
+
+def emit(renderable) -> None:
+    """Print a table/figure to the benchmark log."""
+    print()
+    print(renderable.render())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Architecture explorer: where does *your* workload land on each device?
+
+Runs a mini-app once to measure its work profile (flops, bytes, footprint),
+then sweeps it across the paper's device zoo with the roofline model:
+runtime, boundedness, energy, and a monthly AWS bill per precision level.
+
+    python examples/architecture_explorer.py [--app clamr|self] [--device all]
+"""
+
+import argparse
+
+from repro.clamr import ClamrSimulation, DamBreakConfig
+from repro.cost.aws import application_cost
+from repro.harness.report import Table
+from repro.machine.energy import estimate_energy
+from repro.machine.roofline import RooflineModel
+from repro.machine.specs import DEVICES, device
+from repro.self_ import SelfSimulation, ThermalBubbleConfig
+
+
+def measure_profiles(app: str):
+    if app == "clamr":
+        cfg = DamBreakConfig(nx=48, ny=48, max_level=2)
+        return {
+            level: ClamrSimulation(cfg, policy=level).run(100).profile
+            for level in ("min", "mixed", "full")
+        }
+    cfg = ThermalBubbleConfig(nex=4, ney=4, nez=4, order=4)
+    return {
+        prec: SelfSimulation(cfg, precision=prec).run(50).profile
+        for prec in ("single", "double")
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", choices=("clamr", "self"), default="clamr")
+    parser.add_argument(
+        "--device", default="all", help=f"one of {', '.join(DEVICES)} or 'all'"
+    )
+    parser.add_argument("--scale", type=float, default=100.0, help="workload scale factor")
+    args = parser.parse_args()
+
+    print(f"Measuring {args.app} work profiles...")
+    profiles = {name: p.scaled(args.scale) for name, p in measure_profiles(args.app).items()}
+    for name, p in profiles.items():
+        print(
+            f"  {name:>6}: {p.flops / 1e9:.1f} Gflop, "
+            f"{(p.state_bytes + p.fixed_bytes) / 1e9:.1f} GB traffic, "
+            f"intensity {p.flops / max(1, p.state_bytes):.2f} flop/B"
+        )
+
+    keys = list(DEVICES) if args.device == "all" else [args.device]
+    table = Table(
+        title=f"{args.app} across architectures (roofline model, x{args.scale:.0f} workload)",
+        headers=["Device", "Level", "Runtime (s)", "Bound", "Energy (J)", "AWS $/mo"],
+    )
+    for key in keys:
+        dev = device(key)
+        model = RooflineModel(device=dev)
+        for name, profile in profiles.items():
+            pred = model.predict(profile)
+            energy = estimate_energy(dev, pred.runtime_s)
+            cost = application_cost(name, runtime_s=pred.runtime_s, output_gb=0.1)
+            table.add_row(
+                dev.name, name, pred.runtime_s, pred.bound, energy.energy_joules, cost.total_usd
+            )
+    print()
+    print(table.render())
+    print(
+        "\nReading guide: memory-bound rows gain ~2x from float32 (half the\n"
+        "bytes); compute-bound rows gain by the device's SP:DP ratio — up to\n"
+        "32:1 on the GTX TITAN X, the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

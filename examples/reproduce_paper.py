@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Walks the experiment registry (Tables I-VII, Figs. 1-5) at a configurable
+scale and prints each one.  At ``--scale bench`` this is the same content
+the benchmark harness produces; ``--scale quick`` runs in under a minute.
+
+    python examples/reproduce_paper.py [--scale quick|bench] [--only table1,fig2]
+"""
+
+import argparse
+import time
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    run_clamr_levels,
+    run_self_precisions,
+)
+
+SCALES = {
+    # (clamr nx, clamr steps, fig nx, fig steps, self elems, self order, self steps)
+    "quick": dict(nx=24, steps=60, fig_nx=32, fig_steps=200, elems=3, order=3, sst=40),
+    "bench": dict(nx=48, steps=200, fig_nx=64, fig_steps=1000, elems=5, order=4, sst=100),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=SCALES, default="quick")
+    parser.add_argument("--only", default="", help="comma-separated experiment ids")
+    args = parser.parse_args()
+    s = SCALES[args.scale]
+    wanted = set(filter(None, args.only.split(","))) or set(ALL_EXPERIMENTS)
+
+    t0 = time.perf_counter()
+    print(f"Running mini-apps at '{args.scale}' scale...")
+    clamr = run_clamr_levels(nx=s["nx"], steps=s["steps"])
+    clamr_fig = (
+        clamr
+        if (s["fig_nx"], s["fig_steps"]) == (s["nx"], s["steps"])
+        else run_clamr_levels(nx=s["fig_nx"], steps=s["fig_steps"])
+    )
+    selfr = run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])
+    print(f"  simulations done in {time.perf_counter() - t0:.1f}s\n")
+
+    calls = {
+        "table1": lambda: ALL_EXPERIMENTS["table1"](clamr, nx=s["nx"], steps=s["steps"]),
+        "table2": lambda: ALL_EXPERIMENTS["table2"](clamr, nx=s["nx"], steps=s["steps"]),
+        "table3": lambda: ALL_EXPERIMENTS["table3"](nx=s["nx"] // 2, steps=s["steps"] // 2),
+        "table4": lambda: ALL_EXPERIMENTS["table4"](elems=s["elems"], order=s["order"], steps=s["sst"] // 2),
+        "table5": lambda: ALL_EXPERIMENTS["table5"](selfr, elems=s["elems"], order=s["order"], steps=s["sst"]),
+        "table6": lambda: ALL_EXPERIMENTS["table6"](selfr, elems=s["elems"], order=s["order"], steps=s["sst"]),
+        "table7": lambda: ALL_EXPERIMENTS["table7"](
+            clamr, selfr, nx=s["nx"], steps=s["steps"],
+            self_elems=s["elems"], self_order=s["order"], self_steps=s["sst"],
+        ),
+        "fig1": lambda: ALL_EXPERIMENTS["fig1"](clamr_fig),
+        "fig2": lambda: ALL_EXPERIMENTS["fig2"](clamr_fig),
+        "fig3": lambda: ALL_EXPERIMENTS["fig3"](nx_lo=s["fig_nx"] // 2, steps_hint=s["fig_steps"] // 3),
+        "fig4": lambda: ALL_EXPERIMENTS["fig4"](selfr),
+        "fig5": lambda: ALL_EXPERIMENTS["fig5"](selfr),
+    }
+
+    for key in ("table1", "table2", "table3", "table4", "table5", "table6", "table7",
+                "fig1", "fig2", "fig3", "fig4", "fig5"):
+        if key not in wanted:
+            continue
+        t1 = time.perf_counter()
+        out = calls[key]()
+        print(out.render())
+        print(f"  [{key} in {time.perf_counter() - t1:.1f}s]\n")
+
+    print(f"All requested experiments regenerated in {time.perf_counter() - t0:.1f}s.")
+    print("Paper-vs-measured comparison: see EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

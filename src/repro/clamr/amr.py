@@ -1,0 +1,225 @@
+"""Adaptive refinement: flagging, 2:1 balance, and the regrid cycle.
+
+CLAMR refines where the solution is "interesting" — the shallow-water wave
+front — and coarsens where it is flat.  The cycle implemented here:
+
+1. :func:`refinement_flags` — flag each cell +1 (refine), -1 (coarsen
+   candidate) or 0, from the relative jump of H across its faces;
+2. balance enforcement — refinement propagates so no face ever joins cells
+   more than one level apart (the 2:1 rule CLAMR's hash neighbors rely on);
+3. coarsening is applied only to complete sibling quads whose neighborhood
+   stays balanced;
+4. the new cell soup is materialized and the state transferred
+   **conservatively**: children inherit their parent's values (piecewise-
+   constant prolongation preserves ∑ value·area exactly), a coarsened
+   parent takes the equal-area mean of its four children.
+
+State transfer happens at the *state* dtype — refining at reduced
+precision rounds exactly as CLAMR's float32 builds do, which is part of
+the precision signal the figures measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clamr.mesh import AmrMesh
+from repro.clamr.state import ShallowWaterState
+from repro.precision.emulation import quantize_to_bfloat16
+
+__all__ = ["refinement_flags", "enforce_balance", "regrid"]
+
+
+def refinement_flags(
+    mesh: AmrMesh,
+    state: ShallowWaterState,
+    refine_threshold: float = 0.02,
+    coarsen_threshold: float = 0.004,
+) -> np.ndarray:
+    """Per-cell flags from the relative H-jump across faces.
+
+    The indicator for cell c is ``max over stored neighbors n of
+    |H[n] - H[c]| / max(H[c], floor)`` — the wave detector CLAMR's sample
+    problems use.  Cells above ``refine_threshold`` are flagged +1, cells
+    below ``coarsen_threshold`` are flagged -1, the rest 0.  Level caps
+    (cannot refine past ``max_level``, cannot coarsen level 0) are applied
+    here so downstream stages can trust the flags.
+    """
+    if refine_threshold <= coarsen_threshold:
+        raise ValueError("refine_threshold must exceed coarsen_threshold")
+    # Quantize H to bfloat16 (~0.4% quanta) before computing jumps.  Regrid
+    # decisions are threshold comparisons; without quantization a
+    # rounding-level difference between precision modes can flip a cell's
+    # refinement and bloom into an O(truncation) solution difference,
+    # destroying the cross-precision comparison the paper's figures make.
+    # With quantization, runs whose solutions agree to better than half a
+    # quantum make bitwise-identical regrid decisions.  (Real CLAMR has no
+    # such guard; its published runs simply did not hit a flip.  See
+    # DESIGN.md, "mesh-decision noise immunity".)
+    H = quantize_to_bfloat16(state.H.astype(np.float64))
+    floor = max(1e-12, float(np.max(np.abs(H))) * 1e-12)
+    indicator = np.zeros(mesh.ncells, dtype=np.float64)
+    for nbr in (mesh.nlft, mesh.nrht, mesh.nbot, mesh.ntop):
+        # Per-pair symmetric normalization: both endpoints of a face see the
+        # identical jump value.  (Normalizing by one endpoint's own H would
+        # break mirror symmetry, because the stored-link convention — the
+        # neighbor at the bottom/left of a coarse-fine face — is itself not
+        # mirror-symmetric; near-threshold cells would then flag
+        # asymmetrically and imprint a structural asymmetry on the mesh.)
+        scale = np.maximum(np.maximum(np.abs(H[nbr]), np.abs(H)), floor)
+        jump = np.abs(H[nbr] - H) / scale
+        np.maximum(indicator, jump, out=indicator)
+        # the link is one-directional for coarse/fine faces; mirror the jump
+        # so the *neighbor* sees it too
+        np.maximum.at(indicator, nbr, jump)
+
+    flags = np.zeros(mesh.ncells, dtype=np.int8)
+    flags[indicator > refine_threshold] = 1
+    flags[indicator < coarsen_threshold] = -1
+    flags[(flags == 1) & (mesh.level >= mesh.max_level)] = 0
+    flags[(flags == -1) & (mesh.level == 0)] = 0
+    return flags
+
+
+def enforce_balance(mesh: AmrMesh, flags: np.ndarray) -> np.ndarray:
+    """Propagate refinement so the post-regrid mesh keeps 2:1 face balance.
+
+    Iterates to a fixed point: whenever a neighbor's post-refinement level
+    would exceed a cell's by more than one, the cell is forced to refine
+    (and any coarsen flag on it is cancelled).  Convergence is guaranteed —
+    each pass only raises levels, bounded by ``max_level``.
+    """
+    flags = np.array(flags, dtype=np.int8, copy=True)
+    if flags.shape != (mesh.ncells,):
+        raise ValueError(f"flags must have shape ({mesh.ncells},)")
+    # sanitize: level caps hold regardless of where the flags came from
+    flags[(flags == 1) & (mesh.level >= mesh.max_level)] = 0
+    flags[(flags == -1) & (mesh.level == 0)] = 0
+    neighbors = (mesh.nlft, mesh.nrht, mesh.nbot, mesh.ntop)
+    for _ in range(int(mesh.max_level) + 2):
+        new_level = mesh.level.astype(np.int64) + (flags == 1)
+        forced = np.zeros(mesh.ncells, dtype=bool)
+        for nbr in neighbors:
+            # cell c sees neighbor n = nbr[c]; if c will sit 2+ levels above
+            # n, n must refine.  Scatter with logical-or.
+            deficit = new_level - new_level[nbr] > 1
+            np.logical_or.at(forced, nbr[deficit], True)
+        forced &= flags != 1
+        forced &= mesh.level < mesh.max_level
+        if not forced.any():
+            break
+        flags[forced] = 1
+    # cancel coarsening that would unbalance against post-refinement levels
+    new_level = mesh.level.astype(np.int64) + (flags == 1)
+    coarsen = flags == -1
+    for nbr in neighbors:
+        bad = coarsen & (new_level[nbr] > mesh.level)
+        flags[bad] = 0
+        # mirror direction: if c will be above its stored neighbor's
+        # coarsened level by 2, the neighbor may not coarsen.
+        nbr_coarsens = flags[nbr] == -1
+        bad_nbr = nbr_coarsens & (new_level > mesh.level[nbr].astype(np.int64))
+        flags[nbr[bad_nbr]] = 0
+        coarsen = flags == -1
+    return flags
+
+
+def _sibling_groups(mesh: AmrMesh, candidates: np.ndarray) -> list[np.ndarray]:
+    """Complete 4-cell sibling quads among the coarsen candidates.
+
+    Siblings share ``(level, i // 2, j // 2)``.  Only groups whose four
+    members are all candidates (and all actually at the same level) may
+    coarsen.
+    """
+    cand = np.flatnonzero(candidates)
+    if cand.size == 0:
+        return []
+    key = np.stack(
+        [mesh.level[cand], mesh.i[cand] >> 1, mesh.j[cand] >> 1], axis=1
+    )
+    _, inverse, counts = np.unique(key, axis=0, return_inverse=True, return_counts=True)
+    groups: list[np.ndarray] = []
+    complete = np.flatnonzero(counts == 4)
+    for gid in complete:
+        groups.append(cand[inverse == gid])
+    return groups
+
+
+def regrid(
+    mesh: AmrMesh,
+    state: ShallowWaterState,
+    flags: np.ndarray,
+) -> tuple[AmrMesh, ShallowWaterState]:
+    """Apply balanced flags: returns the new mesh and transferred state.
+
+    The input flags are passed through :func:`enforce_balance` first, so
+    callers may hand over raw :func:`refinement_flags` output.
+    """
+    flags = enforce_balance(mesh, flags)
+
+    refine = flags == 1
+    coarsen_groups = _sibling_groups(mesh, flags == -1)
+    in_group = np.zeros(mesh.ncells, dtype=bool)
+    for group in coarsen_groups:
+        in_group[group] = True
+    keep = ~refine & ~in_group
+
+    sdtype = state.state_dtype
+    new_i: list[np.ndarray] = []
+    new_j: list[np.ndarray] = []
+    new_level: list[np.ndarray] = []
+    new_H: list[np.ndarray] = []
+    new_U: list[np.ndarray] = []
+    new_V: list[np.ndarray] = []
+
+    # unchanged cells
+    new_i.append(mesh.i[keep])
+    new_j.append(mesh.j[keep])
+    new_level.append(mesh.level[keep])
+    new_H.append(state.H[keep])
+    new_U.append(state.U[keep])
+    new_V.append(state.V[keep])
+
+    # refined cells -> 4 children each, inheriting the parent value
+    ref = np.flatnonzero(refine)
+    if ref.size:
+        for di in (0, 1):
+            for dj in (0, 1):
+                new_i.append(mesh.i[ref] * 2 + di)
+                new_j.append(mesh.j[ref] * 2 + dj)
+                new_level.append(mesh.level[ref] + 1)
+                new_H.append(state.H[ref])
+                new_U.append(state.U[ref])
+                new_V.append(state.V[ref])
+
+    # coarsened quads -> parent with the equal-area mean of the children,
+    # averaged at the state dtype (this rounding is part of the precision
+    # signal at reduced precision)
+    for group in coarsen_groups:
+        parent_i = mesh.i[group[0]] >> 1
+        parent_j = mesh.j[group[0]] >> 1
+        parent_level = mesh.level[group[0]] - 1
+        new_i.append(np.array([parent_i], dtype=mesh.i.dtype))
+        new_j.append(np.array([parent_j], dtype=mesh.j.dtype))
+        new_level.append(np.array([parent_level], dtype=mesh.level.dtype))
+        quarter = sdtype.type(0.25)
+        new_H.append(np.array([state.H[group].sum(dtype=sdtype) * quarter], dtype=sdtype))
+        new_U.append(np.array([state.U[group].sum(dtype=sdtype) * quarter], dtype=sdtype))
+        new_V.append(np.array([state.V[group].sum(dtype=sdtype) * quarter], dtype=sdtype))
+
+    out_mesh = AmrMesh(
+        nx=mesh.nx,
+        ny=mesh.ny,
+        max_level=mesh.max_level,
+        i=np.concatenate(new_i),
+        j=np.concatenate(new_j),
+        level=np.concatenate(new_level),
+        coarse_size=mesh.coarse_size,
+    )
+    out_state = ShallowWaterState(
+        H=np.concatenate(new_H),
+        U=np.concatenate(new_U),
+        V=np.concatenate(new_V),
+        policy=state.policy,
+    )
+    return out_mesh, out_state

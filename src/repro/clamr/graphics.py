@@ -1,0 +1,118 @@
+"""Graphics output at graphics precision (paper §IV-C's fourth class).
+
+CLAMR keeps "graphics and plotting calculations ... at single precision
+since the resolution of screens and plotters cannot benefit from higher
+precision" — at *every* precision level.  This module is that pipeline:
+field rendering runs through the policy's graphics dtype (float32), and
+the final color mapping quantizes to 8/16-bit integers anyway, which is
+why the rule costs nothing.
+
+Formats are the dependency-free NetPBM family:
+
+* :func:`write_pgm` — 8- or 16-bit grayscale of a scalar field;
+* :func:`write_ppm` — 8-bit RGB through a small built-in diverging
+  colormap (blue→white→red about a reference value, the natural map for
+  a height anomaly).
+
+Both return the byte count written, so output-size accounting (the
+paper's storage-cost discussion) can include plot files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.precision.policy import PrecisionPolicy, FULL_PRECISION
+
+__all__ = ["normalize_field", "write_pgm", "write_ppm"]
+
+
+def normalize_field(
+    field: np.ndarray,
+    policy: PrecisionPolicy = FULL_PRECISION,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> np.ndarray:
+    """Scale a field into [0, 1] at the policy's graphics dtype.
+
+    ``vmin``/``vmax`` default to the field's own range; a degenerate range
+    maps everything to 0.5 (a flat field is gray, not an error).
+    """
+    gdtype = policy.graphics_dtype
+    f = np.asarray(field, dtype=gdtype)
+    if f.ndim != 2:
+        raise ValueError(f"expected a 2-D field, got ndim={f.ndim}")
+    lo = gdtype.type(np.min(f) if vmin is None else vmin)
+    hi = gdtype.type(np.max(f) if vmax is None else vmax)
+    if hi <= lo:
+        return np.full(f.shape, gdtype.type(0.5), dtype=gdtype)
+    out = (f - lo) / (hi - lo)
+    return np.clip(out, gdtype.type(0.0), gdtype.type(1.0))
+
+
+def write_pgm(
+    path: str | Path,
+    field: np.ndarray,
+    policy: PrecisionPolicy = FULL_PRECISION,
+    bit_depth: int = 8,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> int:
+    """Write a scalar field as a binary PGM (P5); returns bytes written."""
+    if bit_depth not in (8, 16):
+        raise ValueError("bit_depth must be 8 or 16")
+    unit = normalize_field(field, policy, vmin, vmax)
+    maxval = (1 << bit_depth) - 1
+    quantized = np.round(unit.astype(np.float64) * maxval)
+    if bit_depth == 8:
+        pixels = quantized.astype(np.uint8).tobytes()
+    else:
+        pixels = quantized.astype(">u2").tobytes()  # PGM 16-bit is big-endian
+    h, w = unit.shape
+    header = f"P5\n{w} {h}\n{maxval}\n".encode("ascii")
+    path = Path(path)
+    path.write_bytes(header + pixels)
+    return path.stat().st_size
+
+
+def _diverging_rgb(unit: np.ndarray) -> np.ndarray:
+    """Blue→white→red map over [0, 1]; returns uint8 (h, w, 3)."""
+    u = np.asarray(unit, dtype=np.float64)
+    below = np.clip(2.0 * u, 0.0, 1.0)  # 0..0.5 ramps toward white
+    above = np.clip(2.0 * (1.0 - u), 0.0, 1.0)  # 0.5..1 ramps from white
+    r = below
+    g = np.minimum(below, above)
+    b = above
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.round(rgb * 255.0).astype(np.uint8)
+
+
+def write_ppm(
+    path: str | Path,
+    field: np.ndarray,
+    policy: PrecisionPolicy = FULL_PRECISION,
+    center: float | None = None,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> int:
+    """Write a scalar field as a binary PPM (P6) with a diverging map.
+
+    ``center`` pins the white point (e.g. the quiescent water height);
+    when given, the range is symmetrized about it so equal excursions get
+    equal color weight.
+    """
+    f = np.asarray(field)
+    if center is not None:
+        span = float(np.max(np.abs(f.astype(np.float64) - center)))
+        if span == 0.0:
+            span = 1.0
+        vmin, vmax = center - span, center + span
+    unit = normalize_field(f, policy, vmin, vmax)
+    rgb = _diverging_rgb(unit.astype(np.float64))
+    h, w = unit.shape
+    header = f"P6\n{w} {h}\n255\n".encode("ascii")
+    path = Path(path)
+    path.write_bytes(header + rgb.tobytes())
+    return path.stat().st_size

@@ -1,0 +1,138 @@
+"""Stoker's analytic wet-bed dam-break solution (1957).
+
+The classical exact solution of the 1-D shallow-water Riemann problem
+with still water of depth ``h_left`` and ``h_right`` (both > 0) either
+side of a dam at x = x0, removed at t = 0.  The solution has three
+regions connected by a rarefaction fan and a shock:
+
+* undisturbed left state for x < x0 − c_l t;
+* a rarefaction fan down to the middle state;
+* a constant middle state (h_m, u_m);
+* a shock travelling right at speed s into the undisturbed right state.
+
+The middle depth h_m solves a scalar nonlinear equation (equality of the
+rarefaction and shock relations), found here by bisection — guaranteed to
+converge since the function is monotone on (h_right, h_left).
+
+This is the go/no-go physics test for the CLAMR kernel: a finite-volume
+scheme that converges to the wrong shock speed or middle state is wrong
+no matter how pretty its precision study looks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clamr.state import GRAVITY
+
+__all__ = ["StokerSolution", "solve_middle_state"]
+
+
+def _shock_relation(h_m: float, h_r: float, g: float) -> tuple[float, float]:
+    """(u_m, s): middle velocity and shock speed from the jump conditions."""
+    # shock speed from mass+momentum conservation across the jump
+    s = np.sqrt(0.5 * g * h_m / h_r * (h_m + h_r))
+    u_m = s * (1.0 - h_r / h_m)
+    return u_m, s
+
+
+def _rarefaction_relation(h_m: float, h_l: float, g: float) -> float:
+    """u_m from the left rarefaction's Riemann invariant u + 2c = 2c_l."""
+    return 2.0 * (np.sqrt(g * h_l) - np.sqrt(g * h_m))
+
+
+def solve_middle_state(
+    h_left: float, h_right: float, g: float = GRAVITY, tol: float = 1e-14
+) -> tuple[float, float, float]:
+    """(h_m, u_m, shock_speed) for the wet-bed dam break.
+
+    Bisection on f(h) = u_rarefaction(h) − u_shock(h), which is strictly
+    decreasing in h on (h_right, h_left) with a sign change, so the root
+    is unique and bracketed from the start.
+    """
+    if h_left <= h_right:
+        raise ValueError("Stoker's solution needs h_left > h_right > 0")
+    if h_right <= 0:
+        raise ValueError("wet-bed solution requires h_right > 0")
+
+    def f(h: float) -> float:
+        u_rare = _rarefaction_relation(h, h_left, g)
+        u_shock, _ = _shock_relation(h, h_right, g)
+        return u_rare - u_shock
+
+    lo, hi = h_right * (1.0 + 1e-12), h_left * (1.0 - 1e-12)
+    flo = f(lo)
+    if f(hi) > 0.0 or flo < 0.0:  # pragma: no cover - mathematically excluded
+        raise RuntimeError("middle-state bracket failed")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if f(mid) > 0.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol * h_left:
+            break
+    h_m = 0.5 * (lo + hi)
+    u_m, s = _shock_relation(h_m, h_right, g)
+    return float(h_m), float(u_m), float(s)
+
+
+@dataclass(frozen=True)
+class StokerSolution:
+    """Evaluable exact solution of the 1-D wet dam break.
+
+    Parameters
+    ----------
+    h_left, h_right:
+        Initial depths either side of the dam (h_left > h_right > 0).
+    x0:
+        Dam position.
+    gravity:
+        Gravitational acceleration (defaults to CLAMR's 9.80).
+    """
+
+    h_left: float
+    h_right: float
+    x0: float = 0.0
+    gravity: float = GRAVITY
+
+    def __post_init__(self) -> None:
+        h_m, u_m, s = solve_middle_state(self.h_left, self.h_right, self.gravity)
+        object.__setattr__(self, "h_middle", h_m)
+        object.__setattr__(self, "u_middle", u_m)
+        object.__setattr__(self, "shock_speed", s)
+
+    def depth(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Water depth h(x, t) for t > 0 (t = 0 returns the initial step)."""
+        x = np.asarray(x, dtype=np.float64)
+        g = self.gravity
+        if t <= 0.0:
+            return np.where(x < self.x0, self.h_left, self.h_right)
+        xi = (x - self.x0) / t
+        c_l = np.sqrt(g * self.h_left)
+        c_m = np.sqrt(g * self.h_middle)
+        head = -c_l  # rarefaction head speed
+        tail = self.u_middle - c_m  # rarefaction tail speed
+        # fan profile: h = (2 c_l - xi)^2 / 9g  from the invariant
+        fan = (2.0 * c_l - xi) ** 2 / (9.0 * g)
+        out = np.where(xi < head, self.h_left, fan)
+        out = np.where(xi >= tail, self.h_middle, out)
+        out = np.where(xi >= self.shock_speed, self.h_right, out)
+        return out
+
+    def velocity(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Water velocity u(x, t)."""
+        x = np.asarray(x, dtype=np.float64)
+        g = self.gravity
+        if t <= 0.0:
+            return np.zeros_like(x)
+        xi = (x - self.x0) / t
+        c_l = np.sqrt(g * self.h_left)
+        c_m = np.sqrt(g * self.h_middle)
+        fan = 2.0 / 3.0 * (c_l + xi)
+        out = np.where(xi < -c_l, 0.0, fan)
+        out = np.where(xi >= self.u_middle - c_m, self.u_middle, out)
+        out = np.where(xi >= self.shock_speed, 0.0, out)
+        return out

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``clamr``
+    Run the CLAMR dam break and print a one-run summary.
+``self``
+    Run the SELF thermal bubble and print a one-run summary.
+``devices``
+    Print the simulated device zoo with the key ratios.
+``table {1..7}`` / ``figure {1..5}``
+    Regenerate one of the paper's tables/figures at a chosen scale.
+``compare``
+    Run CLAMR at two precision levels and print the fidelity comparison.
+
+The CLI is a thin veneer over the public API — every command body is a
+few calls a user could type in a REPL — so it doubles as executable
+documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Thoughtful Precision in Mini-apps' (CLUSTER 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    clamr = sub.add_parser("clamr", help="run the CLAMR dam break")
+    clamr.add_argument("--nx", type=int, default=32)
+    clamr.add_argument("--steps", type=int, default=200)
+    clamr.add_argument("--max-level", type=int, default=2)
+    clamr.add_argument("--policy", default="full", choices=("min", "mixed", "full"))
+    clamr.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
+    clamr.add_argument("--scalar", action="store_true", help="use the unvectorized kernel")
+    clamr.add_argument("--checkpoint", default=None, help="write a checkpoint here")
+
+    selfp = sub.add_parser("self", help="run the SELF thermal bubble")
+    selfp.add_argument("--elems", type=int, default=4)
+    selfp.add_argument("--order", type=int, default=4)
+    selfp.add_argument("--steps", type=int, default=100)
+    selfp.add_argument("--precision", default="double", choices=("single", "double"))
+    selfp.add_argument("--viscosity", type=float, default=0.0)
+
+    sub.add_parser("devices", help="list the simulated architectures")
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=range(1, 8))
+    table.add_argument("--scale", default="quick", choices=("quick", "bench"))
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=range(1, 6))
+    figure.add_argument("--scale", default="quick", choices=("quick", "bench"))
+
+    compare = sub.add_parser("compare", help="fidelity comparison of two precision levels")
+    compare.add_argument("--nx", type=int, default=48)
+    compare.add_argument("--steps", type=int, default=300)
+    compare.add_argument("--levels", default="min,full", help="comma-separated pair")
+
+    validate = sub.add_parser("validate", help="check every paper claim against a fresh run")
+    validate.add_argument("--scale", default="quick", choices=("quick", "bench"))
+    return parser
+
+
+def _cmd_clamr(args: argparse.Namespace) -> int:
+    from repro.clamr import ClamrSimulation, DamBreakConfig, write_checkpoint
+
+    cfg = DamBreakConfig(nx=args.nx, ny=args.nx, max_level=args.max_level)
+    sim = ClamrSimulation(cfg, policy=args.policy, vectorized=not args.scalar, scheme=args.scheme)
+    res = sim.run(args.steps)
+    print(f"CLAMR dam break: {args.nx}^2 coarse, {args.max_level} AMR levels, {args.steps} steps")
+    print(f"  policy       : {res.policy.describe()}")
+    print(f"  scheme       : {args.scheme} ({'scalar' if args.scalar else 'vectorized'})")
+    print(f"  cells        : {sim.mesh.ncells}")
+    print(f"  sim time     : {res.final_time:.5f}")
+    print(f"  wall time    : {res.elapsed_s:.2f}s (kernel {res.kernel_elapsed_s:.2f}s)")
+    print(f"  state memory : {res.state_nbytes / 1e6:.2f} MB")
+    print(f"  mass drift   : {res.mass_drift:.3e}")
+    print(f"  work         : {res.profile.flops / 1e9:.2f} Gflop, "
+          f"{(res.profile.state_bytes + res.profile.fixed_bytes) / 1e9:.2f} GB traffic")
+    if args.checkpoint:
+        nbytes = write_checkpoint(args.checkpoint, sim.mesh, sim.state)
+        print(f"  checkpoint   : {args.checkpoint} ({nbytes / 1e6:.2f} MB)")
+    return 0
+
+
+def _cmd_self(args: argparse.Namespace) -> int:
+    from repro.self_ import SelfSimulation, ThermalBubbleConfig
+
+    cfg = ThermalBubbleConfig(
+        nex=args.elems, ney=args.elems, nez=args.elems, order=args.order,
+        viscosity=args.viscosity,
+    )
+    sim = SelfSimulation(cfg, precision=args.precision)
+    res = sim.run(args.steps)
+    dof = cfg.nex * cfg.ney * cfg.nez * (cfg.order + 1) ** 3 * 5
+    print(f"SELF thermal bubble: {args.elems}^3 elements, order {args.order} ({dof} DOF)")
+    print(f"  precision    : {res.precision}" + (f", viscosity {args.viscosity}" if args.viscosity else ""))
+    print(f"  sim time     : {res.final_time:.3f}s over {res.steps} RK3 steps")
+    print(f"  wall time    : {res.elapsed_s:.2f}s")
+    print(f"  state memory : {res.state_nbytes / 1e6:.2f} MB")
+    print(f"  w_max        : {res.max_vertical_velocity:.4f} m/s")
+    print(f"  anomaly scale: {res.anomaly_scale:.3e}")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.harness.report import Table
+    from repro.machine.specs import DEVICES
+
+    table = Table(
+        title="Simulated device zoo (paper §IV-E, published nominal specs)",
+        headers=["Key", "Name", "Kind", "SP Gflop/s", "DP Gflop/s", "SP:DP", "BW GB/s", "TDP W"],
+    )
+    for key, d in DEVICES.items():
+        table.add_row(
+            key, d.name, d.kind.value, d.sp_gflops, d.dp_gflops,
+            round(d.sp_dp_ratio, 1), d.bandwidth_gbs, d.tdp_watts,
+        )
+    print(table.render())
+    return 0
+
+
+_SCALES = {
+    "quick": dict(nx=24, steps=60, fig_nx=32, fig_steps=250, elems=3, order=3, sst=40),
+    "bench": dict(nx=48, steps=200, fig_nx=64, fig_steps=1000, elems=5, order=4, sst=100),
+}
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as ex
+
+    s = _SCALES[args.scale]
+    n = args.number
+    if n in (1, 2):
+        runs = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"])
+        fn = ex.table1_clamr_architectures if n == 1 else ex.table2_clamr_energy
+        out = fn(runs, nx=s["nx"], steps=s["steps"])
+    elif n == 3:
+        out = ex.table3_vectorization(nx=s["nx"] // 2, steps=s["steps"] // 2)
+    elif n == 4:
+        out = ex.table4_compilers(elems=s["elems"], order=s["order"], steps=s["sst"] // 2)
+    elif n in (5, 6):
+        runs = ex.run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])
+        fn = ex.table5_self_architectures if n == 5 else ex.table6_self_energy
+        out = fn(runs, elems=s["elems"], order=s["order"], steps=s["sst"])
+    else:
+        clamr = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"])
+        selfr = ex.run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])
+        out = ex.table7_cost(
+            clamr, selfr, nx=s["nx"], steps=s["steps"],
+            self_elems=s["elems"], self_order=s["order"], self_steps=s["sst"],
+        )
+    print(out.render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as ex
+
+    s = _SCALES[args.scale]
+    n = args.number
+    if n in (1, 2):
+        runs = ex.run_clamr_levels(nx=s["fig_nx"], steps=s["fig_steps"])
+        fn = ex.fig1_clamr_slices if n == 1 else ex.fig2_clamr_asymmetry
+        out = fn(runs)
+    elif n == 3:
+        out = ex.fig3_precision_resolution(nx_lo=s["fig_nx"] // 2, steps_hint=s["fig_steps"] // 3)
+    else:
+        runs = ex.run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])
+        out = ex.fig4_self_slices(runs) if n == 4 else ex.fig5_self_asymmetry(runs)
+    print(out.render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.clamr import ClamrSimulation, DamBreakConfig
+    from repro.precision.analysis import asymmetry_signature, difference_metrics
+
+    levels = [x.strip() for x in args.levels.split(",")]
+    if len(levels) != 2:
+        print("--levels expects exactly two comma-separated names", file=sys.stderr)
+        return 2
+    cfg = DamBreakConfig(nx=args.nx, ny=args.nx, max_level=2)
+    runs = {lvl: ClamrSimulation(cfg, policy=lvl).run(args.steps) for lvl in levels}
+    a, b = (runs[lvl] for lvl in levels)
+    d = difference_metrics(b.slice_precise, a.slice_precise)
+    print(f"CLAMR {args.nx}^2, {args.steps} steps: {levels[0]} vs {levels[1]}")
+    print(f"  max |ΔH|          : {d.max_abs:.3e}")
+    print(f"  orders below soln : {d.orders_below_solution:.2f}")
+    for lvl in levels:
+        sig = asymmetry_signature(runs[lvl].slice_precise)
+        print(f"  asymmetry {lvl:>5}   : {sig.max_abs:.3e} (relative {sig.relative_max:.3e})")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validate import validate_reproduction
+
+    checks = validate_reproduction(scale=args.scale)
+    failed = [c for c in checks if not c.passed]
+    for check in checks:
+        print(check)
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} claims reproduced at scale '{args.scale}'")
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "clamr": _cmd_clamr,
+    "self": _cmd_self,
+    "devices": _cmd_devices,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "compare": _cmd_compare,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Cost analysis (paper §VI): EC2 compute plus S3 storage.
+
+Re-implements the paper's Amazon-Web-Services cost model: runtimes on the
+Haswell architecture are scaled to hours/week of an EC2 ``c4.8xlarge``
+instance, checkpoint volumes to S3 standard + infrequent-access storage,
+with the paper's stated adjustment factors.  Rates are frozen at 2017-era
+values so the arithmetic reproduces Table VII.
+"""
+
+from repro.cost.aws import (
+    AwsRates,
+    RATES_2017,
+    CostBreakdown,
+    ec2_monthly_cost,
+    s3_monthly_cost,
+    application_cost,
+)
+
+__all__ = [
+    "AwsRates",
+    "RATES_2017",
+    "CostBreakdown",
+    "ec2_monthly_cost",
+    "s3_monthly_cost",
+    "application_cost",
+]

@@ -1,0 +1,615 @@
+"""One entry point per paper table and figure.
+
+Each function runs the reproduction's mini-apps at laptop scale, lifts the
+measured work profile to the paper's problem size through
+:meth:`WorkloadProfile.scaled_resident`, and pushes it through the machine
+models to produce the same rows/series the paper reports.  The docstring
+of each function records the paper's numbers so EXPERIMENTS.md can be
+regenerated from one place.
+
+Scale parameters default to sizes that run in seconds; the benchmark
+harness passes larger ones.  The *shape* assertions (who wins, by roughly
+what factor) are size-independent by construction — that is the point of
+profile-based modelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clamr import ClamrSimulation, DamBreakConfig
+from repro.clamr.simulation import SimulationResult
+from repro.cost.aws import application_cost
+from repro.harness.report import Figure, Table
+from repro.machine.compiler import GNU, INTEL
+from repro.machine.energy import estimate_energy
+from repro.machine.roofline import RooflineModel
+from repro.machine.specs import CLAMR_DEVICE_ORDER, SELF_DEVICE_ORDER, device
+from repro.precision.analysis import mirror_asymmetry
+from repro.self_ import SelfSimulation, ThermalBubbleConfig
+from repro.self_.simulation import SelfResult
+
+__all__ = [
+    "table1_clamr_architectures",
+    "table2_clamr_energy",
+    "table3_vectorization",
+    "table4_compilers",
+    "table5_self_architectures",
+    "table6_self_energy",
+    "table7_cost",
+    "fig1_clamr_slices",
+    "fig2_clamr_asymmetry",
+    "fig3_precision_resolution",
+    "fig4_self_slices",
+    "fig5_self_asymmetry",
+    "clamr_paper_scale_factor",
+    "self_paper_scale_factor",
+    "run_clamr_levels",
+    "run_self_precisions",
+    "ALL_EXPERIMENTS",
+]
+
+#: The paper's CLAMR performance workload: 1920² coarse grid, 200 iterations.
+PAPER_CLAMR_NX = 1920
+PAPER_CLAMR_STEPS = 200
+#: The paper's SELF workload: 20³ elements of order 7, 100 RK3 steps.
+PAPER_SELF_ELEMS = 20
+PAPER_SELF_ORDER = 7
+PAPER_SELF_STEPS = 100
+
+CLAMR_LEVELS = ("min", "mixed", "full")
+SELF_PRECISIONS = ("single", "double")
+
+
+def clamr_paper_scale_factor(nx: int, steps: int) -> float:
+    """Work ratio between the paper's CLAMR run and a (nx, steps) run.
+
+    Cell count scales with the grid area; the timestep count in the paper
+    is fixed (200 iterations), so no CFL adjustment enters.
+    """
+    return (PAPER_CLAMR_NX / nx) ** 2 * (PAPER_CLAMR_STEPS / steps)
+
+
+def _lift_clamr_profile(profile, nx: int, steps: int):
+    """Scale a measured CLAMR profile to the paper's workload.
+
+    Work (flops/bytes) scales with grid area × step ratio; the resident
+    footprint scales with grid area only.
+    """
+    import dataclasses
+
+    work = clamr_paper_scale_factor(nx, steps)
+    size = (PAPER_CLAMR_NX / nx) ** 2
+    scaled = profile.scaled(work)
+    return dataclasses.replace(
+        scaled, resident_state_bytes=int(profile.resident_state_bytes * size)
+    )
+
+
+def self_paper_scale_factor(cfg: ThermalBubbleConfig, steps: int) -> float:
+    """Work ratio between the paper's SELF run and a configured run.
+
+    DG work per element scales ~ (N+1)⁴ (sum-factorized derivatives), and
+    the paper runs a fixed 100 steps.
+    """
+    paper_nodes4 = PAPER_SELF_ELEMS**3 * (PAPER_SELF_ORDER + 1) ** 4
+    ours_nodes4 = cfg.nex * cfg.ney * cfg.nez * (cfg.order + 1) ** 4
+    return paper_nodes4 / ours_nodes4 * (PAPER_SELF_STEPS / steps)
+
+
+# ---------------------------------------------------------------------------
+# shared run helpers (memoizable by the caller; runs are deterministic)
+# ---------------------------------------------------------------------------
+
+
+def run_clamr_levels(
+    nx: int = 48,
+    steps: int = 100,
+    max_level: int = 2,
+    vectorized: bool = True,
+) -> dict[str, SimulationResult]:
+    """One dam-break run per CLAMR precision level."""
+    cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
+    return {
+        level: ClamrSimulation(cfg, policy=level, vectorized=vectorized).run(steps)
+        for level in CLAMR_LEVELS
+    }
+
+
+def run_self_precisions(
+    elems: int = 4,
+    order: int = 4,
+    steps: int = 60,
+) -> dict[str, SelfResult]:
+    """One thermal-bubble run per SELF precision."""
+    cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
+    return {
+        prec: SelfSimulation(cfg, precision=prec).run(steps) for prec in SELF_PRECISIONS
+    }
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def table1_clamr_architectures(
+    results: dict[str, SimulationResult] | None = None,
+    nx: int = 48,
+    steps: int = 100,
+) -> Table:
+    """Table I: CLAMR memory/runtime/speedup across five architectures.
+
+    Paper values (runtime s, min/mixed/full — speedup):
+    Haswell 26.3/29.9/31.3 — 19%; Broadwell 25.3/31.0/31.4 — 24%;
+    K40m 4.9/12.8/12.8 — 261%; K6000 4.2/10.6/10.6 — 252%;
+    TITAN X 2.8/12.5/12.7 — 453%.  (The paper mixes two speedup
+    conventions; we report (full/min − 1)·100 throughout.)
+    """
+    if results is None:
+        results = run_clamr_levels(nx=nx, steps=steps)
+    table = Table(
+        title="Table I — CLAMR runtime and memory by architecture",
+        headers=[
+            "Arch",
+            "Mem min (GB)",
+            "Mem mixed (GB)",
+            "Mem full (GB)",
+            "Run min (s)",
+            "Run mixed (s)",
+            "Run full (s)",
+            "Speedup (%)",
+        ],
+    )
+    for key in CLAMR_DEVICE_ORDER:
+        dev = device(key)
+        model = RooflineModel(device=dev)
+        cells = {
+            level: model.predict(_lift_clamr_profile(results[level].profile, nx, steps))
+            for level in CLAMR_LEVELS
+        }
+        speedup = (cells["full"].runtime_s / cells["min"].runtime_s - 1.0) * 100.0
+        table.add_row(
+            dev.name,
+            cells["min"].memory_gb,
+            cells["mixed"].memory_gb,
+            cells["full"].memory_gb,
+            cells["min"].runtime_s,
+            cells["mixed"].runtime_s,
+            cells["full"].runtime_s,
+            speedup,
+        )
+    table.notes.append(
+        f"profiles measured at nx={nx}/{steps} steps, scaled x{clamr_paper_scale_factor(nx, steps):.0f} to the paper's 1920²/200"
+    )
+    return table
+
+
+def table2_clamr_energy(
+    results: dict[str, SimulationResult] | None = None,
+    nx: int = 48,
+    steps: int = 100,
+) -> Table:
+    """Table II: estimated CLAMR energy (TDP × runtime) per architecture.
+
+    Paper values (J, min/mixed/full): Haswell 2762/3140/3287;
+    Broadwell 3033/3725/3762; K40m 1054/2752/2752;
+    K6000 945/2385/2385; TITAN X 700/3125/3175.
+    """
+    if results is None:
+        results = run_clamr_levels(nx=nx, steps=steps)
+    table = Table(
+        title="Table II — estimated CLAMR energy use (Joules)",
+        headers=["Arch", "Min (J)", "Mixed (J)", "Full (J)"],
+    )
+    for key in CLAMR_DEVICE_ORDER:
+        dev = device(key)
+        model = RooflineModel(device=dev)
+        joules = {}
+        for level in CLAMR_LEVELS:
+            runtime = model.predict(_lift_clamr_profile(results[level].profile, nx, steps)).runtime_s
+            joules[level] = estimate_energy(dev, runtime).energy_joules
+        table.add_row(dev.name, joules["min"], joules["mixed"], joules["full"])
+    return table
+
+
+def table3_vectorization(nx: int = 24, steps: int = 40) -> Table:
+    """Table III: finite_diff times, unvectorized vs vectorized, and
+    checkpoint sizes, per precision level.
+
+    Paper values: unvectorized 11.4/12.3/12.7 s; vectorized 4.8/8.9/9.2 s;
+    checkpoint 86M/86M/128M.  Our "unvectorized" is a genuine scalar Python
+    loop, so absolute ratios to the NumPy path are Python-sized; the rows
+    also carry the Haswell roofline model's times, whose ratios are the
+    hardware-sized comparison.
+    """
+    from repro.clamr.checkpoint import checkpoint_nbytes
+    from repro.precision.policy import PrecisionPolicy
+
+    cfg = DamBreakConfig(nx=nx, ny=nx, max_level=1)
+    factor = clamr_paper_scale_factor(nx, steps)
+    table = Table(
+        title="Table III — CLAMR precision comparisons and vectorization",
+        headers=[
+            "Quantity",
+            "Min precision",
+            "Mixed precision",
+            "Full precision",
+        ],
+    )
+    measured: dict[str, dict[str, float]] = {"scalar": {}, "vector": {}}
+    modelled: dict[str, dict[str, float]] = {"scalar": {}, "vector": {}}
+    checkpoints: dict[str, float] = {}
+    haswell = device("haswell")
+    for level in CLAMR_LEVELS:
+        vec_run = ClamrSimulation(cfg, policy=level, vectorized=True).run(steps)
+        sca_run = ClamrSimulation(cfg, policy=level, vectorized=False).run(steps)
+        measured["vector"][level] = vec_run.elapsed_s
+        measured["scalar"][level] = sca_run.elapsed_s
+        profile = _lift_clamr_profile(vec_run.profile, nx, steps)
+        modelled["vector"][level] = RooflineModel(device=haswell, vectorized=True).predict(profile).runtime_s
+        modelled["scalar"][level] = RooflineModel(device=haswell, vectorized=False).predict(profile).runtime_s
+        # checkpoint at the paper's mesh scale
+        paper_cells = int(vec_run.ncells_history[-1] * (PAPER_CLAMR_NX / nx) ** 2)
+        checkpoints[level] = checkpoint_nbytes(paper_cells, PrecisionPolicy.from_level(level)) / 1e6
+    table.add_row("measured python scalar (s)", *(measured["scalar"][l] for l in CLAMR_LEVELS))
+    table.add_row("measured numpy vectorized (s)", *(measured["vector"][l] for l in CLAMR_LEVELS))
+    table.add_row("modelled Haswell unvectorized (s)", *(modelled["scalar"][l] for l in CLAMR_LEVELS))
+    table.add_row("modelled Haswell vectorized (s)", *(modelled["vector"][l] for l in CLAMR_LEVELS))
+    table.add_row("checkpoint size (MB)", *(checkpoints[l] for l in CLAMR_LEVELS))
+    table.notes.append("checkpoint sizes at the paper's 1920² mesh; ratio min:full = 2/3 by layout")
+    return table
+
+
+def table4_compilers(elems: int = 4, order: int = 4, steps: int = 30) -> Table:
+    """Table IV: non-vectorized SELF runtimes, GNU vs Intel, single/double.
+
+    Paper values (s): GNU 304.09 single / 261.65 double;
+    Intel 185.89 single / 252.85 double — the GNU inversion.
+    """
+    cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
+    factor = self_paper_scale_factor(cfg, steps)
+    haswell = device("haswell")
+    table = Table(
+        title="Table IV — nonvectorized SELF runtimes by compiler (modelled, Haswell)",
+        headers=["Compiler", "Single (s)", "Double (s)"],
+    )
+    runs = {prec: SelfSimulation(cfg, precision=prec).run(steps) for prec in SELF_PRECISIONS}
+    for compiler in (GNU, INTEL):
+        times = {
+            prec: compiler.runtime(runs[prec].profile.scaled_resident(factor), haswell)
+            for prec in SELF_PRECISIONS
+        }
+        table.add_row(compiler.name, times["single"], times["double"])
+    table.notes.append("compiler models encode the promotion/auto-SIMD mechanisms; see repro.machine.compiler")
+    return table
+
+
+def table5_self_architectures(
+    results: dict[str, SelfResult] | None = None,
+    elems: int = 4,
+    order: int = 4,
+    steps: int = 60,
+) -> Table:
+    """Table V: SELF memory/runtime/speedup across six architectures.
+
+    Paper values (runtime s, single/double — speedup): Haswell 179.5/270.4
+    — 51%; Broadwell 184.1/224.2 — 22%; K40m 40.1/53.7 — 34%;
+    K6000 32.6/42.6 — 31%; P100 13.5/17.3 — 28%; TITAN X 16.1/49.7 — 309%.
+    """
+    if results is None:
+        results = run_self_precisions(elems=elems, order=order, steps=steps)
+    cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
+    factor = self_paper_scale_factor(cfg, steps)
+    table = Table(
+        title="Table V — SELF runtime and memory by architecture",
+        headers=[
+            "Arch",
+            "Mem single (GB)",
+            "Mem double (GB)",
+            "Run single (s)",
+            "Run double (s)",
+            "Speedup (%)",
+        ],
+    )
+    # footprint scales with the problem size only (not steps)
+    size_factor = (
+        PAPER_SELF_ELEMS**3 * (PAPER_SELF_ORDER + 1) ** 3
+    ) / (cfg.nex * cfg.ney * cfg.nez * (cfg.order + 1) ** 3)
+    for key in SELF_DEVICE_ORDER:
+        dev = device(key)
+        model = RooflineModel(device=dev)
+        cells = {}
+        for prec in SELF_PRECISIONS:
+            profile = results[prec].profile.scaled(factor)
+            prediction = model.predict(profile)
+            mem = dev.base_memory_gb + results[prec].profile.resident_state_bytes * size_factor / 1e9
+            cells[prec] = (prediction.runtime_s, mem)
+        speedup = (cells["double"][0] / cells["single"][0] - 1.0) * 100.0
+        table.add_row(
+            dev.name,
+            cells["single"][1],
+            cells["double"][1],
+            cells["single"][0],
+            cells["double"][0],
+            speedup,
+        )
+    table.notes.append(
+        f"profiles measured at {elems}³ elements order {order}, scaled x{factor:.0f} to the paper's 20³ order-7"
+    )
+    return table
+
+
+def table6_self_energy(
+    results: dict[str, SelfResult] | None = None,
+    elems: int = 4,
+    order: int = 4,
+    steps: int = 60,
+) -> Table:
+    """Table VI: estimated SELF energy per architecture.
+
+    Paper values (J, single/double): Haswell 18795/28350;
+    Broadwell 22080/26880; K40m 8617/11546; K6000 7335/9585;
+    P100 3375/4325; TITAN X 4025/12425.
+    """
+    if results is None:
+        results = run_self_precisions(elems=elems, order=order, steps=steps)
+    cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
+    factor = self_paper_scale_factor(cfg, steps)
+    table = Table(
+        title="Table VI — estimated SELF energy use (Joules)",
+        headers=["Arch", "Single (J)", "Double (J)"],
+    )
+    for key in SELF_DEVICE_ORDER:
+        dev = device(key)
+        model = RooflineModel(device=dev)
+        joules = {}
+        for prec in SELF_PRECISIONS:
+            runtime = model.predict(results[prec].profile.scaled(factor)).runtime_s
+            joules[prec] = estimate_energy(dev, runtime).energy_joules
+        table.add_row(dev.name, joules["single"], joules["double"])
+    return table
+
+
+def table7_cost(
+    clamr_results: dict[str, SimulationResult] | None = None,
+    self_results: dict[str, SelfResult] | None = None,
+    nx: int = 48,
+    steps: int = 100,
+    self_elems: int = 4,
+    self_order: int = 4,
+    self_steps: int = 60,
+) -> Table:
+    """Table VII: AWS monthly cost per application and precision level.
+
+    Paper values (USD): CLAMR total 344.88/378.76/448.63 (min/mixed/full);
+    SELF total 1555.91 (single) / 1950.53 (double), storage equal across
+    SELF precisions.  The claims: ~23% CLAMR savings at min, ~15% at
+    mixed, ~20% SELF savings at single.
+    """
+    if clamr_results is None:
+        clamr_results = run_clamr_levels(nx=nx, steps=steps)
+    if self_results is None:
+        self_results = run_self_precisions(elems=self_elems, order=self_order, steps=self_steps)
+    haswell = device("haswell")
+    model = RooflineModel(device=haswell)
+
+    clamr_runtime = {
+        level: model.predict(_lift_clamr_profile(clamr_results[level].profile, nx, steps)).runtime_s
+        for level in CLAMR_LEVELS
+    }
+    paper_cells = {
+        level: int(clamr_results[level].checkpoint_bytes * (PAPER_CLAMR_NX / nx) ** 2)
+        for level in CLAMR_LEVELS
+    }
+
+    cfg = ThermalBubbleConfig(nex=self_elems, ney=self_elems, nez=self_elems, order=self_order)
+    sfactor = self_paper_scale_factor(cfg, self_steps)
+    self_runtime = {
+        prec: model.predict(self_results[prec].profile.scaled(sfactor)).runtime_s
+        for prec in SELF_PRECISIONS
+    }
+    # SELF output written at graphics precision → size is precision-blind
+    self_output_gb = 0.258
+
+    table = Table(
+        title="Table VII — AWS monthly cost (USD)",
+        headers=["Line", "Min/Single", "Mixed", "Full/Double"],
+    )
+    # storage accumulates with one common utilization (the full run's) —
+    # the paper's CLAMR storage lines differ only by the 2/3 file-size
+    # ratio, not by runtime.
+    clamr_costs = {
+        level: application_cost(
+            f"clamr/{level}",
+            runtime_s=clamr_runtime[level],
+            output_gb=paper_cells[level] / 1e9,
+            storage_follows_compute=False,
+            reference_runtime_s=clamr_runtime["full"],
+        )
+        for level in CLAMR_LEVELS
+    }
+    table.add_row("CLAMR compute", *(clamr_costs[l].compute_usd for l in CLAMR_LEVELS))
+    table.add_row("CLAMR storage", *(clamr_costs[l].storage_usd for l in CLAMR_LEVELS))
+    table.add_row("CLAMR total", *(clamr_costs[l].total_usd for l in CLAMR_LEVELS))
+
+    self_costs = {
+        prec: application_cost(
+            f"self/{prec}",
+            runtime_s=self_runtime[prec],
+            output_gb=self_output_gb,
+            compute_discount=0.5,
+            output_reduction=10.0,
+            storage_follows_compute=False,
+            reference_runtime_s=self_runtime["double"],
+        )
+        for prec in SELF_PRECISIONS
+    }
+    table.add_row("SELF compute", self_costs["single"].compute_usd, "-", self_costs["double"].compute_usd)
+    table.add_row("SELF storage", self_costs["single"].storage_usd, "-", self_costs["double"].storage_usd)
+    table.add_row("SELF total", self_costs["single"].total_usd, "-", self_costs["double"].total_usd)
+    table.notes.append("SELF has no mixed mode (paper §VI); storage precision-blind by graphics-dtype output")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+
+
+def fig1_clamr_slices(
+    results: dict[str, SimulationResult] | None = None,
+    nx: int = 64,
+    steps: int = 1000,
+) -> Figure:
+    """Fig. 1: CLAMR center-line slices per precision, plus differences.
+
+    Paper: all three levels visually indistinguishable; pairwise height
+    differences "typically at least five to six orders of magnitude less
+    than the magnitude of the height"; full-vs-mixed smallest.
+    """
+    if results is None:
+        results = run_clamr_levels(nx=nx, steps=steps)
+    ref = results["full"]
+    x = np.linspace(0.0, 1.0, ref.slice_precise.size)
+    fig = Figure(
+        title="Fig. 1 — CLAMR height slices and precision differences",
+        x=x,
+        xlabel="position",
+        ylabel="height",
+    )
+    for level in CLAMR_LEVELS:
+        fig.add_series(f"height/{level}", results[level].slice_precise)
+    fig.add_series("diff full-min", ref.slice_precise - results["min"].slice_precise)
+    fig.add_series("diff full-mixed", ref.slice_precise - results["mixed"].slice_precise)
+    fig.add_series("diff mixed-min", results["mixed"].slice_precise - results["min"].slice_precise)
+    return fig
+
+
+def fig2_clamr_asymmetry(
+    results: dict[str, SimulationResult] | None = None,
+    nx: int = 64,
+    steps: int = 1000,
+) -> Figure:
+    """Fig. 2: height asymmetry per precision level.
+
+    Paper: reduced precision amplifies the asymmetry of the ideally
+    symmetric solution, but even at minimum precision it stays a factor of
+    ~1e-6 below the solution magnitude.
+    """
+    if results is None:
+        results = run_clamr_levels(nx=nx, steps=steps)
+    half = results["full"].slice_precise.size // 2
+    x = np.linspace(0.0, 0.5, half)
+    fig = Figure(
+        title="Fig. 2 — CLAMR height asymmetry",
+        x=x,
+        xlabel="position (left half)",
+        ylabel="height asymmetry",
+    )
+    for level in CLAMR_LEVELS:
+        fig.add_series(level, mirror_asymmetry(results[level].slice_precise).astype(np.float64))
+    return fig
+
+
+def fig3_precision_resolution(nx_lo: int = 32, steps_hint: int = 400) -> Figure:
+    """Fig. 3: Min-precision/high-resolution vs full-precision/low-resolution.
+
+    Paper: at matched simulation time, the Min-HiRes run shows "more
+    detailed structure" than the Full-LoRes run — the reinvestment of
+    precision savings into resolution.
+    """
+    lo_cfg = DamBreakConfig(nx=nx_lo, ny=nx_lo, max_level=1)
+    hi_cfg = DamBreakConfig(nx=nx_lo * 2, ny=nx_lo * 2, max_level=1)
+    lo_sim = ClamrSimulation(lo_cfg, policy="full")
+    lo = lo_sim.run(steps_hint)
+    hi_sim = ClamrSimulation(hi_cfg, policy="min")
+    hi = hi_sim.run_to_time(lo.final_time)
+    # resample the coarse run's line-out onto the fine run's axis
+    lo_y = np.repeat(lo.slice_precise, hi.slice_precise.size // lo.slice_precise.size)
+    x = np.linspace(0.0, 1.0, hi.slice_precise.size)
+    fig = Figure(
+        title="Fig. 3 — Full-LoRes vs Min-HiRes at matched simulation time",
+        x=x,
+        xlabel="position",
+        ylabel="height",
+    )
+    fig.add_series(f"full/{nx_lo}", lo_y)
+    fig.add_series(f"min/{nx_lo * 2}", hi.slice_precise)
+    fig.notes.append(
+        f"times: full-lores t={lo.final_time:.4f}, min-hires t={hi_sim.time:.4f}"
+    )
+    return fig
+
+
+def fig4_self_slices(
+    results: dict[str, SelfResult] | None = None,
+    elems: int = 5,
+    order: int = 4,
+    steps: int = 150,
+) -> Figure:
+    """Fig. 4: SELF density-anomaly slices, single vs double, plus difference.
+
+    Paper: solutions visually identical; |difference| ~O(1e-5), two orders
+    of magnitude below the anomaly.
+    """
+    if results is None:
+        results = run_self_precisions(elems=elems, order=order, steps=steps)
+    ref = results["double"]
+    x = np.linspace(0.0, 1.0, ref.slice_precise.size)
+    fig = Figure(
+        title="Fig. 4 — SELF density anomaly slices and difference",
+        x=x,
+        xlabel="position",
+        ylabel="density anomaly",
+    )
+    for prec in SELF_PRECISIONS:
+        fig.add_series(prec, results[prec].slice_precise)
+    fig.add_series("diff double-single", ref.slice_precise - results["single"].slice_precise)
+    return fig
+
+
+def fig5_self_asymmetry(
+    results: dict[str, SelfResult] | None = None,
+    elems: int = 5,
+    order: int = 4,
+    steps: int = 150,
+) -> Figure:
+    """Fig. 5: asymmetry in the SELF perturbation density.
+
+    Paper: double-precision asymmetry oscillates about zero with balanced
+    signs; single-precision asymmetry is biased to one sign and much
+    larger.
+    """
+    if results is None:
+        results = run_self_precisions(elems=elems, order=order, steps=steps)
+    half = results["double"].slice_precise.size // 2
+    x = np.linspace(0.0, 0.5, half)
+    fig = Figure(
+        title="Fig. 5 — SELF perturbation-density asymmetry",
+        x=x,
+        xlabel="position (left half)",
+        ylabel="anomaly asymmetry",
+    )
+    for prec in SELF_PRECISIONS:
+        fig.add_series(prec, mirror_asymmetry(results[prec].slice_precise).astype(np.float64))
+    return fig
+
+
+#: Registry used by the examples and the regenerate-everything benchmark.
+ALL_EXPERIMENTS = {
+    "table1": table1_clamr_architectures,
+    "table2": table2_clamr_energy,
+    "table3": table3_vectorization,
+    "table4": table4_compilers,
+    "table5": table5_self_architectures,
+    "table6": table6_self_energy,
+    "table7": table7_cost,
+    "fig1": fig1_clamr_slices,
+    "fig2": fig2_clamr_asymmetry,
+    "fig3": fig3_precision_resolution,
+    "fig4": fig4_self_slices,
+    "fig5": fig5_self_asymmetry,
+}

@@ -1,0 +1,156 @@
+"""Rendering of experiment outputs: ASCII tables and line-series figures.
+
+Every experiment returns a :class:`Table` (rows of labelled values) or a
+:class:`Figure` (named :class:`Series` sharing an x-axis).  Rendering is
+deliberately plain ASCII — the benchmarks print the same rows/series the
+paper reports, and EXPERIMENTS.md records paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Table", "Series", "Figure", "render_table", "render_figure", "format_value"]
+
+
+def format_value(value: object, digits: int = 4) -> str:
+    """Compact human formatting: floats trimmed, ints plain, rest str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        v = float(value)
+        if v == 0.0:
+            return "0"
+        if abs(v) >= 10000 or abs(v) < 1e-3:
+            return f"{v:.{digits - 1}e}"
+        return f"{v:.{digits}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A labelled table: title, column headers, and rows of cells."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(f"row has {len(cells)} cells, table has {len(self.headers)} columns")
+        self.rows.append(list(cells))
+
+    def column(self, header: str) -> list[object]:
+        """Extract one column by header name."""
+        try:
+            idx = self.headers.index(header)
+        except ValueError:
+            raise KeyError(f"no column {header!r}; have {self.headers}") from None
+        return [row[idx] for row in self.rows]
+
+    def row_by_label(self, label: object) -> list[object]:
+        """The first row whose first cell equals ``label``."""
+        for row in self.rows:
+            if row[0] == label:
+                return row
+        raise KeyError(f"no row labelled {label!r}")
+
+    def render(self) -> str:
+        return render_table(self)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: y-values over a shared x-axis."""
+
+    name: str
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "y", np.asarray(self.y, dtype=np.float64))
+
+
+@dataclass
+class Figure:
+    """A figure: shared x-axis plus one or more series, as the paper plots."""
+
+    title: str
+    x: np.ndarray
+    series: list[Series] = field(default_factory=list)
+    xlabel: str = "position"
+    ylabel: str = "value"
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, y: np.ndarray) -> None:
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != np.asarray(self.x).shape:
+            raise ValueError(f"series {name!r} length {y.shape} != x length {np.shape(self.x)}")
+        self.series.append(Series(name=name, y=y))
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series {name!r}; have {[s.name for s in self.series]}")
+
+    def render(self, width: int = 64) -> str:
+        return render_figure(self, width=width)
+
+
+def render_table(table: Table, min_width: int = 6) -> str:
+    """Fixed-width ASCII rendering of a :class:`Table`."""
+    cells = [[format_value(c) for c in row] for row in table.rows]
+    widths = [max(min_width, len(h)) for h in table.headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [table.title, "=" * len(table.title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(table.headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_figure(fig: Figure, width: int = 64, height: int = 16) -> str:
+    """ASCII line plot of a :class:`Figure` (all series on shared axes).
+
+    Intended for terminal inspection of the benchmark output; the figures'
+    quantitative assertions live in the series data, not this rendering.
+    """
+    if not fig.series:
+        return f"{fig.title}\n(no series)"
+    x = np.asarray(fig.x, dtype=np.float64)
+    ys = np.stack([s.y for s in fig.series])
+    ymin, ymax = float(ys.min()), float(ys.max())
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    xmin, xmax = float(x.min()), float(x.max())
+    xspan = xmax - xmin or 1.0
+    for si, s in enumerate(fig.series):
+        mark = markers[si % len(markers)]
+        cols = np.clip(((x - xmin) / xspan * (width - 1)).round().astype(int), 0, width - 1)
+        rows = np.clip(((s.y - ymin) / (ymax - ymin) * (height - 1)).round().astype(int), 0, height - 1)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = mark
+    lines = [fig.title, "=" * len(fig.title)]
+    lines.append(f"y in [{format_value(ymin)}, {format_value(ymax)}]  ({fig.ylabel})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {fig.xlabel}: [{format_value(xmin)}, {format_value(xmax)}]")
+    legend = "  ".join(f"{markers[i % len(markers)]}={s.name}" for i, s in enumerate(fig.series))
+    lines.append(f" legend: {legend}")
+    for note in fig.notes:
+        lines.append(f" note: {note}")
+    return "\n".join(lines)

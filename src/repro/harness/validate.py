@@ -1,0 +1,213 @@
+"""One-call validation: every paper claim checked against a fresh run.
+
+:func:`validate_reproduction` executes the mini-apps once at the chosen
+scale, regenerates the tables/figures, and checks each of the paper's
+qualitative claims, returning a list of
+:class:`~repro.harness.paper.ShapeCheck` records.  ``python -m repro
+validate`` prints them; the test suite asserts they all pass at small
+scale.
+
+This is the reproduction's "definition of done" in executable form: if
+every check passes, the repository reproduces the paper's evaluation in
+the shape sense defined in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness import experiments as ex
+from repro.harness.paper import (
+    TABLE1_RUNTIMES,
+    TABLE2_ENERGY,
+    TABLE5_RUNTIMES,
+    TABLE6_ENERGY,
+    FIGURE_CLAIMS,
+    ShapeCheck,
+    check_ordering,
+)
+from repro.precision.analysis import asymmetry_signature, difference_metrics
+
+__all__ = ["validate_reproduction", "SCALES"]
+
+SCALES = {
+    "quick": dict(nx=24, steps=60, fig_nx=32, fig_steps=250, elems=3, order=3, sst=40),
+    "bench": dict(nx=48, steps=200, fig_nx=64, fig_steps=1000, elems=5, order=4, sst=100),
+}
+
+
+def validate_reproduction(scale: str = "quick") -> list[ShapeCheck]:
+    """Run everything and return one ShapeCheck per claim."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    s = SCALES[scale]
+    checks: list[ShapeCheck] = []
+
+    clamr = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"])
+    selfr = ex.run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])
+    clamr_fig = (
+        clamr
+        if (s["fig_nx"], s["fig_steps"]) == (s["nx"], s["steps"])
+        else ex.run_clamr_levels(nx=s["fig_nx"], steps=s["fig_steps"])
+    )
+
+    # -- Table I / II ---------------------------------------------------
+    t1 = ex.table1_clamr_architectures(clamr, nx=s["nx"], steps=s["steps"])
+    for row in t1.rows:
+        arch = row[0]
+        checks.append(
+            check_ordering(
+                f"table1/{arch}", "runtime min <= mixed <= full",
+                {"min": row[4], "mixed": row[5], "full": row[6]},
+                TABLE1_RUNTIMES[arch],
+            )
+        )
+    speedups = dict(zip(t1.column("Arch"), t1.column("Speedup (%)")))
+    titan_best = speedups["GTX TITAN X"] == max(speedups.values())
+    checks.append(
+        ShapeCheck(
+            "table1/titanx-headline",
+            "the TITAN X shows by far the largest precision speedup",
+            titan_best and speedups["GTX TITAN X"] > 200,
+            f"TITAN X {speedups['GTX TITAN X']:.0f}% vs next {sorted(speedups.values())[-2]:.0f}%",
+        )
+    )
+    t2 = ex.table2_clamr_energy(clamr, nx=s["nx"], steps=s["steps"])
+    for row in t2.rows:
+        checks.append(
+            check_ordering(
+                f"table2/{row[0]}", "energy min <= mixed <= full",
+                {"min": row[1], "mixed": row[2], "full": row[3]},
+                TABLE2_ENERGY[row[0]],
+            )
+        )
+
+    # -- Table III --------------------------------------------------------
+    t3 = ex.table3_vectorization(nx=s["nx"] // 2, steps=s["steps"] // 2)
+    vec = t3.row_by_label("modelled Haswell vectorized (s)")
+    unvec = t3.row_by_label("modelled Haswell unvectorized (s)")
+    ck = t3.row_by_label("checkpoint size (MB)")
+    checks.append(
+        ShapeCheck(
+            "table3/vectorization-unlocks-precision",
+            "vectorized min:full gain large, unvectorized small",
+            vec[3] / vec[1] > 1.3 and unvec[3] / unvec[1] < 1.35,
+            f"vectorized {vec[3] / vec[1]:.2f}x, unvectorized {unvec[3] / unvec[1]:.2f}x",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "table3/checkpoint-two-thirds",
+            "min/mixed checkpoints are 2/3 of full",
+            abs(ck[1] / ck[3] - 2 / 3) < 0.01 and ck[1] == ck[2],
+            f"ratio {ck[1] / ck[3]:.4f}",
+        )
+    )
+
+    # -- Table IV ---------------------------------------------------------
+    t4 = ex.table4_compilers(elems=s["elems"], order=s["order"], steps=s["sst"] // 2)
+    gnu = t4.row_by_label("GNU")
+    intel = t4.row_by_label("Intel")
+    checks.append(
+        ShapeCheck(
+            "table4/gnu-inversion",
+            "GNU single slower than double; Intel normal; doubles similar",
+            gnu[1] > gnu[2] and intel[1] < intel[2] and abs(gnu[2] / intel[2] - 1) < 0.15,
+            f"GNU {gnu[1]:.3g}/{gnu[2]:.3g}, Intel {intel[1]:.3g}/{intel[2]:.3g}",
+        )
+    )
+
+    # -- Table V / VI -------------------------------------------------------
+    t5 = ex.table5_self_architectures(selfr, elems=s["elems"], order=s["order"], steps=s["sst"])
+    for row in t5.rows:
+        checks.append(
+            check_ordering(
+                f"table5/{row[0]}", "single faster than double",
+                {"single": row[3], "double": row[4]}, TABLE5_RUNTIMES[row[0]],
+            )
+        )
+    titan_single = t5.row_by_label("GTX TITAN X")[3]
+    p100_double = t5.row_by_label("Tesla P100")[4]
+    checks.append(
+        ShapeCheck(
+            "table5/generational-divide",
+            "TITAN X single competes with P100 double",
+            titan_single < p100_double * 1.2,
+            f"TITAN X single {titan_single:.3g}s vs P100 double {p100_double:.3g}s",
+        )
+    )
+    t6 = ex.table6_self_energy(selfr, elems=s["elems"], order=s["order"], steps=s["sst"])
+    for row in t6.rows:
+        checks.append(
+            check_ordering(
+                f"table6/{row[0]}", "single energy below double",
+                {"single": row[1], "double": row[2]}, TABLE6_ENERGY[row[0]],
+            )
+        )
+
+    # -- Table VII ----------------------------------------------------------
+    t7 = ex.table7_cost(
+        clamr, selfr, nx=s["nx"], steps=s["steps"],
+        self_elems=s["elems"], self_order=s["order"], self_steps=s["sst"],
+    )
+    clamr_total = t7.row_by_label("CLAMR total")
+    self_total = t7.row_by_label("SELF total")
+    checks.append(
+        ShapeCheck(
+            "table7/savings",
+            "reduced precision saves 10-50% of total cost on both apps",
+            0.1 < 1 - clamr_total[1] / clamr_total[3] < 0.5
+            and 0.1 < 1 - self_total[1] / self_total[3] < 0.4,
+            f"CLAMR {1 - clamr_total[1] / clamr_total[3]:.0%}, SELF {1 - self_total[1] / self_total[3]:.0%}",
+        )
+    )
+
+    # -- Figures --------------------------------------------------------------
+    full = clamr_fig["full"]
+    d_min = difference_metrics(full.slice_precise, clamr_fig["min"].slice_precise)
+    checks.append(
+        ShapeCheck(
+            "fig1/orders-below", FIGURE_CLAIMS["fig1"],
+            d_min.within(3.5),
+            f"min vs full {d_min.orders_below_solution:.1f} orders below the height",
+        )
+    )
+    sig_min = asymmetry_signature(clamr_fig["min"].slice_precise)
+    sig_full = asymmetry_signature(full.slice_precise)
+    checks.append(
+        ShapeCheck(
+            "fig2/asymmetry-amplified", FIGURE_CLAIMS["fig2"],
+            sig_min.max_abs >= sig_full.max_abs and sig_min.relative_max < 1e-4,
+            f"min {sig_min.max_abs:.2e} vs full {sig_full.max_abs:.2e} (relative {sig_min.relative_max:.1e})",
+        )
+    )
+    # the structure comparison is cleanest while the front is still inside
+    # the domain; ~one domain-crossing of steps at the coarse resolution
+    f3 = ex.fig3_precision_resolution(nx_lo=s["fig_nx"] // 2, steps_hint=s["fig_nx"] * 3)
+    tv = {ser.name: float(np.abs(np.diff(ser.y)).sum()) for ser in f3.series}
+    lo_name, hi_name = f3.series[0].name, f3.series[1].name
+    checks.append(
+        ShapeCheck(
+            "fig3/more-structure", FIGURE_CLAIMS["fig3"],
+            tv[hi_name] > tv[lo_name],
+            f"total variation {hi_name} {tv[hi_name]:.3f} vs {lo_name} {tv[lo_name]:.3f}",
+        )
+    )
+    d_self = difference_metrics(selfr["double"].slice_precise, selfr["single"].slice_precise)
+    checks.append(
+        ShapeCheck(
+            "fig4/orders-below", FIGURE_CLAIMS["fig4"],
+            d_self.within(1.5),
+            f"single vs double {d_self.orders_below_solution:.1f} orders below the anomaly",
+        )
+    )
+    sig_s = asymmetry_signature(selfr["single"].slice_precise)
+    sig_d = asymmetry_signature(selfr["double"].slice_precise)
+    checks.append(
+        ShapeCheck(
+            "fig5/double-symmetric", FIGURE_CLAIMS["fig5"],
+            sig_d.max_abs <= sig_s.max_abs and sig_d.relative_max < 1e-8,
+            f"double {sig_d.max_abs:.2e} vs single {sig_s.max_abs:.2e}",
+        )
+    )
+    return checks

@@ -1,0 +1,51 @@
+"""Simulated architectures: device specs, roofline, energy, compilers.
+
+The paper ran on real Haswell/Broadwell CPUs and K40m/K6000/P100/TITAN X
+GPUs.  We do not have that hardware, so — per the reproduction's
+substitution rule — this subpackage models it:
+
+* :mod:`repro.machine.specs` — a database of each device's *published*
+  single/double-precision peak Gflop/s, memory bandwidth, and TDP (the same
+  nominal specifications the paper itself used for its power estimates);
+* :mod:`repro.machine.counters` — instrumentation that counts the floating
+  point operations and bytes moved by the mini-app kernels as they run;
+* :mod:`repro.machine.roofline` — converts counted work + a device spec
+  into a predicted runtime via the roofline model, with SIMD-width and
+  precision-throughput effects;
+* :mod:`repro.machine.energy` — the paper's own energy arithmetic
+  ("multiplying nominal power specifications by runtimes");
+* :mod:`repro.machine.compiler` — GNU/Intel compiler models reproducing the
+  Table IV anomaly (GNU scalar single precision slower than double).
+
+The model's purpose is the *shape* of Tables I/II/IV/V/VI — orderings and
+approximate speedup factors — not absolute seconds.
+"""
+
+from repro.machine.specs import DeviceSpec, DEVICES, device, DeviceKind
+from repro.machine.counters import KernelCounters, CountedWorkload, WorkloadProfile
+from repro.machine.roofline import RooflineModel, predict_runtime, arithmetic_intensity
+from repro.machine.energy import estimate_energy, EnergyEstimate
+from repro.machine.opcost import OperationCosts, DEFAULT_COSTS, estimate_energy_bottomup
+from repro.machine.compiler import CompilerModel, GNU, INTEL, scalar_kernel_time
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "device",
+    "DeviceKind",
+    "KernelCounters",
+    "CountedWorkload",
+    "WorkloadProfile",
+    "RooflineModel",
+    "predict_runtime",
+    "arithmetic_intensity",
+    "estimate_energy",
+    "EnergyEstimate",
+    "OperationCosts",
+    "DEFAULT_COSTS",
+    "estimate_energy_bottomup",
+    "CompilerModel",
+    "GNU",
+    "INTEL",
+    "scalar_kernel_time",
+]

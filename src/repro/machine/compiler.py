@@ -1,0 +1,149 @@
+"""Compiler models for the Table IV anomaly.
+
+Table IV reports non-vectorized SELF runtimes and finds that **with the GNU
+compiler, single precision ran *slower* than double** (304.1 s vs 261.7 s),
+while the Intel compiler showed the expected ordering (185.9 s vs 252.9 s)
+— and the two compilers were nearly equal at double precision.  The paper
+flags the GNU inversion as unexplained ("beyond the scope of this paper").
+
+We encode the standard mechanisms behind such behaviour, clearly labelled a
+*model*:
+
+* **Scalar pipes are precision-blind.**  On one FPU lane, float32 and
+  float64 adds/muls have the same latency and throughput; single
+  precision's arithmetic advantage only exists across SIMD lanes.  So a
+  genuinely scalar build should show single ≈ double on the compute axis —
+  any difference comes from the two effects below.
+* **GNU: promotion/conversion traffic.**  gfortran 4.9-era scalar code
+  promotes single-precision subexpressions to double (double literals,
+  intrinsics evaluated in double) and converts back, inserting real
+  ``cvtss2sd``/``cvtsd2ss`` instructions.  The conversion traffic exceeds
+  the (zero) scalar-arithmetic saving, making the single build a net loss:
+  the inversion.
+* **Intel: single-precision-friendly auto-vectorization.**  ifort
+  auto-vectorizes at default optimization even when the *source* is not
+  SIMD-annotated ("non-vectorized" in the paper means no manual SIMD work).
+  Its cost model accepts more SP loops than DP loops (twice the lanes for
+  the same register pressure), so the single build gains where the double
+  build largely does not — Intel single pulls ahead while Intel double
+  stays near GNU double.
+
+:class:`CompilerModel` exposes these as per-compiler knobs; the shipped
+``GNU``/``INTEL`` constants are calibrated so the *shape* of Table IV (the
+sign of single-vs-double per compiler, near-parity at double, and the
+approximate ratios 304:262 and 186:253) is reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.counters import WorkloadProfile
+from repro.machine.specs import DeviceSpec
+
+__all__ = ["CompilerModel", "GNU", "INTEL", "scalar_kernel_time"]
+
+
+@dataclass(frozen=True)
+class CompilerModel:
+    """A compiler's scalar code-generation profile.
+
+    Attributes
+    ----------
+    name:
+        Display name ("GNU", "Intel").
+    scalar_efficiency:
+        Fraction of single-lane peak the generated scalar code achieves
+        for double-precision arithmetic.
+    promotion_fraction_single:
+        For *single-precision* builds: fraction of operations whose
+        operands the compiler promotes to double and back, each charging
+        ``conversion_cost`` extra operation-equivalents.  Zero for double
+        builds (nothing to promote to).
+    conversion_cost:
+        Extra operation-equivalents per promoted operation (the two cvt
+        instructions plus the scheduling holes they open).
+    auto_simd_single / auto_simd_double:
+        Residual speedup from auto-vectorization of nominally scalar code,
+        per precision (1.0 = none).  Intel's single-precision factor is the
+        large one; see module docstring.
+    """
+
+    name: str
+    scalar_efficiency: float
+    promotion_fraction_single: float = 0.0
+    conversion_cost: float = 0.0
+    auto_simd_single: float = 1.0
+    auto_simd_double: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scalar_efficiency <= 1.0:
+            raise ValueError("scalar_efficiency must be in (0, 1]")
+        if not 0.0 <= self.promotion_fraction_single <= 1.0:
+            raise ValueError("promotion_fraction_single must be in [0, 1]")
+        if self.conversion_cost < 0:
+            raise ValueError("conversion_cost must be non-negative")
+        if self.auto_simd_single < 1.0 or self.auto_simd_double < 1.0:
+            raise ValueError("auto_simd factors must be >= 1")
+
+    def effective_flops(self, profile: WorkloadProfile) -> float:
+        """Operation count after charging promotion/conversion overhead."""
+        flops = float(profile.flops)
+        if profile.compute_itemsize <= 4:
+            flops *= 1.0 + self.promotion_fraction_single * self.conversion_cost
+        return flops
+
+    def scalar_gflops(self, device: DeviceSpec, itemsize: int) -> float:
+        """Effective arithmetic rate for a scalar build, Gflop/s.
+
+        One SIMD lane's share of the device's DP peak (scalar float32 and
+        float64 run at the same lane rate), times this compiler's
+        efficiency, times its per-precision residual auto-SIMD factor.
+        """
+        lane_peak = device.dp_gflops / device.simd_dp_lanes
+        simd = self.auto_simd_single if itemsize <= 4 else self.auto_simd_double
+        return lane_peak * self.scalar_efficiency * simd
+
+    def runtime(
+        self,
+        profile: WorkloadProfile,
+        device: DeviceSpec,
+        bandwidth_efficiency: float = 0.7,
+    ) -> float:
+        """Scalar-build runtime: max(arithmetic, memory) + overhead."""
+        gflops = self.scalar_gflops(device, profile.compute_itemsize)
+        compute_time = self.effective_flops(profile) / (gflops * 1e9)
+        bandwidth = device.bandwidth_gbs * bandwidth_efficiency
+        memory_time = (profile.state_bytes + profile.fixed_bytes) / (bandwidth * 1e9)
+        return max(compute_time, memory_time) + device.launch_overhead_s
+
+
+#: gfortran 4.9-era scalar profile: promotion/conversion penalty on single
+#: precision, no auto-vectorization at the flags used.  Calibrated to the
+#: Table IV GNU ratio 304.1/261.7 ≈ 1.16.
+GNU = CompilerModel(
+    name="GNU",
+    scalar_efficiency=0.55,
+    promotion_fraction_single=0.25,
+    conversion_cost=0.65,
+)
+
+#: ifort 17 scalar profile: no spurious promotions; auto-vectorization that
+#: accepts single-precision loops far more often than double.  Calibrated to
+#: Intel double ≈ GNU double (252.9 vs 261.7) and Intel single:double
+#: ≈ 185.9:252.9 ≈ 1:1.36.
+INTEL = CompilerModel(
+    name="Intel",
+    scalar_efficiency=0.55,
+    auto_simd_single=1.41,
+    auto_simd_double=1.035,
+)
+
+
+def scalar_kernel_time(
+    profile: WorkloadProfile,
+    device: DeviceSpec,
+    compiler: CompilerModel,
+) -> float:
+    """Convenience wrapper matching :func:`repro.machine.roofline.predict_runtime`."""
+    return compiler.runtime(profile, device)

@@ -1,0 +1,191 @@
+"""Operation/byte counting instrumentation.
+
+The roofline model needs, per kernel invocation, the floating-point
+operation count and the bytes moved between the state arrays and the
+compute units.  The mini-app kernels report both through a
+:class:`KernelCounters` object they are handed; counting is analytic (the
+kernels know their own stencil arithmetic), not sampled, so counts are
+exact and deterministic.
+
+A :class:`WorkloadProfile` is the frozen summary handed to the machine
+model: total flops, total bytes at the *state* dtype, the resident state
+footprint, and how much of the flop work is vectorizable.  Profiles are
+additive, so a simulation accumulates one per kernel and sums them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelCounters", "CountedWorkload", "WorkloadProfile"]
+
+
+@dataclass
+class KernelCounters:
+    """Mutable tally a kernel updates as it runs.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point operations executed (adds, muls, divs, sqrts each
+        count 1; divides/sqrts are weighted by the caller if desired).
+    state_bytes:
+        Bytes read from or written to persistent state arrays, *at the
+        state dtype in effect* — this is what precision reduction shrinks.
+    compute_bytes:
+        Bytes of local/temporary traffic at the compute dtype.  In mixed
+        mode this stays at 8 bytes/value even though the state is 4.
+    invocations:
+        Number of kernel launches (sets fixed-overhead charges on GPUs).
+    """
+
+    flops: int = 0
+    state_bytes: int = 0
+    compute_bytes: int = 0
+    fixed_bytes: int = 0
+    invocations: int = 0
+
+    def add(
+        self,
+        flops: int = 0,
+        state_bytes: int = 0,
+        compute_bytes: int = 0,
+        fixed_bytes: int = 0,
+    ) -> None:
+        """Accumulate one kernel invocation's work.
+
+        ``fixed_bytes`` is traffic that does *not* scale with the state
+        dtype — integer mesh arrays, neighbor gathers, hash rebuilds.  It
+        is what keeps CPU precision speedups modest (Table I): the float
+        traffic halves, this part does not.
+        """
+        if min(flops, state_bytes, compute_bytes, fixed_bytes) < 0:
+            raise ValueError("counter increments must be non-negative")
+        self.flops += flops
+        self.state_bytes += state_bytes
+        self.compute_bytes += compute_bytes
+        self.fixed_bytes += fixed_bytes
+        self.invocations += 1
+
+    def merge(self, other: "KernelCounters") -> None:
+        self.flops += other.flops
+        self.state_bytes += other.state_bytes
+        self.compute_bytes += other.compute_bytes
+        self.fixed_bytes += other.fixed_bytes
+        self.invocations += other.invocations
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Frozen description of a run's total work, consumed by the roofline.
+
+    Attributes
+    ----------
+    name:
+        Identifier (e.g. ``"clamr/dam_break/min"``).
+    flops:
+        Total floating-point operations.
+    state_bytes:
+        Total bytes of state-array traffic at the state dtype.
+    state_itemsize:
+        Bytes per state value (4 for min/mixed, 8 for full) — determines
+        the arithmetic throughput class and the bandwidth savings.
+    compute_itemsize:
+        Bytes per local value (sets the flop-throughput class: mixed mode
+        computes in double even though it stores single).
+    resident_state_bytes:
+        Peak bytes of live state arrays (the scaling part of the memory
+        columns in Tables I and V).
+    vectorizable_fraction:
+        Fraction of flops in vectorizable loops (Table III's axis); the
+        remainder runs at scalar rate on CPUs.
+    invocations:
+        Total kernel launches (GPU fixed overhead).
+    fixed_bytes:
+        Precision-independent traffic (integer mesh arrays etc.).
+    dense_compute:
+        True for regular dense tensor kernels (spectral elements); lets the
+        roofline credit higher utilization of scarce DP units on
+        SP-oriented consumer GPUs (see RooflineModel docstring).
+    """
+
+    name: str
+    flops: int
+    state_bytes: int
+    state_itemsize: int
+    compute_itemsize: int
+    resident_state_bytes: int
+    vectorizable_fraction: float = 1.0
+    invocations: int = 1
+    fixed_bytes: int = 0
+    dense_compute: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vectorizable_fraction <= 1.0:
+            raise ValueError("vectorizable_fraction must be in [0, 1]")
+        if self.state_itemsize not in (2, 4, 8, 16):
+            raise ValueError(f"implausible state_itemsize {self.state_itemsize}")
+        for attr in ("flops", "state_bytes", "resident_state_bytes", "invocations"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+    def scaled(self, factor: float) -> "WorkloadProfile":
+        """A profile for ``factor`` times the work (e.g. more timesteps)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return WorkloadProfile(
+            name=self.name,
+            flops=int(self.flops * factor),
+            state_bytes=int(self.state_bytes * factor),
+            state_itemsize=self.state_itemsize,
+            compute_itemsize=self.compute_itemsize,
+            resident_state_bytes=self.resident_state_bytes,
+            vectorizable_fraction=self.vectorizable_fraction,
+            invocations=max(1, int(self.invocations * factor)),
+            fixed_bytes=int(self.fixed_bytes * factor),
+            dense_compute=self.dense_compute,
+        )
+
+    def scaled_resident(self, factor: float) -> "WorkloadProfile":
+        """A profile whose *footprint* also scales (a bigger problem, not
+        merely more timesteps): everything in :meth:`scaled` plus
+        ``resident_state_bytes``."""
+        out = self.scaled(factor)
+        return WorkloadProfile(
+            name=out.name,
+            flops=out.flops,
+            state_bytes=out.state_bytes,
+            state_itemsize=out.state_itemsize,
+            compute_itemsize=out.compute_itemsize,
+            resident_state_bytes=int(self.resident_state_bytes * factor),
+            vectorizable_fraction=out.vectorizable_fraction,
+            invocations=out.invocations,
+            fixed_bytes=out.fixed_bytes,
+            dense_compute=out.dense_compute,
+        )
+
+
+@dataclass
+class CountedWorkload:
+    """Builder that turns live :class:`KernelCounters` into a profile."""
+
+    name: str
+    state_itemsize: int
+    compute_itemsize: int
+    resident_state_bytes: int = 0
+    vectorizable_fraction: float = 1.0
+    counters: KernelCounters = field(default_factory=KernelCounters)
+
+    def profile(self) -> WorkloadProfile:
+        """Freeze the current counters into a :class:`WorkloadProfile`."""
+        return WorkloadProfile(
+            name=self.name,
+            flops=self.counters.flops,
+            state_bytes=self.counters.state_bytes,
+            state_itemsize=self.state_itemsize,
+            compute_itemsize=self.compute_itemsize,
+            resident_state_bytes=self.resident_state_bytes,
+            vectorizable_fraction=self.vectorizable_fraction,
+            invocations=max(1, self.counters.invocations),
+            fixed_bytes=self.counters.fixed_bytes,
+        )

@@ -1,0 +1,60 @@
+"""Energy estimation — the paper's own arithmetic.
+
+Tables II and VI are produced by "multiplying nominal power specifications
+by runtimes" (§V-A): energy (J) = TDP (W) × runtime (s).  We reproduce the
+same estimate, optionally with an activity factor for callers who want to
+model a device drawing less than TDP (the paper uses 1.0, i.e. nominal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.specs import DeviceSpec
+
+__all__ = ["EnergyEstimate", "estimate_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy estimate for one run on one device."""
+
+    device: str
+    runtime_s: float
+    power_watts: float
+    energy_joules: float
+
+    @property
+    def energy_kwh(self) -> float:
+        """Kilowatt-hours, the unit electricity is billed in."""
+        return self.energy_joules / 3.6e6
+
+
+def estimate_energy(
+    device: DeviceSpec,
+    runtime_s: float,
+    activity_factor: float = 1.0,
+) -> EnergyEstimate:
+    """Nominal-power energy estimate: TDP × activity × runtime.
+
+    Parameters
+    ----------
+    device:
+        The device spec providing the TDP.
+    runtime_s:
+        Run duration in seconds.
+    activity_factor:
+        Fraction of TDP actually drawn, in (0, 1].  The paper's tables use
+        the nominal specification, i.e. 1.0.
+    """
+    if runtime_s < 0:
+        raise ValueError("runtime_s must be non-negative")
+    if not 0.0 < activity_factor <= 1.0:
+        raise ValueError("activity_factor must be in (0, 1]")
+    power = device.tdp_watts * activity_factor
+    return EnergyEstimate(
+        device=device.name,
+        runtime_s=runtime_s,
+        power_watts=power,
+        energy_joules=power * runtime_s,
+    )

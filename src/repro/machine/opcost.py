@@ -1,0 +1,100 @@
+"""Bottom-up (per-operation) energy model — a check on TDP × runtime.
+
+The paper estimates energy as nominal power × runtime (Tables II/VI),
+which credits reduced precision only through the *runtime* it saves.  But
+the physical savings are larger: a float32 operation moves half the bits
+through the datapath and half the bytes through the memory system.  This
+module prices energy from the bottom up, with per-operation costs in the
+ballpark of Horowitz's ISSCC 2014 numbers (scaled to the 28/16 nm
+generations of the paper's devices):
+
+====================  ===========================
+double-precision op    ~20 pJ
+single-precision op    ~10 pJ
+DRAM traffic           ~15 pJ/byte (≈1 nJ/8B word)
+static/leakage         ~30% of TDP while running
+====================  ===========================
+
+:func:`estimate_energy_bottomup` consumes the same
+:class:`WorkloadProfile` the roofline does, so the two energy estimates
+can be compared on identical inputs (``bench_ablation_energy``).  The
+point is the *shape* difference: bottom-up, the min:full energy ratio
+beats the runtime ratio, because energy-per-op savings stack on top of
+time savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.counters import WorkloadProfile
+from repro.machine.energy import EnergyEstimate
+from repro.machine.specs import DeviceKind, DeviceSpec
+
+__all__ = ["OperationCosts", "DEFAULT_COSTS", "estimate_energy_bottomup"]
+
+
+@dataclass(frozen=True)
+class OperationCosts:
+    """Per-operation energy prices (picojoules)."""
+
+    pj_per_flop_dp: float = 20.0
+    pj_per_flop_sp: float = 10.0
+    pj_per_flop_hp: float = 6.0
+    pj_per_dram_byte: float = 15.0
+    static_fraction_of_tdp: float = 0.30
+
+    def __post_init__(self) -> None:
+        for name in ("pj_per_flop_dp", "pj_per_flop_sp", "pj_per_flop_hp", "pj_per_dram_byte"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.static_fraction_of_tdp < 1.0:
+            raise ValueError("static_fraction_of_tdp must be in [0, 1)")
+
+    def pj_per_flop(self, compute_itemsize: int) -> float:
+        if compute_itemsize >= 8:
+            return self.pj_per_flop_dp
+        if compute_itemsize >= 4:
+            return self.pj_per_flop_sp
+        return self.pj_per_flop_hp
+
+
+#: Horowitz-ballpark defaults used by the ablation.
+DEFAULT_COSTS = OperationCosts()
+
+
+def estimate_energy_bottomup(
+    profile: WorkloadProfile,
+    device: DeviceSpec,
+    runtime_s: float,
+    costs: OperationCosts = DEFAULT_COSTS,
+) -> EnergyEstimate:
+    """Dynamic (ops + traffic) plus static (leakage × runtime) energy.
+
+    Parameters
+    ----------
+    profile:
+        The counted workload; flops are priced at the *compute* itemsize,
+        memory traffic at the actual byte counts (state + fixed).
+    device:
+        Supplies the TDP for the static term.
+    runtime_s:
+        Runtime the workload actually took on this device (typically a
+        roofline prediction) — the static term's integration window.
+    """
+    if runtime_s < 0:
+        raise ValueError("runtime_s must be non-negative")
+    flop_energy = profile.flops * costs.pj_per_flop(profile.compute_itemsize) * 1e-12
+    traffic = profile.state_bytes + profile.fixed_bytes
+    memory_energy = traffic * costs.pj_per_dram_byte * 1e-12
+    static_power = device.tdp_watts * costs.static_fraction_of_tdp
+    static_energy = static_power * runtime_s
+    total = flop_energy + memory_energy + static_energy
+    # effective average power for the report
+    power = total / runtime_s if runtime_s > 0 else static_power
+    return EnergyEstimate(
+        device=device.name,
+        runtime_s=runtime_s,
+        power_watts=power,
+        energy_joules=total,
+    )

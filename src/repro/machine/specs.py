@@ -1,0 +1,179 @@
+"""Device specification database.
+
+Entries carry the *published* nominal numbers for each device the paper
+tested — peak single- and double-precision Gflop/s, memory bandwidth, and
+TDP.  These are exactly the "nominal power specifications" the paper used
+for its own energy estimates (§V-A, Tables II and VI), so the energy path
+here is the authors' arithmetic, not an invention of the reproduction.
+
+Key ratios that drive the paper's results:
+
+* the **SP:DP throughput ratio** — 2:1 on the CPUs and the compute GPUs
+  (K40m, K6000, P100), but **32:1 on the GeForce GTX TITAN X** (Maxwell),
+  which is why the TITAN X shows a 3×–4.5× single-precision speedup while
+  everything else shows 20–50%;
+* **memory bandwidth**, which limits these stencil/spectral workloads more
+  than flops — halving the datum size halves the traffic, the paper's
+  stated explanation for most of the gains ("speedups shown are primarily
+  due to improved data motion").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["DeviceKind", "DeviceSpec", "DEVICES", "device"]
+
+
+class DeviceKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Published nominal characteristics of one device.
+
+    Attributes
+    ----------
+    name:
+        Display name as used in the paper's tables.
+    kind:
+        CPU or GPU.
+    sp_gflops / dp_gflops:
+        Peak single/double-precision throughput (Gflop/s).
+    bandwidth_gbs:
+        Peak memory bandwidth (GB/s).
+    tdp_watts:
+        Thermal design power, the paper's nominal power figure.
+    simd_dp_lanes:
+        Double-precision SIMD lanes per core-equivalent (CPUs: AVX2 = 4
+        doubles; GPUs: 1 — parallelism is already in the peak numbers).
+    launch_overhead_s:
+        Fixed per-run overhead (kernel launches, transfers).  GPUs pay more;
+        this is what keeps tiny problems from showing ideal speedups.
+    base_memory_gb:
+        Resident footprint of the runtime/driver stack on this device class,
+        used by the memory columns of Tables I and V (the large constant
+        part of "Memory Usage" that does not scale with precision).
+    """
+
+    name: str
+    kind: DeviceKind
+    sp_gflops: float
+    dp_gflops: float
+    bandwidth_gbs: float
+    tdp_watts: float
+    simd_dp_lanes: int = 1
+    launch_overhead_s: float = 0.0
+    base_memory_gb: float = 0.0
+
+    def peak_gflops(self, itemsize: int) -> float:
+        """Peak throughput for a datum size (bytes): 4 → SP, 8 → DP.
+
+        2-byte (half) data runs at SP rate on these generations — none of
+        the paper's devices had native fp16 arithmetic pipes exposed.
+        """
+        if itemsize >= 8:
+            return self.dp_gflops
+        return self.sp_gflops
+
+    @property
+    def sp_dp_ratio(self) -> float:
+        """The SP:DP throughput ratio (32.0 for the TITAN X)."""
+        return self.sp_gflops / self.dp_gflops
+
+
+#: Devices from the paper's §IV-E, with published nominal specs.
+DEVICES: Mapping[str, DeviceSpec] = {
+    # Intel Xeon E5-2660 v3 (Haswell, 10C/2.6 GHz): AVX2+FMA →
+    # 10c × 2.6 GHz × 16 DP flops = 416 DP Gflop/s, 2× for SP; 68 GB/s DDR4-2133.
+    "haswell": DeviceSpec(
+        name="Haswell",
+        kind=DeviceKind.CPU,
+        sp_gflops=832.0,
+        dp_gflops=416.0,
+        bandwidth_gbs=68.0,
+        tdp_watts=105.0,
+        simd_dp_lanes=4,
+        launch_overhead_s=0.05,
+        base_memory_gb=1.45,
+    ),
+    # Intel Xeon E5-2695 v4 (Broadwell, 18C/2.1 GHz): 18c × 2.1 × 16 = 604.8 DP.
+    "broadwell": DeviceSpec(
+        name="Broadwell",
+        kind=DeviceKind.CPU,
+        sp_gflops=1209.6,
+        dp_gflops=604.8,
+        bandwidth_gbs=76.8,
+        tdp_watts=120.0,
+        simd_dp_lanes=4,
+        launch_overhead_s=0.05,
+        base_memory_gb=1.45,
+    ),
+    # NVIDIA Tesla K40m (Kepler GK110B): 4.29 SP / 1.43 DP Tflop/s, 288 GB/s.
+    "k40m": DeviceSpec(
+        name="Tesla K40m",
+        kind=DeviceKind.GPU,
+        sp_gflops=4290.0,
+        dp_gflops=1430.0,
+        bandwidth_gbs=288.0,
+        tdp_watts=235.0,
+        launch_overhead_s=0.6,
+        base_memory_gb=0.42,
+    ),
+    # NVIDIA Quadro K6000 (Kepler GK110): 5.2 SP / 1.73 DP Tflop/s, 288 GB/s.
+    "k6000": DeviceSpec(
+        name="Quadro K6000",
+        kind=DeviceKind.GPU,
+        sp_gflops=5196.0,
+        dp_gflops=1732.0,
+        bandwidth_gbs=288.0,
+        tdp_watts=225.0,
+        launch_overhead_s=0.5,
+        base_memory_gb=0.42,
+    ),
+    # NVIDIA Tesla P100 SXM2-16GB (Pascal GP100): 10.6 SP / 5.3 DP, 732 GB/s.
+    "p100": DeviceSpec(
+        name="Tesla P100",
+        kind=DeviceKind.GPU,
+        sp_gflops=10600.0,
+        dp_gflops=5300.0,
+        bandwidth_gbs=732.0,
+        tdp_watts=250.0,
+        launch_overhead_s=0.4,
+        base_memory_gb=0.42,
+    ),
+    # NVIDIA GeForce GTX TITAN X (Maxwell GM200): 6.6 SP / 0.206 DP — the
+    # 32:1 consumer card that headlines Tables I and V.
+    "titanx": DeviceSpec(
+        name="GTX TITAN X",
+        kind=DeviceKind.GPU,
+        sp_gflops=6605.0,
+        dp_gflops=206.4,
+        bandwidth_gbs=336.5,
+        tdp_watts=250.0,
+        launch_overhead_s=0.4,
+        base_memory_gb=0.42,
+    ),
+}
+
+#: Device order as it appears in the paper's CLAMR tables (I, II).
+CLAMR_DEVICE_ORDER = ("haswell", "broadwell", "k40m", "k6000", "titanx")
+#: Device order as it appears in the paper's SELF tables (V, VI).
+SELF_DEVICE_ORDER = ("haswell", "broadwell", "k40m", "k6000", "p100", "titanx")
+
+
+def device(key: str) -> DeviceSpec:
+    """Look up a device by key (case-insensitive), with a helpful error."""
+    normalized = key.strip().lower()
+    try:
+        return DEVICES[normalized]
+    except KeyError:
+        valid = ", ".join(sorted(DEVICES))
+        raise KeyError(f"unknown device {key!r}; known devices: {valid}") from None

@@ -1,0 +1,204 @@
+"""Fidelity-analysis toolkit for the paper's figures.
+
+The paper never compares raw fields; every fidelity claim is made on a
+*line-out* — a 1-D cut through the center of the domain — and two derived
+diagnostics:
+
+* **precision differences** (Figs. 1 and 4): pointwise differences between
+  runs at different precision levels along the line-out, reported relative
+  to the solution magnitude ("five to six orders of magnitude less than the
+  magnitude of the height");
+* **mirror asymmetry** (Figs. 2 and 5): for an ideally symmetric problem,
+  the difference between the solution at mirrored positions about the
+  domain center.  Reduced precision *amplifies* asymmetry — the paper's most
+  interesting correctness observation.
+
+All outputs are cast to the policy's graphics dtype (float32), matching the
+paper's rule that plotting never needs more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "line_out",
+    "mirror_asymmetry",
+    "asymmetry_signature",
+    "difference_metrics",
+    "digits_of_agreement",
+    "DifferenceReport",
+]
+
+
+def line_out(field: np.ndarray, axis: int = 0, index: int | None = None) -> np.ndarray:
+    """Extract a 1-D cut through the center of a 2-D or 3-D field.
+
+    Parameters
+    ----------
+    field:
+        2-D or 3-D array (a resampled uniform view of the solution).
+    axis:
+        The axis the line-out *runs along*; all other axes are fixed at
+        their center index (or ``index`` where given).
+    index:
+        Optional fixed index used for the non-cut axes instead of the center.
+
+    Returns
+    -------
+    1-D array of the field values along the cut, in float32 (graphics
+    precision).
+    """
+    field = np.asarray(field)
+    if field.ndim not in (1, 2, 3):
+        raise ValueError(f"line_out expects a 1-D, 2-D or 3-D field, got ndim={field.ndim}")
+    if not -field.ndim <= axis < field.ndim:
+        raise ValueError(f"axis {axis} out of range for ndim={field.ndim}")
+    axis %= field.ndim
+    slicer: list[object] = []
+    for dim in range(field.ndim):
+        if dim == axis:
+            slicer.append(slice(None))
+        else:
+            center = field.shape[dim] // 2 if index is None else index
+            if not 0 <= center < field.shape[dim]:
+                raise ValueError(f"index {center} out of range for axis {dim} of length {field.shape[dim]}")
+            slicer.append(center)
+    return field[tuple(slicer)].astype(np.float32)
+
+
+def mirror_asymmetry(values: np.ndarray) -> np.ndarray:
+    """Mirror-difference diagnostic of Figs. 2 and 5.
+
+    "Extending from the left end all the way to the center of the line-out,
+    we plot the difference in the numerical solution at every point, from
+    that on the other half of the line-out, equidistant from the center."
+
+    For a line-out ``v`` of length n this returns
+    ``v[i] - v[n-1-i]`` for ``i`` in the left half.  A perfectly symmetric
+    solution yields all zeros.  The differencing is done in float64 so the
+    diagnostic itself does not add rounding noise, then reported in
+    graphics precision.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError("mirror_asymmetry expects a 1-D line-out")
+    half = v.size // 2
+    left = v[:half]
+    right = v[::-1][:half]
+    return (left - right).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class AsymmetrySignature:
+    """Summary statistics of a mirror-asymmetry profile.
+
+    ``bias_fraction`` is the fraction of nonzero asymmetry samples that are
+    positive — the quantity behind the paper's Fig. 5 observation that
+    double-precision asymmetry "assumes almost equal number of positive and
+    negative values" (bias ≈ 0.5) while single precision is "mostly
+    positive" (bias well above 0.5) in their run.
+    """
+
+    max_abs: float
+    rms: float
+    bias_fraction: float
+    relative_to: float
+
+    @property
+    def relative_max(self) -> float:
+        """Peak asymmetry relative to the solution scale (0 if scale is 0)."""
+        if self.relative_to == 0.0:
+            return 0.0
+        return self.max_abs / self.relative_to
+
+
+def asymmetry_signature(values: np.ndarray) -> AsymmetrySignature:
+    """Compute the :class:`AsymmetrySignature` of a line-out."""
+    v = np.asarray(values, dtype=np.float64)
+    asym = mirror_asymmetry(v).astype(np.float64)
+    nonzero = asym[asym != 0.0]
+    bias = float(np.mean(nonzero > 0.0)) if nonzero.size else 0.5
+    scale = float(np.max(np.abs(v))) if v.size else 0.0
+    max_abs = float(np.max(np.abs(asym))) if asym.size else 0.0
+    rms = float(np.sqrt(np.mean(asym**2))) if asym.size else 0.0
+    return AsymmetrySignature(max_abs=max_abs, rms=rms, bias_fraction=bias, relative_to=scale)
+
+
+@dataclass(frozen=True)
+class DifferenceReport:
+    """Pointwise difference between two precision-level runs on a line-out.
+
+    Attributes
+    ----------
+    max_abs:
+        Peak |a - b|.
+    rms:
+        Root-mean-square difference.
+    solution_scale:
+        max(|a|) — the denominator of the paper's "orders of magnitude
+        less than the magnitude of the height" statements.
+    orders_below_solution:
+        log10(solution_scale / max_abs); the paper reports ≥ 5–6 for CLAMR
+        (Fig. 1) and ≈ 2 for SELF (Fig. 4).  ``inf`` for identical inputs.
+    """
+
+    max_abs: float
+    rms: float
+    solution_scale: float
+    orders_below_solution: float
+
+    def within(self, min_orders: float) -> bool:
+        """True when the difference sits at least ``min_orders`` below the solution."""
+        return self.orders_below_solution >= min_orders
+
+
+def difference_metrics(reference: np.ndarray, other: np.ndarray) -> DifferenceReport:
+    """Difference metrics between two runs of the same problem.
+
+    Both inputs are promoted to float64 before differencing, so the metric
+    measures the *runs'* divergence, not the diagnostic's rounding.
+    """
+    a = np.asarray(reference, dtype=np.float64)
+    b = np.asarray(other, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = a - b
+    max_abs = float(np.max(np.abs(diff))) if diff.size else 0.0
+    rms = float(np.sqrt(np.mean(diff**2))) if diff.size else 0.0
+    scale = float(np.max(np.abs(a))) if a.size else 0.0
+    if max_abs == 0.0:
+        orders = float("inf")
+    elif scale == 0.0:
+        orders = float("-inf")
+    else:
+        orders = float(np.log10(scale / max_abs))
+    return DifferenceReport(max_abs=max_abs, rms=rms, solution_scale=scale, orders_below_solution=orders)
+
+
+def digits_of_agreement(a: np.ndarray, b: np.ndarray) -> float:
+    """Median number of agreeing decimal digits between two fields.
+
+    The §III-C literature (Robey, Demmel-Nguyen) quotes global-sum accuracy
+    in "digits of precision" (7 digits naive vs 15 reproducible); this is
+    the matching field-level metric.  For each element,
+    ``-log10(|a-b| / |a|)`` (clipped to [0, 17]); elements where both are
+    zero count as 17 (full agreement).
+    """
+    x = np.asarray(a, dtype=np.float64).ravel()
+    y = np.asarray(b, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size == 0:
+        return 17.0
+    diff = np.abs(x - y)
+    scale = np.abs(x)
+    digits = np.full(x.shape, 17.0)
+    nonzero_scale = scale > 0.0
+    disagree = nonzero_scale & (diff > 0.0)
+    digits[disagree] = np.clip(-np.log10(diff[disagree] / scale[disagree]), 0.0, 17.0)
+    # zero reference but nonzero difference: no agreement at all
+    digits[(~nonzero_scale) & (diff > 0.0)] = 0.0
+    return float(np.median(digits))

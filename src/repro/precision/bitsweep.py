@@ -1,0 +1,160 @@
+"""Bit-level precision sweeps: "how many mantissa bits does this need?"
+
+CRAFT's fine-grained analysis (paper ref [17], the source of CLAMR's
+precision modes) answers a bit-level question: for each datum, how many
+mantissa bits can be dropped before the output degrades?  This module
+provides the sweep machinery for that question against *any* simulation
+the caller can wrap in a run function:
+
+* :func:`sweep_mantissa_bits` — run the application once per candidate
+  width (state arrays quantized through
+  :func:`~repro.precision.emulation.truncate_mantissa` each step, or
+  however the caller's runner applies the width), collect an
+  error-vs-bits curve;
+* :func:`minimum_safe_bits` — binary-search the smallest width whose
+  error stays under a bound (monotonicity is checked, not assumed — a
+  non-monotone curve is reported rather than silently bisected);
+* :class:`BitSweepResult` — the curve plus the derived recommendation,
+  renderable into the harness's :class:`~repro.harness.report.Table`.
+
+The CLAMR-specific runner lives in ``examples/bit_sweep.py`` and the
+``bench_ablation_half`` benchmark; this module stays application-neutral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["BitSweepResult", "sweep_mantissa_bits", "minimum_safe_bits"]
+
+#: the IEEE ladder plus the in-between widths a custom format could use
+DEFAULT_WIDTHS = (7, 10, 13, 16, 19, 23, 29, 36, 44, 52)
+
+
+@dataclass(frozen=True)
+class BitSweepResult:
+    """An error-vs-mantissa-bits curve with its derived recommendation.
+
+    Attributes
+    ----------
+    widths:
+        Swept mantissa widths, ascending.
+    errors:
+        Measured error per width (same order).
+    error_bound:
+        The acceptance bound used for the recommendation (None if the
+        sweep was run without one).
+    recommended_bits:
+        Smallest swept width meeting the bound; None when none does or no
+        bound was given.
+    monotone:
+        Whether error was non-increasing in width across the sweep —
+        when False, trust the full curve, not the single recommendation.
+    """
+
+    widths: tuple[int, ...]
+    errors: tuple[float, ...]
+    error_bound: float | None = None
+    recommended_bits: int | None = None
+    monotone: bool = True
+
+    def to_rows(self) -> list[list[object]]:
+        """Rows for a harness Table: width, error, meets-bound flag."""
+        rows: list[list[object]] = []
+        for w, e in zip(self.widths, self.errors):
+            meets = "" if self.error_bound is None else ("yes" if e <= self.error_bound else "no")
+            rows.append([w, e, meets])
+        return rows
+
+
+def sweep_mantissa_bits(
+    run: Callable[[int], float],
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    error_bound: float | None = None,
+) -> BitSweepResult:
+    """Evaluate ``run(width) -> error`` over a ladder of mantissa widths.
+
+    Parameters
+    ----------
+    run:
+        Maps a mantissa width (0..52) to a non-negative error against the
+        caller's reference.  The caller decides what "running at width w"
+        means — typically quantizing state arrays through
+        ``truncate_mantissa(_, w)`` every step.
+    widths:
+        Candidate widths; duplicates are removed, order normalized.
+    error_bound:
+        Optional acceptance bound used to derive ``recommended_bits``.
+    """
+    widths = tuple(sorted(set(int(w) for w in widths)))
+    if not widths:
+        raise ValueError("need at least one width to sweep")
+    if any(not 0 <= w <= 52 for w in widths):
+        raise ValueError("widths must lie in [0, 52]")
+    errors = []
+    for w in widths:
+        e = float(run(w))
+        if not np.isfinite(e) or e < 0:
+            raise ValueError(f"run({w}) returned invalid error {e!r}")
+        errors.append(e)
+    monotone = all(errors[i] >= errors[i + 1] - 1e-300 for i in range(len(errors) - 1))
+    recommended = None
+    if error_bound is not None:
+        for w, e in zip(widths, errors):
+            if e <= error_bound:
+                recommended = w
+                break
+    return BitSweepResult(
+        widths=widths,
+        errors=tuple(errors),
+        error_bound=error_bound,
+        recommended_bits=recommended,
+        monotone=monotone,
+    )
+
+
+def minimum_safe_bits(
+    run: Callable[[int], float],
+    error_bound: float,
+    lo: int = 0,
+    hi: int = 52,
+    max_evaluations: int = 12,
+) -> int:
+    """Binary-search the smallest width with ``run(width) <= error_bound``.
+
+    Assumes error is non-increasing in width *within the searched range*;
+    the endpoints are verified first (run(hi) must meet the bound, and if
+    run(lo) already does the answer is lo), so a violated assumption
+    surfaces as a RuntimeError rather than a wrong answer.
+    """
+    if not 0 <= lo <= hi <= 52:
+        raise ValueError("need 0 <= lo <= hi <= 52")
+    if error_bound < 0:
+        raise ValueError("error_bound must be non-negative")
+    evaluations = 0
+
+    def measure(w: int) -> float:
+        nonlocal evaluations
+        if evaluations >= max_evaluations:
+            raise RuntimeError(f"exceeded {max_evaluations} evaluations")
+        evaluations += 1
+        return float(run(w))
+
+    if measure(hi) > error_bound:
+        raise RuntimeError(
+            f"even {hi} mantissa bits exceed the bound {error_bound}; "
+            "the bound is unreachable for this application"
+        )
+    if measure(lo) <= error_bound:
+        return lo
+    # invariant: run(lo) > bound >= run(hi)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if measure(mid) <= error_bound:
+            hi = mid
+        else:
+            lo = mid
+    return hi

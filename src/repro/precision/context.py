@@ -1,0 +1,85 @@
+"""Scoped precision contexts and casting helpers.
+
+The mini-apps read the active :class:`~repro.precision.policy.PrecisionPolicy`
+from a context variable so that library code deep inside a kernel can resolve
+dtypes without threading the policy through every call.  The context is
+task/thread-local (``contextvars``), so concurrent simulations at different
+precisions do not interfere — the moral equivalent of CLAMR's per-build
+compile flags, but selectable at runtime.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+import numpy as np
+
+from repro.precision.policy import (
+    FULL_PRECISION,
+    PrecisionLevel,
+    PrecisionPolicy,
+    level_from_name,
+)
+
+__all__ = ["current_policy", "precision_scope", "cast_state", "cast_compute", "cast_graphics"]
+
+_ACTIVE_POLICY: ContextVar[PrecisionPolicy] = ContextVar("repro_precision_policy", default=FULL_PRECISION)
+
+
+def current_policy() -> PrecisionPolicy:
+    """The policy in effect for the current task (default: full precision)."""
+    return _ACTIVE_POLICY.get()
+
+
+@contextlib.contextmanager
+def precision_scope(policy: PrecisionPolicy | PrecisionLevel | str) -> Iterator[PrecisionPolicy]:
+    """Run a block under a precision policy.
+
+    Accepts a :class:`PrecisionPolicy`, a :class:`PrecisionLevel`, or a level
+    name (``"min"``, ``"mixed"``, ``"full"``, plus the synonyms ``"single"``
+    and ``"double"`` used for SELF).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.precision import precision_scope, current_policy
+    >>> with precision_scope("mixed") as pol:
+    ...     assert current_policy().state_dtype == np.float32
+    ...     assert pol.compute_dtype == np.float64
+    """
+    if not isinstance(policy, PrecisionPolicy):
+        policy = PrecisionPolicy.from_level(level_from_name(policy))
+    token = _ACTIVE_POLICY.set(policy)
+    try:
+        yield policy
+    finally:
+        _ACTIVE_POLICY.reset(token)
+
+
+def cast_state(array: np.ndarray, policy: PrecisionPolicy | None = None) -> np.ndarray:
+    """Cast an array to the state dtype of the given (or active) policy.
+
+    Returns the input unchanged (no copy) when it already has the target
+    dtype — state arrays are large, and the guides' "views, not copies"
+    rule applies.
+    """
+    pol = policy or current_policy()
+    return np.asarray(array, dtype=pol.state_dtype)
+
+
+def cast_compute(array: np.ndarray, policy: PrecisionPolicy | None = None) -> np.ndarray:
+    """Cast an array (or scalar) to the compute dtype of the policy.
+
+    In mixed mode this is the promotion of a float32 state value to a
+    float64 local, the defining move of CLAMR's mixed build.
+    """
+    pol = policy or current_policy()
+    return np.asarray(array, dtype=pol.compute_dtype)
+
+
+def cast_graphics(array: np.ndarray, policy: PrecisionPolicy | None = None) -> np.ndarray:
+    """Cast an array to the graphics dtype (float32 at every level)."""
+    pol = policy or current_policy()
+    return np.asarray(array, dtype=pol.graphics_dtype)

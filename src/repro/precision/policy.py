@@ -1,0 +1,265 @@
+"""Precision levels and policies.
+
+A :class:`PrecisionPolicy` answers one question for every array a mini-app
+allocates: *what dtype should this array use?*  Arrays are classified by
+role, mirroring the partitioning Lam & Hollingsworth's CRAFT analysis
+produced for CLAMR (paper §IV-C):
+
+``state``
+    The large persistent physical state arrays (H, U, V in CLAMR; the
+    conserved-variable tensors in SELF).  These dominate the memory
+    footprint, checkpoint size, and memory bandwidth.
+``compute``
+    Local/temporary values inside kernels: fluxes, half-step values,
+    interpolants.  These set the rounding error of each update.
+``accumulate``
+    Reduction accumulators (global sums, norms, CFL reductions).  The paper
+    (§III-C) singles these out as the most precision-sensitive part of a
+    simulation; a policy may promote them above ``compute``.
+``graphics``
+    Plot/line-out output.  Always single precision, in every mode.
+
+The three named levels used throughout the paper are exposed as module
+constants :data:`MIN_PRECISION`, :data:`MIXED_PRECISION` and
+:data:`FULL_PRECISION`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "ArrayRole",
+    "PrecisionLevel",
+    "PrecisionPolicy",
+    "MIN_PRECISION",
+    "MIXED_PRECISION",
+    "FULL_PRECISION",
+    "HALF_PRECISION",
+    "level_from_name",
+]
+
+
+class ArrayRole(enum.Enum):
+    """Classification of an array by how it participates in the numerics."""
+
+    STATE = "state"
+    COMPUTE = "compute"
+    ACCUMULATE = "accumulate"
+    GRAPHICS = "graphics"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class PrecisionLevel(enum.Enum):
+    """The selectable precision levels of the paper.
+
+    ``MIN``  — single precision throughout ("minimum precision").
+    ``MIXED``— single-precision state arrays, double-precision locals.
+    ``FULL`` — double precision throughout.
+    ``HALF`` — an extension level (paper §VIII "new hardware with many more
+    precision choices"): IEEE binary16 state with single-precision locals.
+    """
+
+    HALF = "half"
+    MIN = "min"
+    MIXED = "mixed"
+    FULL = "full"
+
+    @property
+    def rank(self) -> int:
+        """Ordering from least to most precise; used by the tuner lattice."""
+        order = {
+            PrecisionLevel.HALF: 0,
+            PrecisionLevel.MIN: 1,
+            PrecisionLevel.MIXED: 2,
+            PrecisionLevel.FULL: 3,
+        }
+        return order[self]
+
+    def __lt__(self, other: "PrecisionLevel") -> bool:
+        if not isinstance(other, PrecisionLevel):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __le__(self, other: "PrecisionLevel") -> bool:
+        if not isinstance(other, PrecisionLevel):
+            return NotImplemented
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "PrecisionLevel") -> bool:
+        if not isinstance(other, PrecisionLevel):
+            return NotImplemented
+        return self.rank > other.rank
+
+    def __ge__(self, other: "PrecisionLevel") -> bool:
+        if not isinstance(other, PrecisionLevel):
+            return NotImplemented
+        return self.rank >= other.rank
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def level_from_name(name: str | PrecisionLevel) -> PrecisionLevel:
+    """Parse a precision-level name, accepting the paper's synonyms.
+
+    ``"single"`` maps to ``MIN`` and ``"double"`` to ``FULL`` so that SELF's
+    two-mode vocabulary and CLAMR's three-mode vocabulary both resolve.
+    """
+    if isinstance(name, PrecisionLevel):
+        return name
+    normalized = name.strip().lower()
+    synonyms = {
+        "half": PrecisionLevel.HALF,
+        "fp16": PrecisionLevel.HALF,
+        "min": PrecisionLevel.MIN,
+        "minimum": PrecisionLevel.MIN,
+        "single": PrecisionLevel.MIN,
+        "fp32": PrecisionLevel.MIN,
+        "mixed": PrecisionLevel.MIXED,
+        "full": PrecisionLevel.FULL,
+        "double": PrecisionLevel.FULL,
+        "fp64": PrecisionLevel.FULL,
+    }
+    try:
+        return synonyms[normalized]
+    except KeyError:
+        valid = ", ".join(sorted(synonyms))
+        raise ValueError(f"unknown precision level {name!r}; expected one of: {valid}") from None
+
+
+# dtype tables per level. graphics is pinned to float32 at every level
+# (paper §IV-C: plotting "kept at single precision").
+_LEVEL_DTYPES: Mapping[PrecisionLevel, Mapping[ArrayRole, np.dtype]] = {
+    PrecisionLevel.HALF: {
+        ArrayRole.STATE: np.dtype(np.float16),
+        ArrayRole.COMPUTE: np.dtype(np.float32),
+        ArrayRole.ACCUMULATE: np.dtype(np.float32),
+        ArrayRole.GRAPHICS: np.dtype(np.float32),
+    },
+    PrecisionLevel.MIN: {
+        ArrayRole.STATE: np.dtype(np.float32),
+        ArrayRole.COMPUTE: np.dtype(np.float32),
+        ArrayRole.ACCUMULATE: np.dtype(np.float32),
+        ArrayRole.GRAPHICS: np.dtype(np.float32),
+    },
+    PrecisionLevel.MIXED: {
+        ArrayRole.STATE: np.dtype(np.float32),
+        ArrayRole.COMPUTE: np.dtype(np.float64),
+        ArrayRole.ACCUMULATE: np.dtype(np.float64),
+        ArrayRole.GRAPHICS: np.dtype(np.float32),
+    },
+    PrecisionLevel.FULL: {
+        ArrayRole.STATE: np.dtype(np.float64),
+        ArrayRole.COMPUTE: np.dtype(np.float64),
+        ArrayRole.ACCUMULATE: np.dtype(np.float64),
+        ArrayRole.GRAPHICS: np.dtype(np.float32),
+    },
+}
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Resolved dtype assignment for one precision level.
+
+    Instances are immutable; use :meth:`with_overrides` to derive a variant
+    (e.g. promoting accumulators, as §III-C recommends for global sums).
+
+    Parameters
+    ----------
+    level:
+        The named level this policy realizes.
+    overrides:
+        Optional per-role dtype overrides applied on top of the level's
+        default table.
+    """
+
+    level: PrecisionLevel
+    overrides: Mapping[ArrayRole, np.dtype] = field(default_factory=dict)
+
+    @classmethod
+    def from_level(cls, level: str | PrecisionLevel) -> "PrecisionPolicy":
+        """Build the default policy for a named level."""
+        return cls(level=level_from_name(level))
+
+    def dtype(self, role: ArrayRole | str) -> np.dtype:
+        """The dtype an array with the given role should use."""
+        if isinstance(role, str):
+            role = ArrayRole(role)
+        if role in self.overrides:
+            return np.dtype(self.overrides[role])
+        return _LEVEL_DTYPES[self.level][role]
+
+    @property
+    def state_dtype(self) -> np.dtype:
+        return self.dtype(ArrayRole.STATE)
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        return self.dtype(ArrayRole.COMPUTE)
+
+    @property
+    def accumulate_dtype(self) -> np.dtype:
+        return self.dtype(ArrayRole.ACCUMULATE)
+
+    @property
+    def graphics_dtype(self) -> np.dtype:
+        return self.dtype(ArrayRole.GRAPHICS)
+
+    def with_overrides(self, **role_dtypes: object) -> "PrecisionPolicy":
+        """Derive a policy with per-role dtype overrides.
+
+        Keyword names are role values (``state``, ``compute``,
+        ``accumulate``, ``graphics``); values anything ``np.dtype`` accepts.
+        """
+        merged: dict[ArrayRole, np.dtype] = dict(self.overrides)
+        for key, value in role_dtypes.items():
+            merged[ArrayRole(key)] = np.dtype(value)  # type: ignore[arg-type]
+        return replace(self, overrides=merged)
+
+    def promoted_accumulators(self) -> "PrecisionPolicy":
+        """Promote reduction accumulators one precision class above compute.
+
+        This realizes the paper's §III-C prescription: "increasing precision
+        in well-chosen sub-calculations [global sums] can then enable the
+        rest of the calculation to be done at lower precision."  float32
+        compute gets float64 accumulators; float64 compute gets
+        ``np.longdouble`` where the platform provides extra bits.
+        """
+        compute = self.compute_dtype
+        if compute == np.float16:
+            acc: np.dtype = np.dtype(np.float32)
+        elif compute == np.float32:
+            acc = np.dtype(np.float64)
+        else:
+            acc = np.dtype(np.longdouble)
+        return self.with_overrides(accumulate=acc)
+
+    def state_bytes_per_value(self) -> int:
+        """Bytes each state value occupies; sets memory and checkpoint size."""
+        return int(self.state_dtype.itemsize)
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return (
+            f"{self.level.value}: state={self.state_dtype.name}, "
+            f"compute={self.compute_dtype.name}, "
+            f"accumulate={self.accumulate_dtype.name}, "
+            f"graphics={self.graphics_dtype.name}"
+        )
+
+
+#: Single precision everywhere (CLAMR "minimum precision"; SELF "single").
+MIN_PRECISION = PrecisionPolicy.from_level(PrecisionLevel.MIN)
+#: Single-precision state, double-precision locals (CLAMR "mixed precision").
+MIXED_PRECISION = PrecisionPolicy.from_level(PrecisionLevel.MIXED)
+#: Double precision everywhere (CLAMR "full precision"; SELF "double").
+FULL_PRECISION = PrecisionPolicy.from_level(PrecisionLevel.FULL)
+#: Extension level: binary16 state with single-precision locals (§VIII).
+HALF_PRECISION = PrecisionPolicy.from_level(PrecisionLevel.HALF)

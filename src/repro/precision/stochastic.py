@@ -1,0 +1,90 @@
+"""Stochastic rounding emulation (paper §VIII's ML-hardware direction).
+
+The paper's future work points at hardware precision menus "driven by
+other application domains such as machine learning."  The marquee feature
+of that hardware generation is **stochastic rounding**: round up or down
+with probability proportional to proximity, so the rounding error has
+zero mean and accumulated sums lose the systematic drift that
+round-to-nearest produces at very low precision.
+
+This module emulates it on top of IEEE formats:
+
+* :func:`stochastic_round_float32` — float64 → float32 values with
+  probabilistic rounding between the two enclosing float32 neighbors;
+* :func:`stochastic_truncate` — the same idea at an arbitrary mantissa
+  width, pairing with :func:`repro.precision.emulation.truncate_mantissa`
+  (which is round-toward-zero, i.e. maximally biased — the worst case the
+  stochastic variant fixes).
+
+Randomness comes from a caller-supplied :class:`numpy.random.Generator`,
+so runs remain reproducible; note that a *seeded* stochastic rounding is
+still deterministic computing in the paper's taxonomy (§I) — same inputs,
+same bits — while modelling the statistics of the probabilistic hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stochastic_round_float32", "stochastic_truncate"]
+
+
+def stochastic_round_float32(values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Round float64 values to float32 stochastically; returns float32.
+
+    For v between consecutive float32 numbers lo ≤ v ≤ hi, returns hi with
+    probability (v − lo)/(hi − lo) and lo otherwise, so E[result] = v.
+    Exactly-representable values pass through unchanged (probability mass
+    collapses).  Non-finite values pass through.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    nearest = v.astype(np.float32)
+    back = nearest.astype(np.float64)
+    # the other enclosing neighbor: one ulp toward v
+    direction = np.where(back > v, -np.inf, np.inf).astype(np.float32)
+    other = np.nextafter(nearest, direction)
+    lo32 = np.where(back <= v, nearest, other)
+    hi32 = np.where(back <= v, other, nearest)
+    lo = lo32.astype(np.float64)
+    hi = hi32.astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        gap = hi - lo  # NaN/inf inputs propagate and are masked below
+        p_up = np.where(gap > 0, (v - lo) / gap, 0.0)
+    draw = rng.random(v.shape)
+    out = np.where(draw < p_up, hi32, lo32)
+    exact = back == v
+    out = np.where(exact, nearest, out)
+    finite = np.isfinite(v)
+    return np.where(finite, out, v.astype(np.float32)).astype(np.float32)
+
+
+def stochastic_truncate(
+    values: np.ndarray, mantissa_bits: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Stochastically round float64 values to ``mantissa_bits`` of mantissa.
+
+    The deterministic counterpart (:func:`truncate_mantissa`) always
+    rounds toward zero — a maximally biased choice whose accumulated error
+    grows linearly.  This version keeps the same representable set but
+    rounds away from zero with probability equal to the discarded
+    fraction, making the expected value exact.
+    """
+    if not 0 <= mantissa_bits <= 52:
+        raise ValueError(f"mantissa_bits must be in [0, 52], got {mantissa_bits}")
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    if mantissa_bits >= 52:
+        return v.copy()
+    shift = np.uint64(52 - mantissa_bits)
+    bits = v.view(np.uint64)
+    kept_mask = np.uint64(0xFFFFFFFFFFFFFFFF) << shift
+    low = bits & ~kept_mask
+    down = (bits & kept_mask).view(np.float64)
+    # probability of rounding away from zero = discarded fraction of a
+    # kept-format ulp (low bits over 2^shift)
+    p_up = low.astype(np.float64) / float(1 << int(shift))
+    draw = rng.random(v.shape)
+    up_bits = (bits & kept_mask) + (np.uint64(1) << shift)
+    up = up_bits.view(np.float64)
+    out = np.where(draw < p_up, up, down)
+    finite = np.isfinite(v)
+    return np.where(finite, out, v)

@@ -1,0 +1,216 @@
+"""Greedy per-array precision tuner.
+
+The paper leans on Lam & Hollingsworth's CRAFT analysis (ref [17]) to decide
+*which* arrays CLAMR could demote, and its future work (§VIII) calls for
+"heuristics for precision choice, at the algorithm and sub-algorithm
+levels."  This module provides a small, self-contained version of the
+dynamic-search family those tools belong to (CRAFT, Precimonious):
+
+Given a set of named array *bindings* — each a knob that can sit at one of
+several precision levels — and a user-supplied run function that executes
+the application under a candidate assignment and returns an error metric,
+:class:`GreedyPrecisionTuner` searches for the cheapest assignment whose
+error stays under a bound.
+
+The search is the standard greedy demotion loop: start from everything at
+the highest level, repeatedly try demoting the binding with the largest
+cost saving, keep the demotion if the error bound still holds, stop when no
+single demotion is admissible.  This is exactly Precimonious' local-search
+skeleton, minus the delta-debugging acceleration, and is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.precision.policy import PrecisionLevel
+
+__all__ = ["ArrayBinding", "TunerResult", "GreedyPrecisionTuner"]
+
+
+@dataclass(frozen=True)
+class ArrayBinding:
+    """A tunable array: its name, candidate levels, and relative weight.
+
+    ``weight`` models the array's share of the memory footprint (e.g. number
+    of elements); the tuner uses ``weight × bytes(level)`` as the cost of an
+    assignment, so demoting big state arrays is preferred over small locals
+    — the same prioritization CRAFT's memory analysis produces.
+    """
+
+    name: str
+    levels: tuple[PrecisionLevel, ...] = (
+        PrecisionLevel.MIN,
+        PrecisionLevel.MIXED,
+        PrecisionLevel.FULL,
+    )
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError(f"binding {self.name!r} has no candidate levels")
+        if sorted(self.levels, key=lambda l: l.rank) != list(self.levels):
+            raise ValueError(f"binding {self.name!r}: levels must be sorted from least to most precise")
+        if self.weight <= 0:
+            raise ValueError(f"binding {self.name!r}: weight must be positive")
+
+
+_LEVEL_BYTES = {
+    PrecisionLevel.HALF: 2,
+    PrecisionLevel.MIN: 4,
+    PrecisionLevel.MIXED: 4,  # mixed stores state in float32
+    PrecisionLevel.FULL: 8,
+}
+
+
+@dataclass
+class TunerResult:
+    """Outcome of a tuning search.
+
+    Attributes
+    ----------
+    assignment:
+        Final per-binding precision levels.
+    error:
+        Error metric of the final assignment.
+    cost:
+        Weighted storage cost of the final assignment (bytes).
+    baseline_cost:
+        Cost of the all-FULL starting point, for savings ratios.
+    evaluations:
+        Number of times the run function was invoked.
+    trace:
+        ``(binding, from_level, to_level, error, kept)`` tuples recording
+        every demotion attempt, for post-hoc inspection.
+    """
+
+    assignment: dict[str, PrecisionLevel]
+    error: float
+    cost: float
+    baseline_cost: float
+    evaluations: int
+    trace: list[tuple[str, PrecisionLevel, PrecisionLevel, float, bool]] = field(default_factory=list)
+
+    @property
+    def savings_fraction(self) -> float:
+        """Storage saved relative to the all-FULL baseline, in [0, 1)."""
+        if self.baseline_cost == 0:
+            return 0.0
+        return 1.0 - self.cost / self.baseline_cost
+
+
+class GreedyPrecisionTuner:
+    """Greedy demotion search over per-array precision assignments.
+
+    Parameters
+    ----------
+    bindings:
+        The tunable arrays.
+    run:
+        Callable mapping an assignment ``{name: PrecisionLevel}`` to a
+        non-negative scalar error (versus a trusted reference).  It is the
+        caller's job to make this deterministic.
+    error_bound:
+        Assignments with ``run(...) <= error_bound`` are admissible.
+    max_evaluations:
+        Hard cap on run-function invocations (the runs are the expensive
+        part; Precimonious makes the same trade).
+    """
+
+    def __init__(
+        self,
+        bindings: Sequence[ArrayBinding],
+        run: Callable[[Mapping[str, PrecisionLevel]], float],
+        error_bound: float,
+        max_evaluations: int = 200,
+    ) -> None:
+        names = [b.name for b in bindings]
+        if len(set(names)) != len(names):
+            raise ValueError("binding names must be unique")
+        if error_bound < 0:
+            raise ValueError("error_bound must be non-negative")
+        if max_evaluations < 1:
+            raise ValueError("max_evaluations must be at least 1")
+        self._bindings = {b.name: b for b in bindings}
+        self._run = run
+        self._bound = float(error_bound)
+        self._max_evals = int(max_evaluations)
+
+    def _cost(self, assignment: Mapping[str, PrecisionLevel]) -> float:
+        return sum(
+            self._bindings[name].weight * _LEVEL_BYTES[level] for name, level in assignment.items()
+        )
+
+    def tune(self) -> TunerResult:
+        """Run the search and return the best admissible assignment found.
+
+        Raises
+        ------
+        RuntimeError
+            If even the all-highest-level assignment violates the bound —
+            the reference configuration itself is then outside spec and no
+            demotion search is meaningful.
+        """
+        assignment = {name: b.levels[-1] for name, b in self._bindings.items()}
+        evaluations = 0
+        trace: list[tuple[str, PrecisionLevel, PrecisionLevel, float, bool]] = []
+
+        baseline_error = float(self._run(dict(assignment)))
+        evaluations += 1
+        if not np.isfinite(baseline_error) or baseline_error > self._bound:
+            raise RuntimeError(
+                f"baseline (all-highest) assignment has error {baseline_error}, "
+                f"already above the bound {self._bound}"
+            )
+        baseline_cost = self._cost(assignment)
+        current_error = baseline_error
+
+        blocked: set[str] = set()
+        while evaluations < self._max_evals:
+            # candidate demotions, biggest cost saving first
+            candidates: list[tuple[float, str, PrecisionLevel]] = []
+            for name, level in assignment.items():
+                if name in blocked:
+                    continue
+                binding = self._bindings[name]
+                idx = binding.levels.index(level)
+                if idx == 0:
+                    continue
+                lower = binding.levels[idx - 1]
+                saving = binding.weight * (_LEVEL_BYTES[level] - _LEVEL_BYTES[lower])
+                candidates.append((saving, name, lower))
+            if not candidates:
+                break
+            # prefer larger savings; break ties by name for determinism
+            candidates.sort(key=lambda c: (-c[0], c[1]))
+            progressed = False
+            for _saving, name, lower in candidates:
+                if evaluations >= self._max_evals:
+                    break
+                trial = dict(assignment)
+                previous = trial[name]
+                trial[name] = lower
+                error = float(self._run(trial))
+                evaluations += 1
+                keep = np.isfinite(error) and error <= self._bound
+                trace.append((name, previous, lower, error, keep))
+                if keep:
+                    assignment = trial
+                    current_error = error
+                    progressed = True
+                    break  # re-rank candidates after a successful demotion
+                blocked.add(name)  # this binding cannot go lower from here
+            if not progressed:
+                break
+
+        return TunerResult(
+            assignment=dict(assignment),
+            error=current_error,
+            cost=self._cost(assignment),
+            baseline_cost=baseline_cost,
+            evaluations=evaluations,
+            trace=trace,
+        )

@@ -1,0 +1,58 @@
+"""SELF mini-app: spectral-element compressible flow (single/double).
+
+A Python/NumPy re-implementation of the Spectral Element Libraries in
+Fortran (paper §IV-B): a nodal discontinuous-Galerkin spectral element
+method for the 3-D compressible Euler/Navier-Stokes equations, used to
+simulate "an anomalous warm blob that rises in an otherwise neutrally
+buoyant fluid."
+
+Components, following Kopriva's (2009) formulation the paper cites:
+
+* :mod:`repro.self_.quadrature` — Legendre polynomials, Gauss and
+  Gauss-Lobatto nodes/weights;
+* :mod:`repro.self_.basis` — Lagrange interpolation, collocation
+  derivative matrices, modal (Legendre) transforms;
+* :mod:`repro.self_.filter` — modal roll-off spectral filter;
+* :mod:`repro.self_.mesh` — structured hexahedral mesh with affine
+  isoparametric mapping and face connectivity;
+* :mod:`repro.self_.equations` — compressible Euler fluxes in
+  hydrostatic-perturbation form (discretely well-balanced), Lax-Friedrichs
+  interface fluxes, free-slip walls, gravity source;
+* :mod:`repro.self_.timeint` — Williamson low-storage 3rd-order
+  Runge-Kutta (the paper's "3rd-order Runge-Kutta time integrator");
+* :mod:`repro.self_.simulation` — the thermal-bubble driver with
+  ``precision="single"`` / ``"double"`` selecting the dtype end to end.
+
+Unlike CLAMR, SELF has only the two precision modes (the paper notes
+"SELF does not have a mixed-precision option currently"), so the precision
+knob here is a plain dtype rather than a policy.
+"""
+
+from repro.self_.quadrature import gauss_legendre, gauss_lobatto, legendre
+from repro.self_.basis import NodalBasis
+from repro.self_.filter import modal_filter_matrix
+from repro.self_.mesh import HexMesh
+from repro.self_.equations import CompressibleEuler, AtmosphereConstants
+from repro.self_.timeint import LowStorageRK3
+from repro.self_.simulation import SelfSimulation, ThermalBubbleConfig, SelfResult
+from repro.self_.viscous import ViscousOperator
+from repro.self_.diagnostics import ConservationTracker, total_mass, total_energy
+
+__all__ = [
+    "gauss_legendre",
+    "gauss_lobatto",
+    "legendre",
+    "NodalBasis",
+    "modal_filter_matrix",
+    "HexMesh",
+    "CompressibleEuler",
+    "AtmosphereConstants",
+    "LowStorageRK3",
+    "SelfSimulation",
+    "ThermalBubbleConfig",
+    "SelfResult",
+    "ViscousOperator",
+    "ConservationTracker",
+    "total_mass",
+    "total_energy",
+]

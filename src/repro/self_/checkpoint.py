@@ -1,0 +1,85 @@
+"""SELF state I/O: checkpoints sized by precision, output at graphics dtype.
+
+Two writers with two different size behaviours, matching the paper's §VI
+storage discussion:
+
+* :func:`write_state` — a restart checkpoint carrying the full conserved
+  tensor at the *simulation* dtype, so its size halves at single
+  precision (the SELF analogue of CLAMR's Table III files);
+* :func:`write_anomaly` — an analysis/plot output carrying the density
+  anomaly at *graphics* precision (float32) regardless of the run's
+  precision — which is why Table VII's SELF storage line is
+  precision-independent in this reproduction.
+
+Format (little-endian): magic ``b"SELF"``, version, mesh geometry, dtype
+tag, then the raw tensor.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.self_.mesh import HexMesh
+
+__all__ = ["write_state", "read_state", "write_anomaly", "state_nbytes"]
+
+_MAGIC = b"SELF"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIIIIIIddd")  # magic, ver, nex, ney, nez, order, itemsize, Lx, Ly, Lz
+
+
+def state_nbytes(mesh: HexMesh, itemsize: int) -> int:
+    """Predicted checkpoint size for a mesh at a given state itemsize."""
+    if itemsize not in (4, 8):
+        raise ValueError("itemsize must be 4 or 8")
+    return _HEADER.size + 5 * mesh.ndof * itemsize
+
+
+def write_state(path: str | Path, mesh: HexMesh, U: np.ndarray) -> int:
+    """Write the conserved tensor at its own dtype; returns bytes written."""
+    n = mesh.npoints
+    if U.shape != (mesh.nelem, 5, n, n, n):
+        raise ValueError(f"state tensor shape {U.shape} does not match the mesh")
+    itemsize = U.dtype.itemsize
+    if U.dtype.kind != "f" or itemsize not in (4, 8):
+        raise ValueError(f"state dtype must be float32 or float64, got {U.dtype}")
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, mesh.nex, mesh.ney, mesh.nez, mesh.order, itemsize, *mesh.lengths
+    )
+    path = Path(path)
+    le = U.dtype.newbyteorder("<")
+    path.write_bytes(header + np.ascontiguousarray(U, dtype=le).tobytes())
+    return path.stat().st_size
+
+
+def read_state(path: str | Path) -> tuple[HexMesh, np.ndarray]:
+    """Read a checkpoint back; dtype restored from the stored tag."""
+    raw = Path(path).read_bytes()
+    if len(raw) < _HEADER.size:
+        raise ValueError("file too short for a SELF checkpoint header")
+    magic, version, nex, ney, nez, order, itemsize, lx, ly, lz = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version}")
+    mesh = HexMesh(nex=nex, ney=ney, nez=nez, lengths=(lx, ly, lz), order=order)
+    expected = state_nbytes(mesh, itemsize)
+    if len(raw) != expected:
+        raise ValueError(f"size {len(raw)} != expected {expected}")
+    dtype = np.dtype("<f8" if itemsize == 8 else "<f4")
+    n = mesh.npoints
+    U = np.frombuffer(raw, dtype=dtype, offset=_HEADER.size).copy()
+    return mesh, U.reshape(mesh.nelem, 5, n, n, n).astype(dtype.newbyteorder("="))
+
+
+def write_anomaly(path: str | Path, anomaly: np.ndarray) -> int:
+    """Write an analysis field at graphics precision (float32), raw +
+    minimal header; size is precision-blind by construction."""
+    f = np.ascontiguousarray(anomaly, dtype="<f4")
+    header = b"SANM" + struct.pack("<I", f.ndim) + struct.pack(f"<{f.ndim}I", *f.shape)
+    path = Path(path)
+    path.write_bytes(header + f.tobytes())
+    return path.stat().st_size

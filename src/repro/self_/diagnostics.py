@@ -1,0 +1,140 @@
+"""Global diagnostics for SELF runs: conservation and energy budgets.
+
+CLAMR's driver carries double-double mass accounting; this module gives
+SELF the same discipline.  All integrals are the discrete quadrature
+sums ∑_e ∑_ijk w_i w_j w_k J f(e,ijk), reduced through
+:func:`repro.sums.dd_sum` so the diagnostic itself is immune to
+accumulation error at any state precision — §III-C's promoted-sums
+prescription applied to the second mini-app.
+
+Provided integrals:
+
+* :func:`total_mass` — ∫ρ (conserved exactly by the DG scheme up to
+  rounding: interior fluxes telescope, walls pass nothing);
+* :func:`total_energy` — ∫ρE (changes only through the gravity source);
+* :func:`total_momentum` — (∫ρu, ∫ρv, ∫ρw);
+* :func:`anomaly_norms` — L2/L∞ of ρ−ρ̄, the bubble-strength scalars the
+  figures track;
+* :class:`ConservationTracker` — accumulates the budget over a run and
+  reports drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.self_.equations import RHO, RHOE, RHOU, RHOV, RHOW, CompressibleEuler
+from repro.sums.doubledouble import dd_sum
+
+__all__ = [
+    "quadrature_weights_3d",
+    "total_mass",
+    "total_energy",
+    "total_momentum",
+    "anomaly_norms",
+    "ConservationTracker",
+]
+
+
+def quadrature_weights_3d(solver: CompressibleEuler) -> np.ndarray:
+    """w_i w_j w_k × (cell Jacobian), shape (n, n, n), float64."""
+    w = solver.basis.weights.astype(np.float64)
+    mx, my, mz = (float(m) for m in solver.metric)
+    jac = 1.0 / (mx * my * mz)  # (Δx/2)(Δy/2)(Δz/2)
+    return w[:, None, None] * w[None, :, None] * w[None, None, :] * jac
+
+
+def _integrate(solver: CompressibleEuler, nodal: np.ndarray) -> float:
+    w3 = quadrature_weights_3d(solver)
+    contributions = nodal.astype(np.float64) * w3[None, :, :, :]
+    return float(dd_sum(contributions.ravel()))
+
+
+def total_mass(solver: CompressibleEuler, U: np.ndarray) -> float:
+    """∫ ρ dV via double-double reduction."""
+    return _integrate(solver, U[:, RHO])
+
+
+def total_energy(solver: CompressibleEuler, U: np.ndarray) -> float:
+    """∫ ρE dV via double-double reduction."""
+    return _integrate(solver, U[:, RHOE])
+
+
+def total_momentum(solver: CompressibleEuler, U: np.ndarray) -> tuple[float, float, float]:
+    """(∫ρu, ∫ρv, ∫ρw) via double-double reductions."""
+    return (
+        _integrate(solver, U[:, RHOU]),
+        _integrate(solver, U[:, RHOV]),
+        _integrate(solver, U[:, RHOW]),
+    )
+
+
+def anomaly_norms(solver: CompressibleEuler, U: np.ndarray) -> tuple[float, float]:
+    """(L2, L∞) of the density anomaly ρ − ρ̄ over the domain."""
+    anomaly = U[:, RHO].astype(np.float64) - solver.rho_bar.astype(np.float64)
+    w3 = quadrature_weights_3d(solver)
+    l2sq = float(dd_sum((anomaly**2 * w3[None]).ravel()))
+    return float(np.sqrt(max(0.0, l2sq))), float(np.abs(anomaly).max())
+
+
+@dataclass
+class ConservationTracker:
+    """Accumulates conservation history over a SELF run.
+
+    Call :meth:`record` whenever you want a sample; :meth:`mass_drift`
+    and :meth:`vertical_momentum_budget_error` summarize the run.
+
+    Vertical momentum is *not* conserved — gravity forces it at rate
+    −g∫ρ' dV — so the tracker checks the budget instead: the measured
+    Δ(∫ρw) must match the time-integrated source term.
+    """
+
+    solver: CompressibleEuler
+    times: list[float] = field(default_factory=list)
+    mass: list[float] = field(default_factory=list)
+    energy: list[float] = field(default_factory=list)
+    momentum_z: list[float] = field(default_factory=list)
+    anomaly_integral: list[float] = field(default_factory=list)
+
+    def record(self, U: np.ndarray, time: float) -> None:
+        self.times.append(float(time))
+        self.mass.append(total_mass(self.solver, U))
+        self.energy.append(total_energy(self.solver, U))
+        self.momentum_z.append(total_momentum(self.solver, U)[2])
+        anomaly = U[:, RHO].astype(np.float64) - self.solver.rho_bar.astype(np.float64)
+        self.anomaly_integral.append(
+            float(dd_sum((anomaly * quadrature_weights_3d(self.solver)[None]).ravel()))
+        )
+
+    @property
+    def samples(self) -> int:
+        return len(self.times)
+
+    def mass_drift(self) -> float:
+        """Relative drift of ∫ρ over the recorded window."""
+        if self.samples < 2 or self.mass[0] == 0.0:
+            return 0.0
+        return abs(self.mass[-1] - self.mass[0]) / abs(self.mass[0])
+
+    def vertical_momentum_budget_error(self) -> float:
+        """|Δ(∫ρw) − ∫∫(−g ρ')| relative to the larger of the two.
+
+        The source integral is evaluated by the trapezoid rule over the
+        recorded anomaly-integral samples.  Note the budget's other
+        contributor — the net pressure-perturbation force on the top and
+        bottom walls — is *not* tracked here, so a few-percent residual is
+        expected once the bubble's pressure field reaches the walls; a
+        large residual still flags a broken scheme.
+        """
+        if self.samples < 2:
+            return 0.0
+        g = self.solver.constants.gravity
+        dmz = self.momentum_z[-1] - self.momentum_z[0]
+        source = 0.0
+        for k in range(self.samples - 1):
+            dt = self.times[k + 1] - self.times[k]
+            source += -g * 0.5 * (self.anomaly_integral[k] + self.anomaly_integral[k + 1]) * dt
+        scale = max(abs(dmz), abs(source), 1e-300)
+        return abs(dmz - source) / scale

@@ -1,0 +1,133 @@
+"""Structured hexahedral spectral-element mesh with affine mapping.
+
+The thermal-bubble problem lives on a box, so the isoparametric machinery
+reduces to an affine map per element: constant metric terms
+``2/Δx_e`` per direction.  The mesh provides:
+
+* per-element node coordinates (tensor-product GLL grid mapped into the
+  element) for initial-condition sampling;
+* face connectivity as six neighbor index arrays (``-1`` marks a wall);
+* the metric factors the DG kernel needs.
+
+Element ordering is x-fastest (``e = ix + nex*(iy + ney*iz)``), matching
+the layout of the state tensor ``(nelem, nvar, n, n, n)`` whose trailing
+axes are (x-node, y-node, z-node) ... i.e. ``field[e, v, i, j, k]`` holds
+the value at x-node i, y-node j, z-node k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.self_.basis import NodalBasis
+
+__all__ = ["HexMesh"]
+
+
+@dataclass(frozen=True)
+class HexMesh:
+    """A box partitioned into nex × ney × nez affine hex elements.
+
+    Attributes
+    ----------
+    nex, ney, nez:
+        Elements per direction.
+    lengths:
+        Physical box extents (Lx, Ly, Lz); the origin is (0, 0, 0).
+    order:
+        Polynomial order of the collocation grid inside each element.
+    """
+
+    nex: int
+    ney: int
+    nez: int
+    lengths: tuple[float, float, float]
+    order: int
+
+    def __post_init__(self) -> None:
+        if min(self.nex, self.ney, self.nez) < 1:
+            raise ValueError("need at least one element per direction")
+        if min(self.lengths) <= 0:
+            raise ValueError("box extents must be positive")
+        if self.order < 1:
+            raise ValueError("polynomial order must be at least 1")
+
+    @property
+    def nelem(self) -> int:
+        return self.nex * self.ney * self.nez
+
+    @property
+    def npoints(self) -> int:
+        return self.order + 1
+
+    @property
+    def ndof(self) -> int:
+        """Collocation points in the whole mesh (per variable)."""
+        return self.nelem * self.npoints**3
+
+    @property
+    def element_sizes(self) -> tuple[float, float, float]:
+        return (
+            self.lengths[0] / self.nex,
+            self.lengths[1] / self.ney,
+            self.lengths[2] / self.nez,
+        )
+
+    def metric_factors(self) -> tuple[float, float, float]:
+        """(2/Δx, 2/Δy, 2/Δz): d(reference)/d(physical) per direction."""
+        dx, dy, dz = self.element_sizes
+        return 2.0 / dx, 2.0 / dy, 2.0 / dz
+
+    def element_indices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(ix, iy, iz) triple for every element, in storage order."""
+        e = np.arange(self.nelem)
+        ix = e % self.nex
+        iy = (e // self.nex) % self.ney
+        iz = e // (self.nex * self.ney)
+        return ix, iy, iz
+
+    def node_coordinates(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Physical (x, y, z) of every collocation node.
+
+        Each returned array has shape ``(nelem, n, n, n)`` matching the
+        state tensor's trailing axes.
+        """
+        basis = NodalBasis.gll(self.order)
+        ref = 0.5 * (basis.nodes + 1.0)  # reference coords in [0, 1]
+        dx, dy, dz = self.element_sizes
+        ix, iy, iz = self.element_indices()
+        n = self.npoints
+        shape = (self.nelem, n, n, n)
+        # x varies along node-axis i (axis 1), y along j (axis 2), z along k
+        x = np.broadcast_to(
+            (ix * dx)[:, None, None, None] + (ref * dx)[None, :, None, None], shape
+        ).copy()
+        y = np.broadcast_to(
+            (iy * dy)[:, None, None, None] + (ref * dy)[None, None, :, None], shape
+        ).copy()
+        z = np.broadcast_to(
+            (iz * dz)[:, None, None, None] + (ref * dz)[None, None, None, :], shape
+        ).copy()
+        return x, y, z
+
+    def neighbors(self) -> dict[str, np.ndarray]:
+        """Face-neighbor element indices; -1 where the face is a wall.
+
+        Keys: ``"xm", "xp", "ym", "yp", "zm", "zp"`` (minus/plus sides).
+        """
+        ix, iy, iz = self.element_indices()
+
+        def pack(jx: np.ndarray, jy: np.ndarray, jz: np.ndarray, valid: np.ndarray) -> np.ndarray:
+            out = jx + self.nex * (jy + self.ney * jz)
+            return np.where(valid, out, -1).astype(np.int64)
+
+        return {
+            "xm": pack(ix - 1, iy, iz, ix > 0),
+            "xp": pack(ix + 1, iy, iz, ix < self.nex - 1),
+            "ym": pack(ix, iy - 1, iz, iy > 0),
+            "yp": pack(ix, iy + 1, iz, iy < self.ney - 1),
+            "zm": pack(ix, iy, iz - 1, iz > 0),
+            "zp": pack(ix, iy, iz + 1, iz < self.nez - 1),
+        }

@@ -1,0 +1,110 @@
+"""Legendre polynomials and Gauss/Gauss-Lobatto quadrature.
+
+Spectral element methods stand on two quadrature families on [-1, 1]:
+
+* **Legendre-Gauss** — interior nodes, exact for polynomials of degree
+  2n-1; used by SELF for volume integrals;
+* **Legendre-Gauss-Lobatto (GLL)** — includes ±1, exact to degree 2n-3;
+  the collocation points of the DGSEM formulation we use (endpoint nodes
+  make interface coupling a boundary-value pick-off instead of an
+  interpolation).
+
+Nodes are computed by Newton iteration from Chebyshev initial guesses —
+the textbook algorithm (Kopriva 2009, Algorithms 23/25) — in float64
+regardless of the simulation precision; basis construction is a setup
+cost whose accuracy should not depend on the run's dtype.  (The *matrices*
+are cast to the run dtype afterwards; that rounding is part of the
+single-precision signal.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["legendre", "legendre_and_derivative", "gauss_legendre", "gauss_lobatto"]
+
+
+def legendre(n: int, x: np.ndarray) -> np.ndarray:
+    """Evaluate the Legendre polynomial P_n at x by the three-term recurrence."""
+    if n < 0:
+        raise ValueError("polynomial degree must be non-negative")
+    x = np.asarray(x, dtype=np.float64)
+    if n == 0:
+        return np.ones_like(x)
+    if n == 1:
+        return x.copy()
+    p_prev = np.ones_like(x)
+    p = x.copy()
+    for k in range(2, n + 1):
+        p_prev, p = p, ((2 * k - 1) * x * p - (k - 1) * p_prev) / k
+    return p
+
+
+def legendre_and_derivative(n: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """P_n(x) and P'_n(x) together (shared recurrence)."""
+    x = np.asarray(x, dtype=np.float64)
+    p = legendre(n, x)
+    if n == 0:
+        return p, np.zeros_like(x)
+    p_nm1 = legendre(n - 1, x)
+    # derivative identity: (1 - x^2) P'_n = n (P_{n-1} - x P_n)
+    denom = 1.0 - x * x
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dp = n * (p_nm1 - x * p) / denom
+    # endpoints: P'_n(±1) = (±1)^{n-1} n(n+1)/2
+    at_edge = np.isclose(np.abs(x), 1.0)
+    if np.any(at_edge):
+        sign = np.where(x > 0, 1.0, (-1.0) ** (n - 1))
+        dp = np.where(at_edge, sign * n * (n + 1) / 2.0, dp)
+    return p, dp
+
+
+def gauss_legendre(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """n Legendre-Gauss nodes and weights on [-1, 1].
+
+    Newton iteration on P_n from Chebyshev guesses; weights
+    ``w = 2 / ((1 - x²) P'_n(x)²)``.  Agreement with
+    ``np.polynomial.legendre.leggauss`` is checked in the tests.
+    """
+    if n < 1:
+        raise ValueError("need at least one quadrature node")
+    k = np.arange(n)
+    x = -np.cos(np.pi * (k + 0.75) / (n + 0.5))  # Chebyshev-like guess
+    for _ in range(100):
+        p, dp = legendre_and_derivative(n, x)
+        dx = -p / dp
+        x = x + dx
+        if np.max(np.abs(dx)) < 1e-15:
+            break
+    _, dp = legendre_and_derivative(n, x)
+    w = 2.0 / ((1.0 - x * x) * dp * dp)
+    return x, w
+
+
+def gauss_lobatto(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """n Legendre-Gauss-Lobatto nodes and weights on [-1, 1] (n ≥ 2).
+
+    Interior nodes are the roots of P'_{n-1}; endpoints are ±1.  Weights
+    ``w = 2 / (n(n-1) P_{n-1}(x)²)``.
+    """
+    if n < 2:
+        raise ValueError("GLL quadrature needs at least 2 nodes")
+    N = n - 1
+    x = np.empty(n)
+    x[0], x[-1] = -1.0, 1.0
+    if n > 2:
+        # interior initial guesses: Chebyshev-Lobatto points
+        xi = -np.cos(np.pi * np.arange(1, N) / N)
+        for _ in range(100):
+            # q(x) = P'_N; q'(x) from the Legendre ODE:
+            # (1-x^2) P''_N = 2x P'_N - N(N+1) P_N
+            p, dp = legendre_and_derivative(N, xi)
+            d2p = (2.0 * xi * dp - N * (N + 1) * p) / (1.0 - xi * xi)
+            dx = -dp / d2p
+            xi = xi + dx
+            if np.max(np.abs(dx)) < 1e-15:
+                break
+        x[1:-1] = xi
+    p = legendre(N, x)
+    w = 2.0 / (N * (N + 1) * p * p)
+    return x, w

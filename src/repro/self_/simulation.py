@@ -1,0 +1,326 @@
+"""The SELF thermal-bubble driver.
+
+Reproduces the paper's §V-B workload: "an anomalous warm blob that rises
+in an otherwise neutrally buoyant fluid, similar to the initial condition
+in [31]" (Abdi et al.'s GPU non-hydrostatic atmospheric model — the
+classical rising-thermal-bubble benchmark).
+
+Setup
+-----
+* neutrally buoyant background: constant potential temperature θ₀, i.e.
+  an adiabatic hydrostatic atmosphere.  With Exner pressure
+  π(z) = 1 − g z /(c_p θ₀):  p̄ = p₀ π^{c_p/R},  ρ̄ = p₀ π^{c_v/R}/(R θ₀);
+* warm blob: Gaussian potential-temperature anomaly Δθ, applied at fixed
+  pressure — so ρ = p̄/(R θ π) with θ = θ₀ + Δθ, lighter than the
+  background where warm;
+* free-slip walls all around; low-storage RK3 in time; modal filter every
+  step to drain aliasing.
+
+The precision knob is a dtype (``"single"`` → float32, ``"double"`` →
+float64) applied to the state, the operators, and all arithmetic — SELF
+has no mixed mode (paper §VI).
+
+The paper's full problem is 20³ elements × 8³ points ≈ 24 M degrees of
+freedom; defaults here are laptop-sized but the configuration scales to
+the paper's geometry unchanged (see DESIGN.md on the size substitution —
+fidelity structure is what the figures compare, and the performance tables
+re-base through the machine model).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.counters import WorkloadProfile
+from repro.precision.analysis import line_out
+from repro.self_.equations import RHO, AtmosphereConstants, CompressibleEuler
+from repro.self_.filter import apply_filter_3d, modal_filter_matrix
+from repro.self_.mesh import HexMesh
+from repro.self_.timeint import LowStorageRK3
+
+__all__ = ["ThermalBubbleConfig", "SelfResult", "SelfSimulation", "parse_precision"]
+
+
+def parse_precision(precision: str | np.dtype) -> np.dtype:
+    """Map the paper's vocabulary ("single"/"double") to a dtype."""
+    if isinstance(precision, np.dtype):
+        if precision in (np.dtype(np.float32), np.dtype(np.float64)):
+            return precision
+        raise ValueError(f"unsupported precision dtype {precision}")
+    key = str(precision).strip().lower()
+    table = {
+        "single": np.dtype(np.float32),
+        "float32": np.dtype(np.float32),
+        "sp": np.dtype(np.float32),
+        "double": np.dtype(np.float64),
+        "float64": np.dtype(np.float64),
+        "dp": np.dtype(np.float64),
+    }
+    try:
+        return table[key]
+    except KeyError:
+        raise ValueError(f"unknown precision {precision!r}; use 'single' or 'double'") from None
+
+
+@dataclass(frozen=True)
+class ThermalBubbleConfig:
+    """Thermal-bubble problem definition.
+
+    Defaults give a ~1 km³ box with a 0.5 K warm Gaussian blob — the
+    standard benchmark geometry, shrunk in element count (see module
+    docstring).  ``nelem`` per side and ``order`` multiply into the
+    resolution; the paper's run is ``nex=ney=nez=20, order=7``.
+    """
+
+    nex: int = 6
+    ney: int = 6
+    nez: int = 6
+    order: int = 4
+    lengths: tuple[float, float, float] = (1000.0, 1000.0, 1000.0)
+    theta0: float = 300.0  # K, background potential temperature
+    bubble_amplitude: float = 0.5  # K
+    bubble_center: tuple[float, float, float] = (500.0, 500.0, 350.0)
+    bubble_radius: float = 250.0  # m, Gaussian 1/e radius
+    courant: float = 0.3
+    filter_cutoff: int | None = None  # default: 2N/3
+    filter_strength: float = 36.0
+    filter_interval: int = 1
+    viscosity: float = 0.0  # Pa·s; > 0 enables the Navier-Stokes terms
+    prandtl: float = 0.72
+
+    def __post_init__(self) -> None:
+        if min(self.nex, self.ney, self.nez) < 2:
+            raise ValueError("need at least 2 elements per direction (bubble must fit inside)")
+        if self.order < 2:
+            raise ValueError("order must be at least 2 for a meaningful spectral element")
+        if self.bubble_amplitude <= 0 or self.bubble_radius <= 0:
+            raise ValueError("bubble amplitude and radius must be positive")
+        if self.filter_interval < 1:
+            raise ValueError("filter_interval must be at least 1")
+        if self.viscosity < 0:
+            raise ValueError("viscosity must be non-negative")
+        if self.prandtl <= 0:
+            raise ValueError("prandtl must be positive")
+
+
+@dataclass
+class SelfResult:
+    """Outputs of one SELF run, mirroring CLAMR's :class:`SimulationResult`.
+
+    ``anomaly_slice`` is the horizontal center line-out of the density
+    anomaly ρ - ρ̄ at graphics precision (Fig. 4); ``slice_precise`` keeps
+    it in float64 for the Fig. 5 asymmetry diagnostic.
+    """
+
+    precision: str
+    anomaly_field: np.ndarray
+    anomaly_slice: np.ndarray
+    slice_precise: np.ndarray
+    steps: int
+    final_time: float
+    elapsed_s: float
+    kernel_elapsed_s: float
+    profile: WorkloadProfile
+    state_nbytes: int
+    max_vertical_velocity: float
+
+    @property
+    def anomaly_scale(self) -> float:
+        """Peak |anomaly| — the solution magnitude the paper compares against."""
+        return float(np.max(np.abs(self.slice_precise)))
+
+
+class SelfSimulation:
+    """Rising thermal bubble on the spectral-element mesh.
+
+    Parameters
+    ----------
+    config:
+        Problem definition.
+    precision:
+        ``"single"`` or ``"double"`` (paper vocabulary), or a dtype.
+    constants:
+        Atmosphere constants; defaults are dry air.
+    """
+
+    def __init__(
+        self,
+        config: ThermalBubbleConfig = ThermalBubbleConfig(),
+        precision: str | np.dtype = "double",
+        constants: AtmosphereConstants = AtmosphereConstants(),
+    ) -> None:
+        self.config = config
+        self.dtype = parse_precision(precision)
+        self.constants = constants
+        self.mesh = HexMesh(
+            nex=config.nex,
+            ney=config.ney,
+            nez=config.nez,
+            lengths=config.lengths,
+            order=config.order,
+        )
+        rho_bar, p_bar = self._hydrostatic_background()
+        self.solver = CompressibleEuler(
+            mesh=self.mesh,
+            dtype=self.dtype,
+            constants=constants,
+            rho_bar=rho_bar,
+            p_bar=p_bar,
+        )
+        self.U = self._initial_state(rho_bar, p_bar)
+        self._filter = modal_filter_matrix(
+            config.order, cutoff=config.filter_cutoff, strength=config.filter_strength
+        ).astype(self.dtype)
+        self._background = self.solver.background_state()
+        if config.viscosity > 0.0:
+            from repro.self_.viscous import ViscousOperator
+
+            viscous = ViscousOperator(self.solver, mu=config.viscosity, prandtl=config.prandtl)
+
+            def rhs(U: np.ndarray) -> np.ndarray:
+                out = self.solver.rhs(U)
+                viscous.add_rhs(U, out)
+                return out
+
+            self._stepper = LowStorageRK3(rhs=rhs)
+        else:
+            self._stepper = LowStorageRK3(rhs=self.solver.rhs)
+        self.time = 0.0
+        self.step_count = 0
+
+    # -- initial condition ------------------------------------------------
+
+    def _hydrostatic_background(self) -> tuple[np.ndarray, np.ndarray]:
+        """Adiabatic (constant-θ) hydrostatic atmosphere at the nodes."""
+        c = self.constants
+        _, _, z = self.mesh.node_coordinates()
+        exner = 1.0 - c.gravity * z / (c.cp * self.config.theta0)
+        if np.any(exner <= 0.0):
+            raise ValueError("domain too tall: Exner pressure vanishes before the top")
+        p_bar = c.p0 * exner ** (c.cp / c.gas_constant)
+        rho_bar = c.p0 * exner ** (c.cv / c.gas_constant) / (c.gas_constant * self.config.theta0)
+        return rho_bar, p_bar
+
+    def _initial_state(self, rho_bar: np.ndarray, p_bar: np.ndarray) -> np.ndarray:
+        """Background plus the warm blob (pressure unperturbed)."""
+        c = self.constants
+        cfg = self.config
+        x, y, z = self.mesh.node_coordinates()
+        cx, cy, cz = cfg.bubble_center
+        r2 = (x - cx) ** 2 + (y - cy) ** 2 + (z - cz) ** 2
+        dtheta = cfg.bubble_amplitude * np.exp(-r2 / cfg.bubble_radius**2)
+        theta = cfg.theta0 + dtheta
+        exner = (p_bar / c.p0) ** (c.gas_constant / c.cp)
+        # ideal gas with T = θ·π: ρ = p / (R T)
+        rho = p_bar / (c.gas_constant * theta * exner)
+        n = self.mesh.npoints
+        U = np.zeros((self.mesh.nelem, 5, n, n, n), dtype=self.dtype)
+        U[:, RHO] = rho.astype(self.dtype)
+        U[:, 4] = (p_bar / (c.gamma - 1.0)).astype(self.dtype)
+        del rho_bar
+        return U
+
+    # -- running ----------------------------------------------------------
+
+    def run(self, steps: int) -> SelfResult:
+        """Advance ``steps`` RK3 steps and package the results."""
+        if steps < 1:
+            raise ValueError("steps must be at least 1")
+        cfg = self.config
+        flops = 0
+        kernel_elapsed = 0.0
+        t_start = time.perf_counter()
+        for _ in range(steps):
+            dt = self.solver.stable_dt(self.U, cfg.courant)
+            t0 = time.perf_counter()
+            self._stepper.step(self.U, dt)
+            if self.step_count % cfg.filter_interval == 0:
+                perturbation = self.U - self._background
+                self.U = self._background + apply_filter_3d(perturbation, self._filter)
+            kernel_elapsed += time.perf_counter() - t0
+            self.time += dt
+            self.step_count += 1
+            flops += self._flops_per_step()
+        elapsed = time.perf_counter() - t_start
+
+        anomaly = (self.U[:, RHO].astype(np.float64) - self.solver.rho_bar.astype(np.float64))
+        field = self._assemble_uniform(anomaly)
+        cz_index = self._bubble_k_index(field.shape[2])
+        slice_precise = field[:, field.shape[1] // 2, cz_index].copy()
+        w_max = float(np.max(np.abs(self.U[:, 3] / self.U[:, RHO])))
+
+        state_bytes = int(self.U.nbytes)
+        profile = WorkloadProfile(
+            name=f"self/thermal_bubble/{'single' if self.dtype == np.float32 else 'double'}",
+            flops=flops,
+            state_bytes=self._state_traffic_per_step() * steps,
+            state_itemsize=self.dtype.itemsize,
+            compute_itemsize=self.dtype.itemsize,
+            resident_state_bytes=state_bytes * 2,  # state + RK register
+            vectorizable_fraction=0.95,
+            invocations=steps * 3,
+            dense_compute=True,
+        )
+        return SelfResult(
+            precision="single" if self.dtype == np.float32 else "double",
+            anomaly_field=field.astype(np.float32),
+            anomaly_slice=line_out(field[:, :, cz_index].astype(np.float32), axis=0),
+            slice_precise=slice_precise,
+            steps=self.step_count,
+            final_time=self.time,
+            elapsed_s=elapsed,
+            kernel_elapsed_s=kernel_elapsed,
+            profile=profile,
+            state_nbytes=state_bytes,
+            max_vertical_velocity=w_max,
+        )
+
+    def _bubble_k_index(self, nz: int) -> int:
+        """Uniform-grid k index at the bubble's initial center height."""
+        frac = self.config.bubble_center[2] / self.config.lengths[2]
+        return min(nz - 1, max(0, int(round(frac * nz - 0.5))))
+
+    def _assemble_uniform(self, nodal: np.ndarray) -> np.ndarray:
+        """Nodal (nelem, n, n, n) scalar → global uniform-ish grid.
+
+        Elements are placed on a block grid; within an element the GLL
+        nodes are kept as-is (their spacing is non-uniform but consistent
+        across runs, which is all line-out differencing requires).
+        """
+        m = self.mesh
+        n = m.npoints
+        out = np.empty((m.nex * n, m.ney * n, m.nez * n), dtype=np.float64)
+        ix, iy, iz = m.element_indices()
+        for e in range(m.nelem):
+            out[
+                ix[e] * n : (ix[e] + 1) * n,
+                iy[e] * n : (iy[e] + 1) * n,
+                iz[e] * n : (iz[e] + 1) * n,
+            ] = nodal[e]
+        return out
+
+    # -- work accounting --------------------------------------------------
+
+    def _flops_per_step(self) -> int:
+        """Analytic flop count per RK3 step (3 RHS evaluations + update)."""
+        from repro.self_.equations import FLOPS_PER_NODE_RHS
+
+        m = self.mesh
+        n = m.npoints
+        nodes = m.ndof
+        # derivative contractions: 3 dirs × 5 vars × nelem × n³ × (2n flops)
+        deriv = 3 * 5 * m.nelem * n**3 * 2 * n
+        pointwise = nodes * FLOPS_PER_NODE_RHS
+        per_rhs = deriv + pointwise
+        rk_update = 4 * 5 * nodes  # k and U updates
+        filter_cost = 3 * 5 * m.nelem * n**3 * 2 * n // self.config.filter_interval
+        return 3 * (per_rhs + rk_update) + filter_cost
+
+    def _state_traffic_per_step(self) -> int:
+        """Bytes of state traffic per RK3 step (3 sweeps over 2 tensors + filter)."""
+        per_sweep = 2 * int(self.U.nbytes)
+        filter_traffic = 2 * int(self.U.nbytes) // self.config.filter_interval
+        return 3 * per_sweep + filter_traffic

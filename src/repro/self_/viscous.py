@@ -1,0 +1,193 @@
+"""Viscous terms for SELF: from Euler to compressible Navier-Stokes.
+
+The paper describes SELF as solving "the 3-D Compressible Navier-Stokes
+equations"; the thermal-bubble experiment is effectively inviscid (the
+physical viscosity of air is invisible at 1 km scales over seconds), so
+the core solver in :mod:`repro.self_.equations` is Euler + spectral
+filter.  This module supplies the viscous operator for configurations
+that want real dissipation — small-scale runs, manufactured-solution
+tests, or using viscosity *instead of* the modal filter:
+
+* **stress tensor** τ = μ(∇u + ∇uᵀ) − (2/3)μ(∇·u)I with constant dynamic
+  viscosity μ;
+* **heat flux** q = −κ∇T, κ from a constant Prandtl number;
+* discretization: a *compact* DG viscous operator — element-local
+  gradients and stress divergence through the collocation derivative
+  matrices, plus a symmetric interface penalty on the velocity and
+  temperature jumps (strength μ/h, the interior-penalty scaling).  This
+  simplification (vs full BR1 lifting) is consistent for well-resolved
+  laminar fields and unconditionally dissipative, which is all the
+  mini-app's use cases need; DESIGN.md records it as a substitution.
+
+The operator adds to a RHS tensor in place, at the solver dtype, so the
+single/double precision study covers the viscous path too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.self_.equations import RHO, RHOE, RHOU, RHOV, RHOW, CompressibleEuler
+
+__all__ = ["ViscousOperator"]
+
+
+class ViscousOperator:
+    """Constant-coefficient viscous/thermal diffusion for the DGSEM solver.
+
+    Parameters
+    ----------
+    solver:
+        The :class:`CompressibleEuler` instance to augment (supplies the
+        mesh, basis, metric factors, dtype and background).
+    mu:
+        Dynamic viscosity (Pa·s).
+    prandtl:
+        Prandtl number; thermal conductivity is κ = μ c_p / Pr.
+    penalty:
+        Interface-penalty prefactor (dimensionless); the jump term is
+        ``penalty · μ / h`` per face.
+    """
+
+    def __init__(
+        self,
+        solver: CompressibleEuler,
+        mu: float,
+        prandtl: float = 0.72,
+        penalty: float = 4.0,
+    ) -> None:
+        if mu < 0:
+            raise ValueError("viscosity must be non-negative")
+        if prandtl <= 0:
+            raise ValueError("Prandtl number must be positive")
+        if penalty < 0:
+            raise ValueError("penalty must be non-negative")
+        self.solver = solver
+        self.dtype = solver.dtype
+        self.mu = self.dtype.type(mu)
+        self.kappa = self.dtype.type(mu * solver.constants.cp / prandtl)
+        self.penalty = self.dtype.type(penalty)
+        self._third2 = self.dtype.type(2.0 / 3.0)
+
+    # -- derivatives -------------------------------------------------------
+
+    def _grad(self, field: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Element-local physical gradient of a nodal scalar field."""
+        D = self.solver.D
+        mx, my, mz = self.solver.metric
+        gx = mx * np.einsum("il,eljk->eijk", D, field)
+        gy = my * np.einsum("jl,eilk->eijk", D, field)
+        gz = mz * np.einsum("kl,eijl->eijk", D, field)
+        return gx, gy, gz
+
+    def _div(self, fx: np.ndarray, fy: np.ndarray, fz: np.ndarray) -> np.ndarray:
+        """Element-local divergence of a nodal vector field."""
+        D = self.solver.D
+        mx, my, mz = self.solver.metric
+        return (
+            mx * np.einsum("il,eljk->eijk", D, fx)
+            + my * np.einsum("jl,eilk->eijk", D, fy)
+            + mz * np.einsum("kl,eijl->eijk", D, fz)
+        )
+
+    # -- the operator --------------------------------------------------------
+
+    def add_rhs(self, U: np.ndarray, out: np.ndarray) -> None:
+        """Accumulate the viscous contribution into ``out`` (same shape as U)."""
+        solver = self.solver
+        if U.shape != out.shape:
+            raise ValueError("state and RHS tensors must share a shape")
+        rho, u, v, w, p = solver.primitives(U)
+        R = solver.constants.gas_constant
+        T = p / (self.dtype.type(R) * rho)
+
+        ux, uy, uz = self._grad(u)
+        vx, vy, vz = self._grad(v)
+        wx, wy, wz = self._grad(w)
+        divu = ux + vy + wz
+
+        mu = self.mu
+        tau_xx = mu * (ux + ux - self._third2 * divu)
+        tau_yy = mu * (vy + vy - self._third2 * divu)
+        tau_zz = mu * (wz + wz - self._third2 * divu)
+        tau_xy = mu * (uy + vx)
+        tau_xz = mu * (uz + wx)
+        tau_yz = mu * (vz + wy)
+
+        Tx, Ty, Tz = self._grad(T)
+        qx = -self.kappa * Tx
+        qy = -self.kappa * Ty
+        qz = -self.kappa * Tz
+
+        out[:, RHOU] += self._div(tau_xx, tau_xy, tau_xz)
+        out[:, RHOV] += self._div(tau_xy, tau_yy, tau_yz)
+        out[:, RHOW] += self._div(tau_xz, tau_yz, tau_zz)
+        # energy: ∇·(τ·u − q)
+        ex = tau_xx * u + tau_xy * v + tau_xz * w - qx
+        ey = tau_xy * u + tau_yy * v + tau_yz * w - qy
+        ez = tau_xz * u + tau_yz * v + tau_zz * w - qz
+        out[:, RHOE] += self._div(ex, ey, ez)
+
+        if self.penalty > 0:
+            self._interface_penalty(u, v, w, T, out)
+
+    # -- interface penalty -----------------------------------------------
+
+    def _interface_penalty(self, u, v, w, T, out) -> None:
+        """Symmetric jump penalty on (u, v, w, T) across interior faces.
+
+        For each face, both sides receive −σ(q_self − q_neighbor)/w_end,
+        with σ = penalty · μ / h.  The term is momentum- and
+        energy-conservative (equal and opposite on the two sides) and
+        strictly dissipative for the velocity jump energy.
+        """
+        solver = self.solver
+        w_end = solver.basis.weights[-1]
+        neighbors = solver.neighbors
+        mx, my, mz = solver.metric
+        # velocity jumps are penalized with μ, the temperature jump with κ
+        fields = (
+            (RHOU, u, self.mu),
+            (RHOV, v, self.mu),
+            (RHOW, w, self.mu),
+            (RHOE, T, self.kappa),
+        )
+
+        def apply(direction: str, metric, take_minus, take_plus, assign_minus, assign_plus):
+            plus = neighbors[direction]
+            has = np.flatnonzero(plus >= 0)
+            if has.size == 0:
+                return
+            eL, eR = has, plus[has]
+            lift = metric / w_end
+            for slot, q, coeff in fields:
+                # σ ~ coeff / h: metric = 2/h, so σ = penalty · coeff · metric / 2
+                sigma = self.penalty * coeff * metric * self.dtype.type(0.5)
+                jump = take_plus(q, eL) - take_minus(q, eR)
+                assign_plus(out, slot, eL, -lift * sigma * jump)
+                assign_minus(out, slot, eR, lift * sigma * jump)
+
+        apply(
+            "xp",
+            mx,
+            lambda q, e: q[e][:, 0, :, :],
+            lambda q, e: q[e][:, -1, :, :],
+            lambda o, s, e, val: np.add.at(o, (e, s, 0), val),
+            lambda o, s, e, val: np.add.at(o, (e, s, -1), val),
+        )
+        apply(
+            "yp",
+            my,
+            lambda q, e: q[e][:, :, 0, :],
+            lambda q, e: q[e][:, :, -1, :],
+            lambda o, s, e, val: np.add.at(o, (e, s, slice(None), 0), val),
+            lambda o, s, e, val: np.add.at(o, (e, s, slice(None), -1), val),
+        )
+        apply(
+            "zp",
+            mz,
+            lambda q, e: q[e][:, :, :, 0],
+            lambda q, e: q[e][:, :, :, -1],
+            lambda o, s, e, val: np.add.at(o, (e, s, slice(None), slice(None), 0), val),
+            lambda o, s, e, val: np.add.at(o, (e, s, slice(None), slice(None), -1), val),
+        )

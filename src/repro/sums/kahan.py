@@ -1,0 +1,81 @@
+"""Compensated summation: Kahan and Neumaier.
+
+Both algorithms carry a running *compensation* term holding the low-order
+bits lost by each addition, giving an error bound independent of n (to first
+order): |error| ≤ 2·eps·Σ|x_i| versus naive summation's (n-1)·eps·Σ|x_i|.
+
+Neumaier's variant additionally handles the case where the incoming term is
+larger than the running sum (where classic Kahan loses the *sum's* low
+bits instead), which matters for the ill-conditioned cancellation series
+used in the tests.
+
+Implementation note: the loops are scalar Python on purpose — compensated
+summation is order-dependent and cannot be expressed as a NumPy ufunc
+reduction without losing its guarantee.  For the vectorized path use
+:func:`repro.sums.pairwise.pairwise_sum`, which NumPy's ``np.sum`` also
+uses internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["naive_sum", "kahan_sum", "neumaier_sum"]
+
+
+def _as_float_array(values: np.ndarray, dtype: np.dtype | None) -> np.ndarray:
+    arr = np.asarray(values)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif arr.dtype.kind != "f":
+        arr = arr.astype(np.float64)
+    return arr.ravel()
+
+
+def naive_sum(values: np.ndarray, dtype: np.dtype | None = None) -> float:
+    """Strict left-to-right recursive summation in the input dtype.
+
+    This is the baseline the §III-C studies measure against: worst-case
+    error grows linearly with n, and the result depends on element order —
+    i.e. on the parallel decomposition, which is exactly the
+    reproducibility problem.
+    """
+    arr = _as_float_array(values, dtype)
+    total = arr.dtype.type(0.0)
+    for x in arr:
+        total = arr.dtype.type(total + x)
+    return float(total)
+
+
+def kahan_sum(values: np.ndarray, dtype: np.dtype | None = None) -> float:
+    """Kahan compensated summation in the input dtype."""
+    arr = _as_float_array(values, dtype)
+    ftype = arr.dtype.type
+    total = ftype(0.0)
+    comp = ftype(0.0)
+    for x in arr:
+        y = ftype(x - comp)
+        t = ftype(total + y)
+        comp = ftype(ftype(t - total) - y)
+        total = t
+    return float(total)
+
+
+def neumaier_sum(values: np.ndarray, dtype: np.dtype | None = None) -> float:
+    """Neumaier's improved Kahan–Babuška summation in the input dtype.
+
+    Unlike classic Kahan, remains accurate when individual terms exceed the
+    running sum in magnitude (e.g. ``[1, 1e30, 1, -1e30]``).
+    """
+    arr = _as_float_array(values, dtype)
+    ftype = arr.dtype.type
+    total = ftype(0.0)
+    comp = ftype(0.0)
+    for x in arr:
+        t = ftype(total + x)
+        if abs(total) >= abs(x):
+            comp = ftype(comp + ftype(ftype(total - t) + x))
+        else:
+            comp = ftype(comp + ftype(ftype(x - t) + total))
+        total = t
+    return float(total + comp)

@@ -1,0 +1,44 @@
+"""Pairwise (tree) summation.
+
+Pairwise reduction bounds the rounding error by O(log n)·eps instead of
+naive summation's O(n)·eps, and — crucially for the reproducibility story —
+its result is invariant under the *number of workers* as long as the tree
+shape is fixed.  This is the shape a parallel MPI reduction naturally has,
+which is why Robey et al. (paper ref [23]) reach for tree sums first.
+
+The implementation is vectorized: each pass folds the array in half with a
+single NumPy add, so the whole reduction is log2(n) array operations rather
+than a Python loop — the guides' "vectorize the loop" rule applied to a
+reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_sum"]
+
+
+def pairwise_sum(values: np.ndarray, dtype: np.dtype | None = None) -> float:
+    """Sum by repeated pairwise folding, in the input (or given) dtype.
+
+    The fold is strictly deterministic: element i pairs with element i+h
+    where h is the fold width, independent of platform or chunking.  Odd
+    lengths carry their last element to the next round unchanged.
+    """
+    arr = np.asarray(values)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif arr.dtype.kind != "f":
+        arr = arr.astype(np.float64)
+    arr = arr.ravel()
+    if arr.size == 0:
+        return 0.0
+    work = arr.copy()
+    while work.size > 1:
+        half = work.size // 2
+        folded = work[:half] + work[half : 2 * half]
+        if work.size % 2:
+            folded = np.concatenate([folded, work[-1:]])
+        work = folded
+    return float(work[0])

@@ -1,0 +1,158 @@
+"""Order-independent (reproducible) summation by pre-rounding into bins.
+
+Demmel & Nguyen (paper ref [24]) make a floating-point sum *bitwise
+reproducible* regardless of summation order by pre-rounding every term to a
+common set of exponent-aligned bins: once each term is split into chunks
+whose exponents are multiples of a bin width W, the per-bin partial sums are
+exact (no rounding at all, as long as bins cannot overflow their slack
+bits), and exact additions commute.  The final result is then independent
+of the reduction tree, the number of MPI ranks, and vectorization width —
+the property the paper's §III-C calls "within a few bits of perfect
+reproducibility."
+
+:class:`BinnedAccumulator` implements a simplified 1-reduction variant:
+
+* bins span ``W = 40`` bits each (float64 has 52+1 significand bits, so a
+  bin can absorb 2**(52-40) = 4096 · n carry-free additions before any
+  rounding; we renormalize well before that);
+* each input is split across the (at most two) bins its significand
+  straddles, by exact subtraction against bin boundaries;
+* per-bin partials are plain float64 adds that are provably exact.
+
+The accumulator supports merging (``a.merge(b)``), which is what an MPI
+``Allreduce`` of accumulators would do — the tests exercise the
+"any partition, any order, same bits" property directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BinnedAccumulator", "reproducible_sum"]
+
+_BIN_WIDTH = 40  # bits per bin
+_NUM_BINS = 2098 // _BIN_WIDTH + 3  # cover the full float64 exponent range
+_MIN_EXP = -1074  # exponent of the smallest subnormal
+_CARRY_LIMIT = 1 << (52 - _BIN_WIDTH)  # additions a bin absorbs exactly
+
+
+def _bin_index(exponent: int) -> int:
+    """Bin index for a value whose ilogb is ``exponent``."""
+    return (exponent - _MIN_EXP) // _BIN_WIDTH
+
+
+def _bin_base_exponent(index: int) -> int:
+    """The lowest exponent covered by bin ``index``."""
+    return _MIN_EXP + index * _BIN_WIDTH
+
+
+@dataclass
+class BinnedAccumulator:
+    """Reproducible sum accumulator with exponent-aligned bins.
+
+    Every deposit and merge is exact; rounding happens exactly once, in
+    :meth:`value`, when the bins are folded from most- to least-significant.
+    Two accumulators that received the same multiset of values — in any
+    order, through any partitioning into sub-accumulators — hold identical
+    bins and therefore produce bitwise-identical results.
+    """
+
+    bins: np.ndarray = field(default_factory=lambda: np.zeros(_NUM_BINS, dtype=np.float64))
+    count: int = 0
+    _since_renorm: int = 0
+
+    def add(self, value: float) -> None:
+        """Deposit one float64 into the bins, exactly."""
+        x = float(value)
+        if x == 0.0:
+            self.count += 1
+            return
+        if math.isnan(x) or math.isinf(x):
+            raise ValueError(f"BinnedAccumulator cannot absorb non-finite value {x!r}")
+        # Split x into per-bin chunks from the top down.  Each chunk is
+        # obtained by rounding toward zero at the bin's base exponent; the
+        # subtraction remainder is exact by Sterbenz-type arguments because
+        # chunk and x share the leading bits.
+        remainder = x
+        while remainder != 0.0:
+            exp = math.frexp(remainder)[1] - 1  # ilogb
+            idx = _bin_index(exp)
+            base = _bin_base_exponent(idx)
+            scale = math.ldexp(1.0, base)
+            chunk = math.trunc(remainder / scale) * scale
+            if chunk == 0.0:
+                # remainder lies entirely below this bin's base: it belongs
+                # to a lower bin in full; deposit it there directly.
+                idx = _bin_index(exp)
+                self.bins[idx] += remainder
+                break
+            self.bins[idx] += chunk
+            remainder -= chunk
+        self.count += 1
+        self._since_renorm += 1
+        if self._since_renorm >= _CARRY_LIMIT // 2:
+            self._renormalize()
+
+    def add_array(self, values: np.ndarray) -> None:
+        """Deposit every element of an array."""
+        for v in np.asarray(values, dtype=np.float64).ravel():
+            self.add(float(v))
+
+    def _renormalize(self) -> None:
+        """Spill bin overflow upward so bins never round.
+
+        Each bin may have accumulated up to CARRY_LIMIT/2 chunks; the part
+        of a bin's partial that exceeds its own 40-bit window is moved to
+        the bin above, exactly (the spill is a multiple of the upper bin's
+        base).  Renormalization order is fixed (low to high), so the result
+        is deterministic.
+        """
+        for idx in range(_NUM_BINS - 1):
+            partial = self.bins[idx]
+            if partial == 0.0:
+                continue
+            upper_scale = math.ldexp(1.0, _bin_base_exponent(idx + 1))
+            spill = math.trunc(partial / upper_scale) * upper_scale
+            if spill != 0.0:
+                self.bins[idx + 1] += spill
+                self.bins[idx] = partial - spill
+        self._since_renorm = 0
+
+    def merge(self, other: "BinnedAccumulator") -> None:
+        """Absorb another accumulator (the MPI-reduce combine step)."""
+        self._renormalize()
+        other._renormalize()
+        self.bins += other.bins
+        self.count += other.count
+        self._since_renorm += 1
+
+    def value(self) -> float:
+        """Fold the bins into a float64, rounding once.
+
+        Bins are added from most- to least-significant through a
+        double-double carry so the single rounding is correctly positioned.
+        """
+        self._renormalize()
+        hi = 0.0
+        lo = 0.0
+        for idx in range(_NUM_BINS - 1, -1, -1):
+            b = float(self.bins[idx])
+            if b == 0.0:
+                continue
+            s = hi + b
+            e = (hi - s) + b  # FastTwoSum branch: |hi| >= |b| after sort
+            if abs(b) > abs(hi):
+                e = (b - s) + hi
+            hi = s
+            lo += e
+        return hi + lo
+
+
+def reproducible_sum(values: np.ndarray) -> float:
+    """Sum an array reproducibly: same bits for any order or partitioning."""
+    acc = BinnedAccumulator()
+    acc.add_array(values)
+    return acc.value()

@@ -1,0 +1,79 @@
+"""Pareto extraction and constrained selection over design points.
+
+Two operations cover the paper's "optimized solutions attained within
+given constraints":
+
+* :func:`pareto_front` — the non-dominated set over (runtime, energy,
+  memory, error, cost); anything off the front is strictly wasteful;
+* :func:`best_under_constraints` — among points satisfying a list of
+  :class:`Constraint` bounds (e.g. energy ≤ 3 kJ, error ≤ 1e-3), pick the
+  one minimizing a chosen objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.tradespace.space import DesignPoint
+
+__all__ = ["Constraint", "pareto_front", "best_under_constraints"]
+
+_OBJECTIVES = ("runtime_s", "energy_j", "memory_gb", "error", "cost_usd")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An upper bound on one objective: ``metric <= limit``."""
+
+    metric: str
+    limit: float
+
+    def __post_init__(self) -> None:
+        if self.metric not in _OBJECTIVES:
+            raise ValueError(f"unknown metric {self.metric!r}; choose from {_OBJECTIVES}")
+
+    def satisfied_by(self, point: DesignPoint) -> bool:
+        return getattr(point, self.metric) <= self.limit
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated subset, in the input order.
+
+    O(n²) pairwise scan — trade spaces here have at most a few hundred
+    points, far below where a divide-and-conquer front pays off.
+    """
+    front: list[DesignPoint] = []
+    for candidate in points:
+        if any(other.dominates(candidate) for other in points if other is not candidate):
+            continue
+        front.append(candidate)
+    return front
+
+
+def best_under_constraints(
+    points: Iterable[DesignPoint],
+    objective: str,
+    constraints: Sequence[Constraint] = (),
+) -> DesignPoint:
+    """The feasible point minimizing ``objective``.
+
+    Raises
+    ------
+    ValueError
+        If the objective is unknown or no point satisfies every
+        constraint (the error lists the tightest-violated constraint so
+        the caller can see *which* budget is impossible).
+    """
+    if objective not in _OBJECTIVES:
+        raise ValueError(f"unknown objective {objective!r}; choose from {_OBJECTIVES}")
+    feasible = [p for p in points if all(c.satisfied_by(p) for c in constraints)]
+    if not feasible:
+        worst: dict[str, float] = {}
+        for c in constraints:
+            worst[c.metric] = c.limit
+        raise ValueError(
+            f"no design point satisfies the constraints {worst}; "
+            "relax a bound or widen the swept resolutions/devices"
+        )
+    return min(feasible, key=lambda p: getattr(p, objective))

@@ -1,0 +1,203 @@
+"""Design-point enumeration for the precision/resolution trade space.
+
+A *design point* is one way to run the simulation: a device, a precision
+level, and a resolution multiplier relative to a measured base workload.
+Evaluating a point scales the base :class:`WorkloadProfile` to the chosen
+resolution, re-prices its bytes at the chosen precision, and pushes it
+through the roofline/energy/cost models.
+
+Accuracy proxy
+--------------
+Total solution error is modelled with the standard two-term budget
+
+    error(resolution r, precision ε) = C_t · r^(-p)  +  C_r · ε · A(r)
+
+* the **truncation term** falls with resolution at the scheme's
+  convergence order p (first-order for the Rusanov dam-break kernel);
+* the **rounding term** grows slowly with the step count (A(r) ∝ r for a
+  CFL-limited explicit scheme: twice the resolution, twice the steps) and
+  scales with the precision level's unit roundoff ε.
+
+The constants are calibrated per application from two measured runs; the
+*shape* — a precision floor that only matters once resolution has pushed
+truncation error down to it — is what drives every conclusion, including
+the paper's Fig. 3 (Min-HiRes beats Full-LoRes because at these
+resolutions truncation dwarfs float32 rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cost.aws import application_cost
+from repro.machine.counters import WorkloadProfile
+from repro.machine.energy import estimate_energy
+from repro.machine.roofline import RooflineModel
+from repro.machine.specs import DeviceSpec, device
+from repro.precision.policy import PrecisionPolicy, level_from_name
+
+__all__ = ["accuracy_proxy", "DesignPoint", "TradeSpace"]
+
+#: unit roundoff of each level's *state* storage (what limits the floor)
+_LEVEL_EPS = {
+    "half": 2.0**-10,
+    "min": 2.0**-23,
+    "mixed": 2.0**-23,  # state still float32; locals at f64 shrink C_r, not ε
+    "full": 2.0**-52,
+}
+#: mixed mode's double-precision locals shrink the rounding prefactor
+_LEVEL_ROUNDING_PREFACTOR = {"half": 1.0, "min": 1.0, "mixed": 0.35, "full": 1.0}
+
+
+def accuracy_proxy(
+    resolution: float,
+    level: str,
+    truncation_constant: float = 1.0,
+    rounding_constant: float = 1.0,
+    convergence_order: float = 1.0,
+) -> float:
+    """Modelled solution error at a resolution multiplier and precision level.
+
+    ``resolution`` is relative to the base workload (2.0 = twice the cells
+    per side).  Calibrate the constants with
+    :meth:`TradeSpace.calibrate_accuracy` or pass your own.
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    key = level_from_name(level).value
+    eps = _LEVEL_EPS[key]
+    prefactor = _LEVEL_ROUNDING_PREFACTOR[key]
+    truncation = truncation_constant * resolution ** (-convergence_order)
+    rounding = rounding_constant * prefactor * eps * resolution
+    return truncation + rounding
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration in the trade space."""
+
+    device: str
+    level: str
+    resolution: float
+    runtime_s: float
+    energy_j: float
+    memory_gb: float
+    error: float
+    cost_usd: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse on every objective, better on one.
+
+        Objectives (all minimized): runtime, energy, memory, error, cost.
+        """
+        mine = (self.runtime_s, self.energy_j, self.memory_gb, self.error, self.cost_usd)
+        theirs = (other.runtime_s, other.energy_j, other.memory_gb, other.error, other.cost_usd)
+        return all(m <= t for m, t in zip(mine, theirs)) and any(
+            m < t for m, t in zip(mine, theirs)
+        )
+
+
+class TradeSpace:
+    """Enumerate and evaluate (device × precision × resolution) points.
+
+    Parameters
+    ----------
+    base_profiles:
+        Measured :class:`WorkloadProfile` per precision level at
+        resolution 1.0 (e.g. from :func:`repro.harness.experiments.run_clamr_levels`).
+    devices:
+        Device keys to sweep (default: all of the paper's).
+    resolutions:
+        Resolution multipliers to sweep.
+    convergence_order:
+        Scheme order p for the accuracy proxy.
+    work_exponent:
+        How work scales with resolution: cells × steps ∝ r^(d+1) for a
+        d-dimensional CFL-limited explicit code (3.0 for 2-D CLAMR).
+    """
+
+    def __init__(
+        self,
+        base_profiles: Mapping[str, WorkloadProfile],
+        devices: Sequence[str] = ("haswell", "broadwell", "k40m", "k6000", "p100", "titanx"),
+        resolutions: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+        convergence_order: float = 1.0,
+        work_exponent: float = 3.0,
+        truncation_constant: float = 1.0,
+        rounding_constant: float = 1.0,
+        output_gb: float = 0.1,
+    ) -> None:
+        if not base_profiles:
+            raise ValueError("need at least one base profile")
+        self.base_profiles = dict(base_profiles)
+        self.devices = tuple(devices)
+        self.resolutions = tuple(resolutions)
+        self.convergence_order = float(convergence_order)
+        self.work_exponent = float(work_exponent)
+        self.truncation_constant = float(truncation_constant)
+        self.rounding_constant = float(rounding_constant)
+        self.output_gb = float(output_gb)
+
+    def calibrate_accuracy(self, measured_error: float, at_resolution: float = 1.0) -> None:
+        """Pin the truncation constant so the proxy matches one measured error.
+
+        ``measured_error`` should be a discretization-error estimate at
+        full precision (where the rounding term is negligible), e.g. the
+        difference between two resolutions.
+        """
+        if measured_error <= 0:
+            raise ValueError("measured_error must be positive")
+        self.truncation_constant = measured_error * at_resolution**self.convergence_order
+
+    def evaluate(self, device_key: str, level: str, resolution: float) -> DesignPoint:
+        """Evaluate a single configuration."""
+        level = level_from_name(level).value
+        if level not in self.base_profiles:
+            raise KeyError(f"no base profile for level {level!r}; have {sorted(self.base_profiles)}")
+        dev: DeviceSpec = device(device_key)
+        work = resolution**self.work_exponent
+        size = resolution**2.0  # footprint: cells only
+        profile = self.base_profiles[level].scaled(work)
+        import dataclasses
+
+        profile = dataclasses.replace(
+            profile,
+            resident_state_bytes=int(self.base_profiles[level].resident_state_bytes * size),
+        )
+        prediction = RooflineModel(device=dev).predict(profile)
+        energy = estimate_energy(dev, prediction.runtime_s)
+        policy = PrecisionPolicy.from_level(level)
+        cost = application_cost(
+            f"{device_key}/{level}/{resolution}",
+            runtime_s=prediction.runtime_s,
+            output_gb=self.output_gb * size * policy.state_bytes_per_value() / 8.0,
+        )
+        error = accuracy_proxy(
+            resolution,
+            level,
+            truncation_constant=self.truncation_constant,
+            rounding_constant=self.rounding_constant,
+            convergence_order=self.convergence_order,
+        )
+        return DesignPoint(
+            device=dev.name,
+            level=level,
+            resolution=resolution,
+            runtime_s=prediction.runtime_s,
+            energy_j=energy.energy_joules,
+            memory_gb=prediction.memory_gb,
+            error=error,
+            cost_usd=cost.total_usd,
+        )
+
+    def enumerate(self) -> list[DesignPoint]:
+        """Every (device × level × resolution) point, evaluated."""
+        return [
+            self.evaluate(dev, level, res)
+            for dev in self.devices
+            for level in self.base_profiles
+            for res in self.resolutions
+        ]

@@ -1,0 +1,108 @@
+"""Unit tests for checkpoint I/O and the Table III size ratio."""
+
+import numpy as np
+import pytest
+
+from repro.clamr.checkpoint import checkpoint_nbytes, read_checkpoint, write_checkpoint
+from repro.clamr.mesh import AmrMesh
+from repro.clamr.state import ShallowWaterState
+from repro.precision.policy import FULL_PRECISION, HALF_PRECISION, MIN_PRECISION, MIXED_PRECISION
+
+
+def small_setup(policy):
+    mesh = AmrMesh.uniform(4, 4, max_level=1)
+    rng = np.random.default_rng(0)
+    state = ShallowWaterState(
+        H=1.0 + rng.random(16),
+        U=rng.normal(size=16),
+        V=rng.normal(size=16),
+        policy=policy,
+    )
+    return mesh, state
+
+
+class TestSizes:
+    def test_predicted_size_formula(self):
+        # per cell: 3 int32 + 3 state floats
+        assert checkpoint_nbytes(100, FULL_PRECISION) == 40 + 100 * (12 + 24)
+        assert checkpoint_nbytes(100, MIN_PRECISION) == 40 + 100 * (12 + 12)
+
+    def test_two_thirds_ratio_at_scale(self):
+        """The paper's 86M/128M checkpoint ratio is exactly the layout ratio."""
+        n = 3_700_000
+        full = checkpoint_nbytes(n, FULL_PRECISION)
+        minimum = checkpoint_nbytes(n, MIN_PRECISION)
+        assert minimum / full == pytest.approx(2 / 3, rel=1e-4)
+
+    def test_mixed_same_as_min(self):
+        assert checkpoint_nbytes(1000, MIXED_PRECISION) == checkpoint_nbytes(1000, MIN_PRECISION)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            checkpoint_nbytes(-1, FULL_PRECISION)
+
+    def test_written_file_matches_prediction(self, tmp_path):
+        for policy in (MIN_PRECISION, MIXED_PRECISION, FULL_PRECISION):
+            mesh, state = small_setup(policy)
+            path = tmp_path / f"{policy.level.value}.clmr"
+            size = write_checkpoint(path, mesh, state)
+            assert size == checkpoint_nbytes(mesh.ncells, policy)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("policy", [MIN_PRECISION, FULL_PRECISION])
+    def test_roundtrip_bitwise(self, tmp_path, policy):
+        mesh, state = small_setup(policy)
+        path = tmp_path / "ck.clmr"
+        write_checkpoint(path, mesh, state)
+        mesh2, state2 = read_checkpoint(path)
+        assert mesh2.ncells == mesh.ncells
+        np.testing.assert_array_equal(mesh2.i, mesh.i)
+        np.testing.assert_array_equal(mesh2.level, mesh.level)
+        np.testing.assert_array_equal(state2.H, state.H)
+        np.testing.assert_array_equal(state2.V, state.V)
+        assert state2.state_dtype == state.state_dtype
+
+    def test_mixed_reads_back_as_min(self, tmp_path):
+        # the file stores dtype, not policy; float32 state reads as MIN
+        mesh, state = small_setup(MIXED_PRECISION)
+        path = tmp_path / "ck.clmr"
+        write_checkpoint(path, mesh, state)
+        _, state2 = read_checkpoint(path)
+        assert state2.policy.level.value == "min"
+        restored = state2.with_policy(MIXED_PRECISION)
+        assert restored.compute_dtype == np.float64
+
+
+class TestValidation:
+    def test_half_precision_not_supported(self, tmp_path):
+        mesh, _ = small_setup(FULL_PRECISION)
+        state = ShallowWaterState.zeros(mesh.ncells, HALF_PRECISION)
+        with pytest.raises(ValueError, match="float32/float64"):
+            write_checkpoint(tmp_path / "x.clmr", mesh, state)
+
+    def test_cell_count_mismatch(self, tmp_path):
+        mesh, _ = small_setup(FULL_PRECISION)
+        state = ShallowWaterState.zeros(5, FULL_PRECISION)
+        with pytest.raises(ValueError, match="differ"):
+            write_checkpoint(tmp_path / "x.clmr", mesh, state)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.clmr"
+        path.write_bytes(b"NOPE" + b"\x00" * 60)
+        with pytest.raises(ValueError, match="magic"):
+            read_checkpoint(path)
+
+    def test_truncated_file(self, tmp_path):
+        mesh, state = small_setup(FULL_PRECISION)
+        path = tmp_path / "t.clmr"
+        write_checkpoint(path, mesh, state)
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(ValueError, match="size"):
+            read_checkpoint(path)
+
+    def test_too_short_for_header(self, tmp_path):
+        path = tmp_path / "s.clmr"
+        path.write_bytes(b"CL")
+        with pytest.raises(ValueError, match="short"):
+            read_checkpoint(path)

@@ -1,0 +1,91 @@
+"""Tests for the graphics-precision output pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.clamr.graphics import normalize_field, write_pgm, write_ppm
+from repro.precision.policy import FULL_PRECISION, MIN_PRECISION
+
+
+class TestNormalize:
+    def test_range_mapping(self):
+        f = np.array([[0.0, 5.0], [10.0, 2.5]])
+        out = normalize_field(f)
+        assert out.min() == 0.0 and out.max() == 1.0
+        assert out[1, 1] == pytest.approx(0.25)
+
+    def test_graphics_dtype_at_every_policy(self):
+        f = np.ones((2, 2), dtype=np.float64)
+        for policy in (MIN_PRECISION, FULL_PRECISION):
+            assert normalize_field(f, policy).dtype == np.float32
+
+    def test_flat_field_is_gray(self):
+        out = normalize_field(np.full((3, 3), 7.0))
+        np.testing.assert_array_equal(out, 0.5)
+
+    def test_explicit_limits_clip(self):
+        f = np.array([[-1.0, 0.5, 2.0]])
+        out = normalize_field(f.reshape(1, 3), vmin=0.0, vmax=1.0)
+        np.testing.assert_allclose(out, [[0.0, 0.5, 1.0]])
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            normalize_field(np.zeros(5))
+
+
+class TestPgm:
+    def test_roundtrip_header_and_size(self, tmp_path):
+        f = np.random.default_rng(0).random((16, 24))
+        path = tmp_path / "x.pgm"
+        nbytes = write_pgm(path, f)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n24 16\n255\n")
+        assert nbytes == len(raw)
+        assert len(raw) == len(b"P5\n24 16\n255\n") + 16 * 24
+
+    def test_16bit(self, tmp_path):
+        f = np.random.default_rng(1).random((4, 4))
+        path = tmp_path / "x16.pgm"
+        write_pgm(path, f, bit_depth=16)
+        raw = path.read_bytes()
+        assert b"65535" in raw[:20]
+        assert len(raw) == len(b"P5\n4 4\n65535\n") + 4 * 4 * 2
+
+    def test_pixel_values(self, tmp_path):
+        f = np.array([[0.0, 1.0]])
+        path = tmp_path / "bw.pgm"
+        write_pgm(path, f)
+        raw = path.read_bytes()
+        assert raw[-2:] == bytes([0, 255])
+
+    def test_invalid_depth(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2)), bit_depth=12)
+
+
+class TestPpm:
+    def test_header_and_size(self, tmp_path):
+        f = np.random.default_rng(2).random((8, 8))
+        path = tmp_path / "x.ppm"
+        nbytes = write_ppm(path, f)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n8 8\n255\n")
+        assert nbytes == len(raw) == len(b"P6\n8 8\n255\n") + 8 * 8 * 3
+
+    def test_center_is_white(self, tmp_path):
+        f = np.array([[0.9, 1.0, 1.1]])
+        path = tmp_path / "c.ppm"
+        write_ppm(path, f, center=1.0)
+        raw = path.read_bytes()
+        pixels = np.frombuffer(raw[len(b"P6\n3 1\n255\n"):], dtype=np.uint8).reshape(1, 3, 3)
+        np.testing.assert_array_equal(pixels[0, 1], [255, 255, 255])  # white center
+        assert pixels[0, 0, 2] > pixels[0, 0, 0]  # below center: blue-ish
+        assert pixels[0, 2, 0] > pixels[0, 2, 2]  # above center: red-ish
+
+    def test_on_simulation_output(self, tmp_path):
+        from repro.clamr import ClamrSimulation, DamBreakConfig
+
+        sim = ClamrSimulation(DamBreakConfig(nx=16, ny=16, max_level=1), policy="min")
+        res = sim.run(20)
+        nbytes = write_ppm(tmp_path / "dam.ppm", res.field, policy=res.policy, center=1.0)
+        assert nbytes > 0

@@ -1,0 +1,115 @@
+"""Unit tests for the shallow-water state arrays."""
+
+import numpy as np
+import pytest
+
+from repro.clamr.state import GRAVITY, ShallowWaterState
+from repro.precision.policy import FULL_PRECISION, MIN_PRECISION, MIXED_PRECISION
+
+
+class TestConstruction:
+    def test_zeros(self):
+        s = ShallowWaterState.zeros(10, MIN_PRECISION)
+        assert s.ncells == 10
+        assert s.H.dtype == np.float32
+
+    def test_dtype_follows_policy(self):
+        H = np.ones(4)
+        s = ShallowWaterState(H=H, U=np.zeros(4), V=np.zeros(4), policy=MIXED_PRECISION)
+        assert s.state_dtype == np.float32
+        assert s.compute_dtype == np.float64
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ShallowWaterState(H=np.ones(4), U=np.zeros(3), V=np.zeros(4))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ShallowWaterState(H=np.ones((2, 2)), U=np.ones((2, 2)), V=np.ones((2, 2)))
+
+    def test_aliased_components_are_decoupled(self):
+        """Passing the same buffer for U and V must not couple them."""
+        z = np.zeros(4)
+        s = ShallowWaterState(H=np.ones(4), U=z, V=z, policy=FULL_PRECISION)
+        s.U[0] = 5.0
+        assert s.V[0] == 0.0
+
+    def test_aliased_view_decoupled(self):
+        buf = np.zeros(8)
+        s = ShallowWaterState(H=np.ones(4), U=buf[:4], V=buf[4:], policy=FULL_PRECISION)
+        s.U[0] = 5.0
+        assert s.H[0] == 1.0
+
+
+class TestPromotionStore:
+    def test_promoted_gives_compute_dtype(self):
+        s = ShallowWaterState.zeros(5, MIXED_PRECISION)
+        H, U, V = s.promoted()
+        assert H.dtype == np.float64
+
+    def test_promoted_is_view_when_same_dtype(self):
+        s = ShallowWaterState.zeros(5, FULL_PRECISION)
+        H, _, _ = s.promoted()
+        assert H is s.H
+
+    def test_store_rounds_to_state_dtype(self):
+        s = ShallowWaterState.zeros(1, MIXED_PRECISION)
+        value = np.array([1.0 + 2**-30])  # not representable in float32
+        s.store(value, value, value)
+        assert s.H[0] == np.float32(1.0 + 2**-30)
+
+    def test_store_shape_mismatch(self):
+        s = ShallowWaterState.zeros(3, FULL_PRECISION)
+        with pytest.raises(ValueError):
+            s.store(np.zeros(4), np.zeros(4), np.zeros(4))
+
+    def test_store_keeps_buffers(self):
+        s = ShallowWaterState.zeros(3, FULL_PRECISION)
+        buf = s.H
+        s.store(np.ones(3), np.ones(3), np.ones(3))
+        assert s.H is buf
+
+    def test_copy_independent(self):
+        s = ShallowWaterState.zeros(3, FULL_PRECISION)
+        c = s.copy()
+        c.H[0] = 9.0
+        assert s.H[0] == 0.0
+
+    def test_with_policy_rounds(self):
+        s = ShallowWaterState(
+            H=np.array([1.0 + 2**-30]), U=np.zeros(1), V=np.zeros(1), policy=FULL_PRECISION
+        )
+        m = s.with_policy(MIN_PRECISION)
+        assert m.H.dtype == np.float32
+        assert m.H[0] == np.float32(1.0 + 2**-30)
+
+
+class TestConservationSums:
+    def test_total_mass(self):
+        s = ShallowWaterState(
+            H=np.array([2.0, 3.0]), U=np.zeros(2), V=np.zeros(2), policy=FULL_PRECISION
+        )
+        assert s.total_mass(np.array([0.5, 0.5])) == pytest.approx(2.5)
+
+    def test_total_mass_uses_accurate_sum(self):
+        # values engineered so a naive float64 sum loses the small terms
+        n = 1000
+        H = np.concatenate([[1e16], np.full(n, 1.0)])
+        area = np.ones(n + 1)
+        s = ShallowWaterState(H=H, U=np.zeros(n + 1), V=np.zeros(n + 1), policy=FULL_PRECISION)
+        assert s.total_mass(area) == pytest.approx(1e16 + n, abs=1.0)
+
+    def test_total_momentum(self):
+        s = ShallowWaterState(
+            H=np.ones(2), U=np.array([1.0, 2.0]), V=np.array([-1.0, 1.0]), policy=FULL_PRECISION
+        )
+        px, py = s.total_momentum(np.ones(2))
+        assert px == pytest.approx(3.0) and py == pytest.approx(0.0)
+
+    def test_nbytes_scales_with_precision(self):
+        full = ShallowWaterState.zeros(100, FULL_PRECISION)
+        minp = ShallowWaterState.zeros(100, MIN_PRECISION)
+        assert full.nbytes() == 2 * minp.nbytes()
+
+    def test_gravity_constant(self):
+        assert GRAVITY == pytest.approx(9.80)

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_clamr_defaults(self):
+        args = build_parser().parse_args(["clamr"])
+        assert args.nx == 32 and args.policy == "full" and args.scheme == "rusanov"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["clamr", "--policy", "quad"])
+
+    def test_table_number_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "8"])
+        assert build_parser().parse_args(["table", "7"]).number == 7
+
+    def test_figure_number_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "6"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX TITAN X" in out and "32" in out
+
+    def test_clamr_run(self, capsys):
+        assert main(["clamr", "--nx", "8", "--steps", "5", "--max-level", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mass drift" in out
+
+    def test_clamr_muscl_scalar_conflict(self):
+        with pytest.raises(ValueError):
+            main(["clamr", "--nx", "8", "--steps", "2", "--scheme", "muscl", "--scalar"])
+
+    def test_clamr_checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "ck.clmr"
+        assert main(["clamr", "--nx", "8", "--steps", "2", "--max-level", "0",
+                     "--checkpoint", str(path)]) == 0
+        assert path.exists()
+        assert "checkpoint" in capsys.readouterr().out
+
+    def test_self_run(self, capsys):
+        assert main(["self", "--elems", "2", "--order", "2", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "anomaly scale" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--nx", "16", "--steps", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "orders below soln" in out
+
+    def test_compare_bad_levels(self, capsys):
+        assert main(["compare", "--nx", "16", "--steps", "5", "--levels", "min"]) == 2
+
+    def test_table4(self, capsys):
+        assert main(["table", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "GNU" in out and "Intel" in out
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "asymmetry" in out.lower()

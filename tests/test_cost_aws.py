@@ -1,0 +1,113 @@
+"""Unit tests for the AWS cost model (paper §VI / Table VII)."""
+
+import pytest
+
+from repro.cost.aws import (
+    ACCUMULATION_RATE,
+    RATES_2017,
+    TIME_SCALE,
+    application_cost,
+    ec2_monthly_cost,
+    s3_monthly_cost,
+)
+
+# the paper's measured Haswell inputs (Table I / Table V)
+CLAMR_RUNTIMES = {"min": 26.3, "mixed": 29.9, "full": 31.3}
+SELF_RUNTIMES = {"single": 179.5, "double": 270.4}
+CLAMR_FILES_GB = {"min": 0.086, "mixed": 0.086, "full": 0.128}
+
+
+class TestCalibration:
+    """Feeding the paper's own inputs must reproduce Table VII's figures."""
+
+    def test_clamr_full_compute(self):
+        assert ec2_monthly_cost(CLAMR_RUNTIMES["full"]) == pytest.approx(267.07, rel=0.01)
+
+    def test_clamr_min_compute(self):
+        assert ec2_monthly_cost(CLAMR_RUNTIMES["min"]) == pytest.approx(223.22, rel=0.01)
+
+    def test_clamr_mixed_compute(self):
+        assert ec2_monthly_cost(CLAMR_RUNTIMES["mixed"]) == pytest.approx(257.10, rel=0.01)
+
+    def test_clamr_full_storage(self):
+        util = CLAMR_RUNTIMES["full"] * TIME_SCALE
+        assert s3_monthly_cost(CLAMR_FILES_GB["full"], util) == pytest.approx(181.56, rel=0.01)
+
+    def test_clamr_min_storage_is_two_thirds(self):
+        util = CLAMR_RUNTIMES["full"] * TIME_SCALE
+        full = s3_monthly_cost(CLAMR_FILES_GB["full"], util)
+        minimum = s3_monthly_cost(CLAMR_FILES_GB["min"], util)
+        assert minimum / full == pytest.approx(0.086 / 0.128, rel=1e-6)
+        assert minimum == pytest.approx(121.98, rel=0.02)  # paper: 121.66
+
+    def test_self_compute_with_discount(self):
+        # paper: "scaled the compute time down by 50%"
+        double = ec2_monthly_cost(SELF_RUNTIMES["double"], compute_discount=0.5)
+        single = ec2_monthly_cost(SELF_RUNTIMES["single"], compute_discount=0.5)
+        assert double == pytest.approx(1157.94, rel=0.01)
+        assert single == pytest.approx(763.32, rel=0.02)
+
+    def test_clamr_savings_fractions(self):
+        """The paper's claims: ~23% at min, ~15% at mixed."""
+        util = CLAMR_RUNTIMES["full"] * TIME_SCALE
+        totals = {
+            level: ec2_monthly_cost(rt) + s3_monthly_cost(CLAMR_FILES_GB[level], util)
+            for level, rt in CLAMR_RUNTIMES.items()
+        }
+        saving_min = 1.0 - totals["min"] / totals["full"]
+        saving_mixed = 1.0 - totals["mixed"] / totals["full"]
+        assert saving_min == pytest.approx(0.23, abs=0.02)
+        assert saving_mixed == pytest.approx(0.15, abs=0.02)
+
+
+class TestMechanics:
+    def test_utilization_capped_at_full_week(self):
+        # absurd runtime cannot exceed 168 h/week of one instance
+        huge = ec2_monthly_cost(1e6)
+        cap = 168.0 * RATES_2017.weeks_per_month * RATES_2017.c4_8xlarge_per_hour
+        assert huge == pytest.approx(cap)
+
+    def test_zero_runtime_zero_cost(self):
+        assert ec2_monthly_cost(0.0) == 0.0
+        assert s3_monthly_cost(0.0, 10.0) == 0.0
+
+    def test_blended_rate(self):
+        assert RATES_2017.s3_blended_per_gb_month == pytest.approx(0.01775)
+
+    def test_output_reduction_divides(self):
+        a = s3_monthly_cost(1.0, 10.0, output_reduction=5.0)
+        b = s3_monthly_cost(1.0, 10.0, output_reduction=10.0)
+        assert a == pytest.approx(2 * b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ec2_monthly_cost(-1.0)
+        with pytest.raises(ValueError):
+            ec2_monthly_cost(1.0, compute_discount=0.0)
+        with pytest.raises(ValueError):
+            s3_monthly_cost(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            s3_monthly_cost(1.0, 1.0, output_reduction=0.0)
+
+
+class TestApplicationCost:
+    def test_breakdown_total(self):
+        c = application_cost("clamr/full", runtime_s=31.3, output_gb=0.128)
+        assert c.total_usd == pytest.approx(c.compute_usd + c.storage_usd)
+        assert c.total_usd == pytest.approx(448.63, rel=0.02)  # paper total
+
+    def test_storage_reference_mode(self):
+        a = application_cost(
+            "x", runtime_s=10.0, output_gb=0.1,
+            storage_follows_compute=False, reference_runtime_s=20.0,
+        )
+        b = application_cost("y", runtime_s=20.0, output_gb=0.1)
+        assert a.storage_usd == pytest.approx(b.storage_usd)
+        assert a.compute_usd < b.compute_usd
+
+    def test_reference_required(self):
+        with pytest.raises(ValueError, match="reference"):
+            application_cost("x", runtime_s=1.0, output_gb=0.1, storage_follows_compute=False)
+
+    def test_accumulation_rate_positive(self):
+        assert ACCUMULATION_RATE > 0

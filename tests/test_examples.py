@@ -1,0 +1,97 @@
+"""Smoke tests for the example scripts.
+
+Every example is run as a real subprocess (the way a user would) with
+small arguments; an example that raises, hangs, or prints nothing is a
+documentation bug as much as a code bug.  ``bit_sweep`` is exercised at
+reduced width count via its module API instead (its CLI run is minutes).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} printed nothing"
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--nx", "16", "--steps", "40", "--max-level", "1")
+        assert "orders below the solution" in out
+
+    def test_clamr_dam_break(self, tmp_path):
+        out = run_example(
+            "clamr_dam_break.py", "--nx", "16", "--steps", "60", "--outdir", str(tmp_path)
+        )
+        assert "total variation" in out.lower()
+        assert list(tmp_path.glob("*.clmr"))
+
+    def test_self_thermal_bubble(self):
+        out = run_example(
+            "self_thermal_bubble.py", "--elems", "3", "--order", "3", "--steps", "30"
+        )
+        assert "Asymmetry" in out
+
+    def test_architecture_explorer(self):
+        out = run_example("architecture_explorer.py", "--app", "clamr", "--device", "titanx")
+        assert "GTX TITAN X" in out
+
+    def test_precision_tuning(self):
+        out = run_example("precision_tuning.py", "--error-bound", "1e-3")
+        assert "storage cost" in out
+
+    def test_tradespace_explorer(self):
+        out = run_example("tradespace_explorer.py", "--budget-joules", "5000")
+        assert "Pareto front" in out
+
+    def test_parallel_reproducibility(self):
+        out = run_example("parallel_reproducibility.py")
+        assert "bitwise" in out.lower()
+
+    def test_reproduce_paper_subset(self):
+        out = run_example("reproduce_paper.py", "--scale", "quick", "--only", "table4,fig5")
+        assert "GNU" in out and "Fig. 5" in out
+
+
+class TestBitSweepViaApi:
+    def test_example_pipeline_small(self):
+        """The bit_sweep example's pipeline at a reduced width ladder."""
+        import numpy as np
+
+        from repro.clamr import ClamrSimulation, DamBreakConfig
+        from repro.clamr.kernels import FaceLists, compute_timestep, finite_diff_vectorized
+        from repro.precision.bitsweep import sweep_mantissa_bits
+        from repro.precision.emulation import truncate_mantissa
+
+        cfg = DamBreakConfig(nx=10, ny=10, max_level=0, start_refined=False)
+
+        def line(width):
+            sim = ClamrSimulation(cfg, policy="full")
+            faces = FaceLists.from_mesh(sim.mesh)
+            for _ in range(25):
+                dt = compute_timestep(sim.mesh, sim.state, cfg.courant)
+                finite_diff_vectorized(sim.mesh, sim.state, dt, faces=faces)
+                if width is not None:
+                    sim.state.H[...] = truncate_mantissa(sim.state.H, width)
+            field = sim.mesh.sample_to_uniform(sim.state.H.astype(np.float64))
+            return field[:, field.shape[1] // 2]
+
+        ref = line(None)
+        result = sweep_mantissa_bits(
+            lambda w: float(np.max(np.abs(line(w) - ref))), widths=(10, 23)
+        )
+        assert result.errors[0] > result.errors[1]

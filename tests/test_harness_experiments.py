@@ -1,0 +1,231 @@
+"""Shape tests for the table/figure generators at small scale.
+
+These assert the paper's *qualitative* claims — orderings and rough
+factors — on fast, small runs.  The benchmark harness runs the same
+generators at paper-shaped sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import (
+    fig1_clamr_slices,
+    fig2_clamr_asymmetry,
+    fig3_precision_resolution,
+    fig4_self_slices,
+    fig5_self_asymmetry,
+    run_clamr_levels,
+    run_self_precisions,
+    table1_clamr_architectures,
+    table2_clamr_energy,
+    table3_vectorization,
+    table4_compilers,
+    table5_self_architectures,
+    table6_self_energy,
+    table7_cost,
+)
+
+NX, STEPS = 24, 60
+ELEMS, ORDER, SSTEPS = 3, 3, 30
+
+
+@pytest.fixture(scope="module")
+def clamr_runs():
+    return run_clamr_levels(nx=NX, steps=STEPS)
+
+
+@pytest.fixture(scope="module")
+def self_runs():
+    return run_self_precisions(elems=ELEMS, order=ORDER, steps=SSTEPS)
+
+
+class TestTable1(object):
+    def test_orderings(self, clamr_runs):
+        t = table1_clamr_architectures(clamr_runs, nx=NX, steps=STEPS)
+        assert len(t.rows) == 5
+        for row in t.rows:
+            _, mem_min, mem_mixed, mem_full, run_min, run_mixed, run_full, speedup = row
+            assert run_min <= run_mixed <= run_full * 1.0001
+            assert mem_min <= mem_full
+            assert speedup > 0
+
+    def test_titanx_largest_speedup(self, clamr_runs):
+        t = table1_clamr_architectures(clamr_runs, nx=NX, steps=STEPS)
+        speedups = dict(zip(t.column("Arch"), t.column("Speedup (%)")))
+        assert speedups["GTX TITAN X"] == max(speedups.values())
+        assert speedups["GTX TITAN X"] > 200  # paper: 453%
+
+    def test_cpu_speedups_modest(self, clamr_runs):
+        t = table1_clamr_architectures(clamr_runs, nx=NX, steps=STEPS)
+        speedups = dict(zip(t.column("Arch"), t.column("Speedup (%)")))
+        assert speedups["Haswell"] < 100  # paper: 19%
+
+
+class TestTable2(object):
+    def test_energy_orderings(self, clamr_runs):
+        t = table2_clamr_energy(clamr_runs, nx=NX, steps=STEPS)
+        for row in t.rows:
+            _, e_min, e_mixed, e_full = row
+            assert e_min <= e_mixed <= e_full * 1.0001
+
+    def test_titanx_min_energy_smallest_per_device(self, clamr_runs):
+        t = table2_clamr_energy(clamr_runs, nx=NX, steps=STEPS)
+        row = t.row_by_label("GTX TITAN X")
+        assert row[1] < row[3] / 3  # paper: 700 vs 3175 J
+
+
+class TestTable3(object):
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table3_vectorization(nx=16, steps=30)
+
+    def test_vectorized_modeled_faster_than_scalar(self, table):
+        vec = table.row_by_label("modelled Haswell vectorized (s)")
+        unvec = table.row_by_label("modelled Haswell unvectorized (s)")
+        for v, u in zip(vec[1:], unvec[1:]):
+            assert v < u
+
+    def test_vectorized_precision_ordering(self, table):
+        _, v_min, v_mixed, v_full = table.row_by_label("modelled Haswell vectorized (s)")
+        assert v_min < v_full
+        assert v_min <= v_mixed <= v_full * 1.001
+        # paper: 1.9x speedup in vectorized finite_diff at min vs full
+        assert 1.3 < v_full / v_min < 2.5
+
+    def test_unvectorized_mixed_close_to_full(self, table):
+        _, u_min, u_mixed, u_full = table.row_by_label("modelled Haswell unvectorized (s)")
+        assert u_min < u_mixed <= u_full * 1.05
+        # paper: only ~10% gain unvectorized
+        assert u_full / u_min < 1.35
+
+    def test_measured_python_vectorization_wins_big(self, table):
+        sca = table.row_by_label("measured python scalar (s)")
+        vec = table.row_by_label("measured numpy vectorized (s)")
+        assert sca[3] / vec[3] > 3.0  # NumPy >> pure-Python loop
+
+    def test_checkpoint_ratio(self, table):
+        _, c_min, c_mixed, c_full = table.row_by_label("checkpoint size (MB)")
+        assert c_min == c_mixed
+        assert c_min / c_full == pytest.approx(2 / 3, abs=0.01)
+
+
+class TestTable4(object):
+    def test_gnu_inversion_and_intel_normal(self):
+        t = table4_compilers(elems=ELEMS, order=ORDER, steps=20)
+        gnu = t.row_by_label("GNU")
+        intel = t.row_by_label("Intel")
+        assert gnu[1] > gnu[2]  # GNU: single SLOWER than double
+        assert intel[1] < intel[2]  # Intel: single faster
+        assert gnu[2] == pytest.approx(intel[2], rel=0.1)  # doubles similar
+
+
+class TestTable5(object):
+    def test_single_always_wins(self, self_runs):
+        t = table5_self_architectures(self_runs, elems=ELEMS, order=ORDER, steps=SSTEPS)
+        assert len(t.rows) == 6
+        for row in t.rows:
+            _, mem_s, mem_d, run_s, run_d, speedup = row
+            assert run_s < run_d
+            assert mem_s < mem_d
+            assert speedup > 0
+
+    def test_titanx_dominates(self, self_runs):
+        t = table5_self_architectures(self_runs, elems=ELEMS, order=ORDER, steps=SSTEPS)
+        speedups = dict(zip(t.column("Arch"), t.column("Speedup (%)")))
+        assert speedups["GTX TITAN X"] == max(speedups.values())
+        assert speedups["GTX TITAN X"] > 150  # paper: 309%
+
+    def test_scientific_gpus_modest(self, self_runs):
+        t = table5_self_architectures(self_runs, elems=ELEMS, order=ORDER, steps=SSTEPS)
+        speedups = dict(zip(t.column("Arch"), t.column("Speedup (%)")))
+        assert speedups["Tesla P100"] < 120  # paper: 28%
+
+    def test_titanx_single_competes_with_p100_double(self, self_runs):
+        """Paper §V-B2: 'SELF with single precision on the TITAN X
+        outperformed SELF using double precision on the P100.'"""
+        t = table5_self_architectures(self_runs, elems=ELEMS, order=ORDER, steps=SSTEPS)
+        titan_single = t.row_by_label("GTX TITAN X")[3]
+        p100_double = t.row_by_label("Tesla P100")[4]
+        assert titan_single < p100_double * 1.2
+
+
+class TestTable6(object):
+    def test_energy_savings_everywhere(self, self_runs):
+        t = table6_self_energy(self_runs, elems=ELEMS, order=ORDER, steps=SSTEPS)
+        for row in t.rows:
+            _, e_single, e_double = row
+            assert e_single < e_double
+
+    def test_titanx_ratio_largest(self, self_runs):
+        t = table6_self_energy(self_runs, elems=ELEMS, order=ORDER, steps=SSTEPS)
+        ratios = {row[0]: row[2] / row[1] for row in t.rows}
+        assert ratios["GTX TITAN X"] == max(ratios.values())
+
+
+class TestTable7(object):
+    def test_savings_shape(self, clamr_runs, self_runs):
+        t = table7_cost(
+            clamr_runs, self_runs, nx=NX, steps=STEPS,
+            self_elems=ELEMS, self_order=ORDER, self_steps=SSTEPS,
+        )
+        clamr_total = t.row_by_label("CLAMR total")
+        assert clamr_total[1] < clamr_total[2] < clamr_total[3]
+        saving = 1 - clamr_total[1] / clamr_total[3]
+        assert 0.1 < saving < 0.5  # paper: 23%
+        self_total = t.row_by_label("SELF total")
+        saving_self = 1 - self_total[1] / self_total[3]
+        assert 0.1 < saving_self < 0.4  # paper: 20%
+
+    def test_self_storage_precision_blind(self, clamr_runs, self_runs):
+        t = table7_cost(
+            clamr_runs, self_runs, nx=NX, steps=STEPS,
+            self_elems=ELEMS, self_order=ORDER, self_steps=SSTEPS,
+        )
+        row = t.row_by_label("SELF storage")
+        assert row[1] == row[3]
+
+    def test_clamr_storage_ratio_two_thirds(self, clamr_runs, self_runs):
+        t = table7_cost(
+            clamr_runs, self_runs, nx=NX, steps=STEPS,
+            self_elems=ELEMS, self_order=ORDER, self_steps=SSTEPS,
+        )
+        row = t.row_by_label("CLAMR storage")
+        assert row[1] / row[3] == pytest.approx(2 / 3, abs=0.02)
+
+
+class TestFigures(object):
+    def test_fig1_differences_small(self, clamr_runs):
+        f = fig1_clamr_slices(clamr_runs)
+        scale = np.max(np.abs(f.get("height/full").y))
+        dmin = np.max(np.abs(f.get("diff full-min").y))
+        assert dmin < scale * 1e-3  # several orders below the solution
+        assert len(f.series) == 6
+
+    def test_fig2_full_precision_most_symmetric(self, clamr_runs):
+        f = fig2_clamr_asymmetry(clamr_runs)
+        a_full = np.max(np.abs(f.get("full").y))
+        a_min = np.max(np.abs(f.get("min").y))
+        assert a_full <= a_min + 1e-15
+
+    def test_fig3_hires_has_more_structure(self):
+        f = fig3_precision_resolution(nx_lo=16, steps_hint=50)
+        lo = f.get("full/16").y
+        hi = f.get("min/32").y
+        # total variation as the "detail" metric
+        tv_lo = np.abs(np.diff(lo)).sum()
+        tv_hi = np.abs(np.diff(hi)).sum()
+        assert tv_hi > tv_lo
+
+    def test_fig4_diff_orders_below_anomaly(self, self_runs):
+        f = fig4_self_slices(self_runs)
+        scale = np.max(np.abs(f.get("double").y))
+        diff = np.max(np.abs(f.get("diff double-single").y))
+        assert diff < scale * 0.1
+
+    def test_fig5_double_asymmetry_tiny(self, self_runs):
+        f = fig5_self_asymmetry(self_runs)
+        a_double = np.max(np.abs(f.get("double").y))
+        a_single = np.max(np.abs(f.get("single").y))
+        assert a_double <= a_single + 1e-15
+        scale = 2e-3  # anomaly scale
+        assert a_double < scale * 1e-6

@@ -1,0 +1,112 @@
+"""Tests for the paper reference data and shape checking, plus the
+end-to-end paper-vs-measured ordering checks at small scale."""
+
+import pytest
+
+from repro.harness.experiments import (
+    run_clamr_levels,
+    run_self_precisions,
+    table1_clamr_architectures,
+    table5_self_architectures,
+)
+from repro.harness.paper import (
+    FIGURE_CLAIMS,
+    TABLE1_RUNTIMES,
+    TABLE4_COMPILERS,
+    TABLE5_RUNTIMES,
+    TABLE7_COSTS,
+    ShapeCheck,
+    check_ordering,
+)
+
+
+class TestReferenceData:
+    def test_table1_devices(self):
+        assert len(TABLE1_RUNTIMES) == 5
+        assert "Tesla P100" not in TABLE1_RUNTIMES  # no P100 in Table I
+
+    def test_table4_inversion_is_in_the_data(self):
+        assert TABLE4_COMPILERS["GNU"]["single"] > TABLE4_COMPILERS["GNU"]["double"]
+        assert TABLE4_COMPILERS["Intel"]["single"] < TABLE4_COMPILERS["Intel"]["double"]
+
+    def test_table5_titanx_ratio(self):
+        t = TABLE5_RUNTIMES["GTX TITAN X"]
+        assert t["double"] / t["single"] == pytest.approx(3.09, abs=0.02)
+
+    def test_table7_savings(self):
+        c = TABLE7_COSTS["CLAMR total"]
+        assert 1 - c["min"] / c["full"] == pytest.approx(0.23, abs=0.01)
+        s = TABLE7_COSTS["SELF total"]
+        assert 1 - s["single"] / s["double"] == pytest.approx(0.20, abs=0.01)
+
+    def test_figure_claims_present(self):
+        assert set(FIGURE_CLAIMS) == {"fig1", "fig2", "fig3", "fig4", "fig5"}
+
+
+class TestCheckOrdering:
+    def test_matching_order_passes(self):
+        check = check_ordering(
+            "x", "c", measured={"a": 1.0, "b": 2.0}, reference={"a": 10.0, "b": 20.0}
+        )
+        assert check.passed
+        assert "a=1" in check.evidence
+
+    def test_measured_tie_accepted(self):
+        # a memory-bound device can collapse min and mixed legitimately
+        check = check_ordering(
+            "x", "c", measured={"a": 2.0, "b": 2.0}, reference={"a": 10.0, "b": 20.0}
+        )
+        assert check.passed
+
+    def test_inverted_order_fails(self):
+        check = check_ordering(
+            "x", "c", measured={"a": 3.0, "b": 2.0}, reference={"a": 10.0, "b": 20.0}
+        )
+        assert not check.passed
+
+    def test_reference_tie_imposes_nothing(self):
+        check = check_ordering(
+            "x", "c", measured={"a": 5.0, "b": 1.0}, reference={"a": 7.0, "b": 7.0}
+        )
+        assert check.passed
+
+    def test_missing_measured_keys_skipped(self):
+        check = check_ordering("x", "c", measured={"a": 1.0}, reference={"a": 2.0, "b": 3.0})
+        assert check.passed
+
+    def test_str_rendering(self):
+        s = str(ShapeCheck(name="n", claim="c", passed=False, evidence="e"))
+        assert "FAIL" in s and "n" in s
+
+
+class TestEndToEndOrderings:
+    """The reproduction's core contract, executed at small scale: measured
+    per-device precision orderings match the paper's."""
+
+    @pytest.fixture(scope="class")
+    def table1(self):
+        runs = run_clamr_levels(nx=24, steps=60)
+        return table1_clamr_architectures(runs, nx=24, steps=60)
+
+    @pytest.fixture(scope="class")
+    def table5(self):
+        runs = run_self_precisions(elems=3, order=3, steps=30)
+        return table5_self_architectures(runs, elems=3, order=3, steps=30)
+
+    def test_table1_per_device_orderings(self, table1):
+        for row in table1.rows:
+            arch = row[0]
+            measured = {"min": row[4], "mixed": row[5], "full": row[6]}
+            check = check_ordering(
+                f"table1/{arch}", "min <= mixed <= full", measured, TABLE1_RUNTIMES[arch]
+            )
+            assert check.passed, check.evidence
+
+    def test_table5_per_device_orderings(self, table5):
+        for row in table5.rows:
+            arch = row[0]
+            measured = {"single": row[3], "double": row[4]}
+            check = check_ordering(
+                f"table5/{arch}", "single < double", measured, TABLE5_RUNTIMES[arch]
+            )
+            assert check.passed, check.evidence

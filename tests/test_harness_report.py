@@ -1,0 +1,103 @@
+"""Unit tests for table/figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.harness.report import Figure, Series, Table, format_value, render_figure, render_table
+
+
+class TestFormatValue:
+    def test_ints(self):
+        assert format_value(42) == "42"
+        assert format_value(np.int64(7)) == "7"
+
+    def test_floats(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(0.0) == "0"
+        assert format_value(1.5e-7) == "1.500e-07"
+        assert format_value(123456.0) == "1.235e+05"
+
+    def test_bool_and_str(self):
+        assert format_value(True) == "True"
+        assert format_value("abc") == "abc"
+
+
+class TestTable:
+    def make(self):
+        t = Table(title="T", headers=["name", "a", "b"])
+        t.add_row("x", 1.0, 2.0)
+        t.add_row("y", 3.0, 4.0)
+        return t
+
+    def test_add_row_validates_width(self):
+        t = self.make()
+        with pytest.raises(ValueError):
+            t.add_row("z", 1.0)
+
+    def test_column_extraction(self):
+        t = self.make()
+        assert t.column("a") == [1.0, 3.0]
+
+    def test_column_missing(self):
+        with pytest.raises(KeyError, match="no column"):
+            self.make().column("zz")
+
+    def test_row_by_label(self):
+        assert self.make().row_by_label("y") == ["y", 3.0, 4.0]
+        with pytest.raises(KeyError):
+            self.make().row_by_label("zzz")
+
+    def test_render_contains_everything(self):
+        t = self.make()
+        t.notes.append("a note")
+        text = render_table(t)
+        for token in ("T", "name", "a", "b", "x", "y", "note: a note"):
+            assert token in text
+
+    def test_render_aligns_columns(self):
+        lines = render_table(self.make()).splitlines()
+        header_line = next(l for l in lines if "name" in l)
+        row_line = next(l for l in lines if l.strip().startswith("x"))
+        # separators sit at the same offsets in header and data rows
+        assert [i for i, c in enumerate(header_line) if c == "|"] == [
+            i for i, c in enumerate(row_line) if c == "|"
+        ]
+
+
+class TestFigure:
+    def make(self):
+        x = np.linspace(0, 1, 16)
+        f = Figure(title="F", x=x)
+        f.add_series("sin", np.sin(x))
+        f.add_series("cos", np.cos(x))
+        return f
+
+    def test_series_lookup(self):
+        f = self.make()
+        assert f.get("sin").name == "sin"
+        with pytest.raises(KeyError):
+            f.get("tan")
+
+    def test_length_mismatch_rejected(self):
+        f = self.make()
+        with pytest.raises(ValueError):
+            f.add_series("bad", np.zeros(5))
+
+    def test_render_has_legend_and_axes(self):
+        text = render_figure(self.make())
+        assert "legend" in text
+        assert "sin" in text and "cos" in text
+        assert "y in [" in text
+
+    def test_render_empty(self):
+        f = Figure(title="E", x=np.zeros(3))
+        assert "no series" in f.render()
+
+    def test_constant_series_renders(self):
+        f = Figure(title="C", x=np.arange(4.0))
+        f.add_series("flat", np.ones(4))
+        assert "flat" in f.render()
+
+    def test_series_dataclass(self):
+        s = Series(name="s", y=[1, 2, 3])
+        assert s.y.dtype == np.float64

@@ -1,0 +1,51 @@
+"""Tests for the time/parameter sweep experiments."""
+
+import numpy as np
+import pytest
+
+from repro.harness.sweeps import asymmetry_growth, divergence_growth, resolution_sweep
+
+
+class TestDivergenceGrowth:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return divergence_growth(nx=24, total_steps=120, chunk=40)
+
+    def test_sampling_structure(self, samples):
+        assert samples.steps == (40, 80, 120)
+        assert set(samples.values) == {"min", "mixed"}
+        assert len(samples.meshes_agree) == 3
+
+    def test_divergence_nonzero_and_small(self, samples):
+        final = samples.values["min"][-1]
+        assert 0.0 < final < 1e-3  # present, but far below the solution
+
+    def test_meshes_agree_at_small_scale(self, samples):
+        assert all(samples.meshes_agree)
+
+    def test_figure_conversion(self, samples):
+        fig = samples.figure("d", "max |ΔH|")
+        assert {s.name for s in fig.series} == {"min", "mixed"}
+        assert fig.x.shape == (3,)
+
+
+class TestAsymmetryGrowth:
+    def test_full_stays_at_floor(self):
+        samples = asymmetry_growth(nx=16, total_steps=80, chunk=40)
+        assert max(samples.values["full"]) < 1e-12
+        assert max(samples.values["min"]) >= max(samples.values["full"])
+
+    def test_monotone_nondecreasing_for_min_roughly(self):
+        samples = asymmetry_growth(nx=16, total_steps=120, chunk=40)
+        vals = samples.values["min"]
+        # asymmetry accumulates: the last sample is at least the first
+        assert vals[-1] >= vals[0]
+
+
+class TestResolutionSweep:
+    def test_fidelity_claim_resolution_robust(self):
+        out = resolution_sweep(sizes=(12, 24), steps_per_cell=3)
+        assert set(out) == {12, 24}
+        # at every size, min-vs-full stays several orders below the solution
+        for orders in out.values():
+            assert orders > 4.0

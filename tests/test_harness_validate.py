@@ -1,0 +1,32 @@
+"""End-to-end validation-suite tests."""
+
+import pytest
+
+from repro.harness.validate import SCALES, validate_reproduction
+
+
+class TestValidate:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            validate_reproduction("huge")
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"quick", "bench"}
+
+    @pytest.mark.slow
+    def test_all_claims_reproduce_at_quick_scale(self):
+        checks = validate_reproduction("quick")
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "\n".join(str(c) for c in failed)
+        # coverage: every table and figure contributes at least one check
+        names = {c.name.split("/")[0] for c in checks}
+        assert {f"table{i}" for i in range(1, 8)} <= names
+        assert {f"fig{i}" for i in range(1, 6)} <= names
+
+    @pytest.mark.slow
+    def test_validate_cli_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out

@@ -1,0 +1,263 @@
+"""Unit tests for repro.machine: specs, counters, roofline, energy, compiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.compiler import GNU, INTEL, CompilerModel
+from repro.machine.counters import CountedWorkload, KernelCounters, WorkloadProfile
+from repro.machine.energy import estimate_energy
+from repro.machine.roofline import RooflineModel, arithmetic_intensity, predict_runtime
+from repro.machine.specs import CLAMR_DEVICE_ORDER, DEVICES, SELF_DEVICE_ORDER, DeviceKind, device
+
+
+def profile(
+    flops=10_000_000_000,
+    state_bytes=10_000_000_000,
+    state_itemsize=8,
+    compute_itemsize=8,
+    **kw,
+):
+    return WorkloadProfile(
+        name="test",
+        flops=flops,
+        state_bytes=state_bytes,
+        state_itemsize=state_itemsize,
+        compute_itemsize=compute_itemsize,
+        resident_state_bytes=10**9,
+        **kw,
+    )
+
+
+class TestSpecs:
+    def test_all_paper_devices_present(self):
+        for key in ("haswell", "broadwell", "k40m", "k6000", "p100", "titanx"):
+            assert key in DEVICES
+
+    def test_device_orders_match_paper_tables(self):
+        assert len(CLAMR_DEVICE_ORDER) == 5  # no P100 in Table I
+        assert len(SELF_DEVICE_ORDER) == 6
+        assert "p100" not in CLAMR_DEVICE_ORDER
+
+    def test_titanx_is_the_32_to_1_card(self):
+        assert device("titanx").sp_dp_ratio == pytest.approx(32.0, rel=0.01)
+
+    def test_scientific_gpus_are_2_or_3_to_1(self):
+        for key in ("k40m", "k6000", "p100"):
+            assert device(key).sp_dp_ratio <= 3.01
+
+    def test_peak_gflops_by_itemsize(self):
+        d = device("haswell")
+        assert d.peak_gflops(8) == d.dp_gflops
+        assert d.peak_gflops(4) == d.sp_gflops
+        assert d.peak_gflops(2) == d.sp_gflops  # no native fp16 pipes
+
+    def test_lookup_case_insensitive(self):
+        assert device("  Haswell ").name == "Haswell"
+
+    def test_unknown_device_raises_with_choices(self):
+        with pytest.raises(KeyError, match="known devices"):
+            device("a100")
+
+    def test_cpu_gpu_kinds(self):
+        assert device("haswell").kind is DeviceKind.CPU
+        assert device("p100").kind is DeviceKind.GPU
+
+
+class TestCounters:
+    def test_add_and_merge(self):
+        a = KernelCounters()
+        a.add(flops=10, state_bytes=20, fixed_bytes=2)
+        b = KernelCounters()
+        b.add(flops=5, compute_bytes=7)
+        a.merge(b)
+        assert (a.flops, a.state_bytes, a.compute_bytes, a.fixed_bytes) == (15, 20, 7, 2)
+        assert a.invocations == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCounters().add(flops=-1)
+
+    def test_profile_freeze(self):
+        w = CountedWorkload(name="x", state_itemsize=4, compute_itemsize=8)
+        w.counters.add(flops=100, state_bytes=400)
+        p = w.profile()
+        assert p.flops == 100 and p.state_itemsize == 4 and p.compute_itemsize == 8
+
+    def test_scaled(self):
+        p = profile().scaled(2.5)
+        assert p.flops == 25_000_000_000
+        assert p.resident_state_bytes == 10**9  # footprint unchanged
+
+    def test_scaled_resident(self):
+        p = profile().scaled_resident(2.0)
+        assert p.resident_state_bytes == 2 * 10**9
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            profile().scaled(0.0)
+
+    def test_invalid_vectorizable_fraction(self):
+        with pytest.raises(ValueError):
+            profile(vectorizable_fraction=1.5)
+
+    def test_invalid_itemsize(self):
+        with pytest.raises(ValueError):
+            profile(state_itemsize=3)
+
+    def test_arithmetic_intensity(self):
+        assert arithmetic_intensity(profile(flops=100, state_bytes=50)) == 2.0
+        assert arithmetic_intensity(profile(state_bytes=0)) == np.inf
+
+
+class TestRoofline:
+    def test_memory_bound_detection(self):
+        # 0.1 flop/byte on a CPU: clearly memory-bound
+        p = profile(flops=10**9, state_bytes=10**10)
+        pred = RooflineModel(device=device("haswell")).predict(p)
+        assert pred.is_memory_bound
+        assert pred.runtime_s == pytest.approx(pred.memory_time_s + pred.overhead_s)
+
+    def test_compute_bound_detection(self):
+        p = profile(flops=10**13, state_bytes=10**8)
+        pred = RooflineModel(device=device("haswell")).predict(p)
+        assert not pred.is_memory_bound
+
+    def test_single_precision_halves_memory_time(self):
+        full = profile(state_itemsize=8, compute_itemsize=8)
+        minp = profile(state_bytes=full.state_bytes // 2, state_itemsize=4, compute_itemsize=4)
+        model = RooflineModel(device=device("haswell"))
+        assert model.predict(minp).memory_time_s == pytest.approx(
+            model.predict(full).memory_time_s / 2
+        )
+
+    def test_fixed_bytes_do_not_scale_with_precision(self):
+        base = dict(flops=10**9, state_bytes=10**10)
+        full = profile(**base, fixed_bytes=10**10)
+        model = RooflineModel(device=device("haswell"))
+        t_full = model.predict(full).memory_time_s
+        half_state = profile(
+            flops=10**9, state_bytes=5 * 10**9, state_itemsize=4, compute_itemsize=4, fixed_bytes=10**10
+        )
+        t_min = model.predict(half_state).memory_time_s
+        # less than 2x because the fixed traffic stays
+        assert 1.0 < t_full / t_min < 2.0
+
+    def test_unvectorized_cpu_slower(self):
+        p = profile(flops=10**12, state_bytes=10**9)
+        fast = RooflineModel(device=device("haswell"), vectorized=True).predict(p).runtime_s
+        slow = RooflineModel(device=device("haswell"), vectorized=False).predict(p).runtime_s
+        assert slow > fast
+
+    def test_vectorization_ignored_on_gpu(self):
+        p = profile(flops=10**12, state_bytes=10**9)
+        a = RooflineModel(device=device("p100"), vectorized=True).predict(p).runtime_s
+        b = RooflineModel(device=device("p100"), vectorized=False).predict(p).runtime_s
+        assert a == b
+
+    def test_titanx_dp_penalty(self):
+        p = profile(flops=10**12, state_bytes=10**8, compute_itemsize=8)
+        p_sp = profile(flops=10**12, state_bytes=10**8, state_itemsize=4, compute_itemsize=4)
+        model = RooflineModel(device=device("titanx"))
+        assert model.predict(p).runtime_s / model.predict(p_sp).runtime_s > 4.0
+
+    def test_dense_compute_bump_only_on_starved_gpus(self):
+        dense = profile(flops=10**12, state_bytes=10**8, dense_compute=True)
+        sparse = profile(flops=10**12, state_bytes=10**8, dense_compute=False)
+        titan = RooflineModel(device=device("titanx"))
+        assert titan.predict(dense).compute_time_s < titan.predict(sparse).compute_time_s
+        # P100 (2:1) gets no bump
+        p100 = RooflineModel(device=device("p100"))
+        assert p100.predict(dense).compute_time_s == p100.predict(sparse).compute_time_s
+        # and single-precision work gets no bump anywhere
+        dense_sp = profile(
+            flops=10**12, state_bytes=10**8, state_itemsize=4, compute_itemsize=4, dense_compute=True
+        )
+        sparse_sp = profile(
+            flops=10**12, state_bytes=10**8, state_itemsize=4, compute_itemsize=4, dense_compute=False
+        )
+        assert titan.predict(dense_sp).compute_time_s == titan.predict(sparse_sp).compute_time_s
+
+    def test_memory_gb_includes_base(self):
+        pred = RooflineModel(device=device("haswell")).predict(profile())
+        assert pred.memory_gb == pytest.approx(device("haswell").base_memory_gb + 1.0)
+
+    def test_invalid_efficiencies(self):
+        with pytest.raises(ValueError):
+            RooflineModel(device=device("haswell"), compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            RooflineModel(device=device("haswell"), bandwidth_efficiency=1.5)
+
+    @given(st.floats(min_value=1.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_work(self, factor):
+        p = profile()
+        base = predict_runtime(p, device("broadwell"))
+        more = predict_runtime(p.scaled(factor), device("broadwell"))
+        assert more > base
+
+
+class TestEnergy:
+    def test_tdp_times_runtime(self):
+        e = estimate_energy(device("haswell"), runtime_s=10.0)
+        assert e.energy_joules == pytest.approx(1050.0)
+        assert e.power_watts == 105.0
+
+    def test_activity_factor(self):
+        e = estimate_energy(device("p100"), runtime_s=4.0, activity_factor=0.5)
+        assert e.energy_joules == pytest.approx(500.0)
+
+    def test_kwh(self):
+        e = estimate_energy(device("haswell"), runtime_s=3600.0)
+        assert e.energy_kwh == pytest.approx(0.105)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_energy(device("haswell"), runtime_s=-1.0)
+        with pytest.raises(ValueError):
+            estimate_energy(device("haswell"), runtime_s=1.0, activity_factor=0.0)
+
+
+class TestCompilerModels:
+    def test_gnu_inversion(self):
+        """The Table IV anomaly: GNU single slower than GNU double."""
+        single = profile(flops=10**12, state_bytes=10**9, state_itemsize=4, compute_itemsize=4)
+        double = profile(flops=10**12, state_bytes=2 * 10**9, state_itemsize=8, compute_itemsize=8)
+        t_single = GNU.runtime(single, device("haswell"))
+        t_double = GNU.runtime(double, device("haswell"))
+        assert t_single > t_double
+        # calibrated ratio ~ 304/262
+        assert t_single / t_double == pytest.approx(304.09 / 261.65, rel=0.05)
+
+    def test_intel_normal_ordering(self):
+        single = profile(flops=10**12, state_bytes=10**9, state_itemsize=4, compute_itemsize=4)
+        double = profile(flops=10**12, state_bytes=2 * 10**9, state_itemsize=8, compute_itemsize=8)
+        t_single = INTEL.runtime(single, device("haswell"))
+        t_double = INTEL.runtime(double, device("haswell"))
+        assert t_single < t_double
+        assert t_single / t_double == pytest.approx(185.89 / 252.85, rel=0.05)
+
+    def test_compilers_similar_at_double(self):
+        double = profile(flops=10**12, state_bytes=2 * 10**9, state_itemsize=8, compute_itemsize=8)
+        t_gnu = GNU.runtime(double, device("haswell"))
+        t_intel = INTEL.runtime(double, device("haswell"))
+        assert t_intel < t_gnu  # Intel slightly ahead
+        assert t_gnu / t_intel < 1.1  # but close, as in Table IV
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompilerModel(name="x", scalar_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CompilerModel(name="x", scalar_efficiency=0.5, auto_simd_single=0.5)
+        with pytest.raises(ValueError):
+            CompilerModel(name="x", scalar_efficiency=0.5, promotion_fraction_single=2.0)
+        with pytest.raises(ValueError):
+            CompilerModel(name="x", scalar_efficiency=0.5, conversion_cost=-1.0)
+
+    def test_effective_flops_only_penalizes_single(self):
+        single = profile(state_itemsize=4, compute_itemsize=4)
+        double = profile(state_itemsize=8, compute_itemsize=8)
+        assert GNU.effective_flops(single) > single.flops
+        assert GNU.effective_flops(double) == double.flops
+        assert INTEL.effective_flops(single) == single.flops

@@ -1,0 +1,84 @@
+"""Tests for the bottom-up energy model."""
+
+import pytest
+
+from repro.machine.counters import WorkloadProfile
+from repro.machine.opcost import DEFAULT_COSTS, OperationCosts, estimate_energy_bottomup
+from repro.machine.specs import device
+
+
+def profile(state_itemsize=8, compute_itemsize=8, flops=10**12, state_bytes=10**12):
+    return WorkloadProfile(
+        name="t",
+        flops=flops,
+        state_bytes=state_bytes,
+        state_itemsize=state_itemsize,
+        compute_itemsize=compute_itemsize,
+        resident_state_bytes=0,
+    )
+
+
+class TestCosts:
+    def test_dp_more_expensive_than_sp(self):
+        assert DEFAULT_COSTS.pj_per_flop(8) > DEFAULT_COSTS.pj_per_flop(4) > DEFAULT_COSTS.pj_per_flop(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperationCosts(pj_per_flop_dp=0.0)
+        with pytest.raises(ValueError):
+            OperationCosts(static_fraction_of_tdp=1.0)
+
+
+class TestBottomUp:
+    def test_components_add(self):
+        p = profile()
+        dev = device("haswell")
+        e = estimate_energy_bottomup(p, dev, runtime_s=10.0)
+        flop_part = 10**12 * 20e-12
+        mem_part = 10**12 * 15e-12
+        static = 105.0 * 0.30 * 10.0
+        assert e.energy_joules == pytest.approx(flop_part + mem_part + static)
+
+    def test_precision_savings_exceed_runtime_savings(self):
+        """The module's reason to exist: bottom-up, min precision saves on
+        every term, so the energy ratio beats the runtime ratio."""
+        dev = device("haswell")
+        full = profile(state_itemsize=8, compute_itemsize=8)
+        minp = profile(
+            state_itemsize=4, compute_itemsize=4, state_bytes=full.state_bytes // 2
+        )
+        t_full, t_min = 10.0, 6.0  # some runtime gain
+        e_full = estimate_energy_bottomup(full, dev, t_full).energy_joules
+        e_min = estimate_energy_bottomup(minp, dev, t_min).energy_joules
+        runtime_ratio = t_min / t_full
+        energy_ratio = e_min / e_full
+        assert energy_ratio < runtime_ratio
+
+    def test_tdp_times_time_is_blind_to_op_width(self):
+        """Contrast case: the paper's estimator only sees the runtime."""
+        from repro.machine.energy import estimate_energy
+
+        dev = device("p100")
+        same_runtime = 5.0
+        a = estimate_energy(dev, same_runtime).energy_joules
+        b = estimate_energy(dev, same_runtime).energy_joules
+        assert a == b  # no dependence on what ran
+
+    def test_zero_runtime(self):
+        e = estimate_energy_bottomup(profile(), device("haswell"), 0.0)
+        assert e.energy_joules > 0  # dynamic part remains
+        assert e.power_watts > 0
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_energy_bottomup(profile(), device("haswell"), -1.0)
+
+    def test_fixed_bytes_priced(self):
+        import dataclasses
+
+        p = profile()
+        p2 = dataclasses.replace(p, fixed_bytes=10**12)
+        dev = device("haswell")
+        a = estimate_energy_bottomup(p, dev, 1.0).energy_joules
+        b = estimate_energy_bottomup(p2, dev, 1.0).energy_joules
+        assert b - a == pytest.approx(10**12 * 15e-12)

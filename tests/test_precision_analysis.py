@@ -1,0 +1,162 @@
+"""Unit + property tests for repro.precision.analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.precision.analysis import (
+    asymmetry_signature,
+    difference_metrics,
+    digits_of_agreement,
+    line_out,
+    mirror_asymmetry,
+)
+
+
+class TestLineOut:
+    def test_2d_axis0_is_vertical_cut(self):
+        field = np.arange(12.0).reshape(3, 4)
+        cut = line_out(field, axis=0)
+        np.testing.assert_array_equal(cut, field[:, 2])
+
+    def test_2d_axis1_is_horizontal_cut(self):
+        field = np.arange(12.0).reshape(3, 4)
+        cut = line_out(field, axis=1)
+        np.testing.assert_array_equal(cut, field[1, :])
+
+    def test_3d_center(self):
+        field = np.arange(27.0).reshape(3, 3, 3)
+        cut = line_out(field, axis=2)
+        np.testing.assert_array_equal(cut, field[1, 1, :])
+
+    def test_explicit_index(self):
+        field = np.arange(16.0).reshape(4, 4)
+        cut = line_out(field, axis=0, index=0)
+        np.testing.assert_array_equal(cut, field[:, 0])
+
+    def test_output_is_graphics_precision(self):
+        assert line_out(np.zeros((4, 4)), axis=0).dtype == np.float32
+
+    def test_negative_axis(self):
+        field = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_array_equal(line_out(field, axis=-1), field[1, :])
+
+    def test_bad_ndim_raises(self):
+        with pytest.raises(ValueError):
+            line_out(np.zeros((2, 2, 2, 2)))
+
+    def test_bad_axis_raises(self):
+        with pytest.raises(ValueError):
+            line_out(np.zeros((4, 4)), axis=5)
+
+    def test_bad_index_raises(self):
+        with pytest.raises(ValueError):
+            line_out(np.zeros((4, 4)), axis=0, index=10)
+
+
+class TestMirrorAsymmetry:
+    def test_symmetric_input_gives_zero(self):
+        v = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+        np.testing.assert_array_equal(mirror_asymmetry(v), [0.0, 0.0])
+
+    def test_even_length(self):
+        v = np.array([1.0, 2.0, 2.0, 1.5])
+        np.testing.assert_allclose(mirror_asymmetry(v), [-0.5, 0.0])
+
+    def test_antisymmetric_input(self):
+        v = np.array([-2.0, -1.0, 0.0, 1.0, 2.0])
+        np.testing.assert_allclose(mirror_asymmetry(v), [-4.0, -2.0])
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            mirror_asymmetry(np.zeros((3, 3)))
+
+    @given(
+        arrays(np.float64, st.integers(2, 64), elements=st.floats(-1e6, 1e6))
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mirroring_input_flips_sign(self, v):
+        a = mirror_asymmetry(v)
+        b = mirror_asymmetry(v[::-1])
+        np.testing.assert_allclose(a, -b[: a.size][::-1] if False else -b, rtol=0, atol=0)
+
+
+class TestAsymmetrySignature:
+    def test_symmetric_signature(self):
+        sig = asymmetry_signature(np.array([1.0, 2.0, 1.0]))
+        assert sig.max_abs == 0.0
+        assert sig.rms == 0.0
+        assert sig.bias_fraction == 0.5  # no nonzero samples -> neutral
+
+    def test_positive_bias_detected(self):
+        v = np.array([2.0, 2.0, 0.0, 1.0, 1.0])  # left half larger
+        sig = asymmetry_signature(v)
+        assert sig.bias_fraction == 1.0
+        assert sig.max_abs == 1.0
+        assert sig.relative_max == 0.5
+
+    def test_relative_max_zero_scale(self):
+        sig = asymmetry_signature(np.zeros(6))
+        assert sig.relative_max == 0.0
+
+
+class TestDifferenceMetrics:
+    def test_identical_inputs(self):
+        d = difference_metrics(np.ones(8), np.ones(8))
+        assert d.max_abs == 0.0
+        assert d.orders_below_solution == np.inf
+        assert d.within(6.0)
+
+    def test_known_difference(self):
+        a = np.full(4, 100.0)
+        b = a + 1e-4
+        d = difference_metrics(a, b)
+        assert d.max_abs == pytest.approx(1e-4)
+        assert d.solution_scale == 100.0
+        assert d.orders_below_solution == pytest.approx(6.0, abs=1e-6)
+        assert d.within(5.9) and not d.within(6.1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            difference_metrics(np.ones(3), np.ones(4))
+
+    def test_zero_reference_nonzero_diff(self):
+        d = difference_metrics(np.zeros(3), np.ones(3))
+        assert d.orders_below_solution == -np.inf
+
+    @given(
+        arrays(np.float64, 16, elements=st.floats(-1e3, 1e3)),
+        arrays(np.float64, 16, elements=st.floats(-1e3, 1e3)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rms_at_most_max(self, a, b):
+        d = difference_metrics(a, b)
+        assert d.rms <= d.max_abs + 1e-12
+
+
+class TestDigitsOfAgreement:
+    def test_identical_is_17(self):
+        assert digits_of_agreement(np.ones(5), np.ones(5)) == 17.0
+
+    def test_seven_digits(self):
+        a = np.full(9, 1.0)
+        b = a * (1 + 1e-7)
+        assert digits_of_agreement(a, b) == pytest.approx(7.0, abs=0.01)
+
+    def test_total_disagreement_on_zero_reference(self):
+        assert digits_of_agreement(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_empty_arrays(self):
+        assert digits_of_agreement(np.array([]), np.array([])) == 17.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            digits_of_agreement(np.ones(2), np.ones(3))
+
+    def test_median_robust_to_outlier(self):
+        a = np.full(11, 1.0)
+        b = a.copy()
+        b[0] = 2.0  # one element disagrees wildly
+        assert digits_of_agreement(a, b) == 17.0

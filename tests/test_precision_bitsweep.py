@@ -1,0 +1,110 @@
+"""Tests for the bit-level precision sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro.precision.bitsweep import BitSweepResult, minimum_safe_bits, sweep_mantissa_bits
+
+
+def synthetic_run(width: int) -> float:
+    """Error that halves per extra bit — the ideal rounding-limited curve."""
+    return 2.0 ** (-width)
+
+
+class TestSweep:
+    def test_curve_shape(self):
+        result = sweep_mantissa_bits(synthetic_run, widths=(4, 8, 16))
+        assert result.widths == (4, 8, 16)
+        assert result.errors == (2.0**-4, 2.0**-8, 2.0**-16)
+        assert result.monotone
+
+    def test_widths_normalized(self):
+        result = sweep_mantissa_bits(synthetic_run, widths=(16, 4, 8, 8))
+        assert result.widths == (4, 8, 16)
+
+    def test_recommendation(self):
+        result = sweep_mantissa_bits(synthetic_run, widths=(4, 8, 16, 23), error_bound=1e-3)
+        assert result.recommended_bits == 16  # 2^-16 is the first <= 1e-3... 2^-8=4e-3>1e-3
+        assert result.error_bound == 1e-3
+
+    def test_no_width_meets_bound(self):
+        result = sweep_mantissa_bits(synthetic_run, widths=(2, 4), error_bound=1e-9)
+        assert result.recommended_bits is None
+
+    def test_nonmonotone_flagged(self):
+        errors = {4: 1.0, 8: 2.0, 16: 0.5}
+        result = sweep_mantissa_bits(lambda w: errors[w], widths=(4, 8, 16))
+        assert not result.monotone
+
+    def test_to_rows(self):
+        result = sweep_mantissa_bits(synthetic_run, widths=(4, 23), error_bound=1e-3)
+        rows = result.to_rows()
+        assert rows[0][0] == 4 and rows[0][2] == "no"
+        assert rows[1][0] == 23 and rows[1][2] == "yes"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep_mantissa_bits(synthetic_run, widths=())
+        with pytest.raises(ValueError):
+            sweep_mantissa_bits(synthetic_run, widths=(60,))
+        with pytest.raises(ValueError):
+            sweep_mantissa_bits(lambda w: float("nan"), widths=(4,))
+        with pytest.raises(ValueError):
+            sweep_mantissa_bits(lambda w: -1.0, widths=(4,))
+
+
+class TestMinimumSafeBits:
+    def test_finds_threshold(self):
+        # error 2^-w; bound 1e-3 -> smallest w with 2^-w <= 1e-3 is 10
+        assert minimum_safe_bits(synthetic_run, error_bound=1e-3) == 10
+
+    def test_lo_already_safe(self):
+        assert minimum_safe_bits(synthetic_run, error_bound=2.0, lo=0) == 0
+
+    def test_unreachable_bound_raises(self):
+        with pytest.raises(RuntimeError, match="unreachable"):
+            minimum_safe_bits(lambda w: 1.0, error_bound=1e-6)
+
+    def test_evaluation_budget(self):
+        calls = []
+
+        def run(w):
+            calls.append(w)
+            return 2.0**-w
+
+        minimum_safe_bits(run, error_bound=1e-3)
+        assert len(calls) <= 9  # 2 endpoints + ~6 bisections
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_safe_bits(synthetic_run, error_bound=-1.0)
+        with pytest.raises(ValueError):
+            minimum_safe_bits(synthetic_run, error_bound=1.0, lo=10, hi=5)
+
+    def test_on_real_clamr_quantization(self):
+        """End-to-end: sweep a tiny dam break's state quantization."""
+        from repro.clamr import ClamrSimulation, DamBreakConfig
+        from repro.clamr.kernels import FaceLists, compute_timestep, finite_diff_vectorized
+        from repro.precision.emulation import truncate_mantissa
+
+        cfg = DamBreakConfig(nx=12, ny=12, max_level=0, start_refined=False)
+
+        def final_slice(width: int | None) -> np.ndarray:
+            sim = ClamrSimulation(cfg, policy="full")
+            faces = FaceLists.from_mesh(sim.mesh)
+            for _ in range(40):
+                dt = compute_timestep(sim.mesh, sim.state, cfg.courant)
+                finite_diff_vectorized(sim.mesh, sim.state, dt, faces=faces)
+                if width is not None:
+                    sim.state.H[...] = truncate_mantissa(sim.state.H, width)
+            field = sim.mesh.sample_to_uniform(sim.state.H.astype(np.float64))
+            return field[:, field.shape[1] // 2]
+
+        reference = final_slice(None)
+
+        def run(width: int) -> float:
+            return float(np.max(np.abs(final_slice(width) - reference)))
+
+        result = sweep_mantissa_bits(run, widths=(8, 16, 30))
+        # more bits, less error — on a real simulation
+        assert result.errors[0] > result.errors[1] > result.errors[2]

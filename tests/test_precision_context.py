@@ -1,0 +1,87 @@
+"""Unit tests for repro.precision.context."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.precision.context import (
+    cast_compute,
+    cast_graphics,
+    cast_state,
+    current_policy,
+    precision_scope,
+)
+from repro.precision.policy import FULL_PRECISION, MIN_PRECISION, PrecisionLevel
+
+
+class TestScope:
+    def test_default_is_full(self):
+        assert current_policy().state_dtype == np.float64
+
+    def test_scope_by_name(self):
+        with precision_scope("min"):
+            assert current_policy().state_dtype == np.float32
+        assert current_policy().state_dtype == np.float64
+
+    def test_scope_by_level(self):
+        with precision_scope(PrecisionLevel.MIXED):
+            assert current_policy().compute_dtype == np.float64
+            assert current_policy().state_dtype == np.float32
+
+    def test_scope_by_policy_object(self):
+        with precision_scope(MIN_PRECISION) as pol:
+            assert pol is MIN_PRECISION
+            assert current_policy() is MIN_PRECISION
+
+    def test_nesting_restores_outer(self):
+        with precision_scope("min"):
+            with precision_scope("full"):
+                assert current_policy().state_dtype == np.float64
+            assert current_policy().state_dtype == np.float32
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with precision_scope("min"):
+                raise RuntimeError("boom")
+        assert current_policy() is FULL_PRECISION
+
+    def test_thread_isolation(self):
+        seen = {}
+
+        def worker():
+            seen["thread"] = current_policy().state_dtype
+
+        with precision_scope("min"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # a fresh thread gets the default policy, not the caller's scope
+        assert seen["thread"] == np.float64
+
+
+class TestCasts:
+    def test_cast_state_uses_active_policy(self):
+        x = np.ones(4, dtype=np.float64)
+        with precision_scope("min"):
+            assert cast_state(x).dtype == np.float32
+
+    def test_cast_state_no_copy_when_dtype_matches(self):
+        x = np.ones(4, dtype=np.float64)
+        assert cast_state(x, FULL_PRECISION) is x
+
+    def test_cast_compute_promotes_in_mixed(self):
+        x = np.ones(4, dtype=np.float32)
+        with precision_scope("mixed"):
+            assert cast_compute(x).dtype == np.float64
+
+    def test_cast_graphics_always_float32(self):
+        x = np.ones(4, dtype=np.float64)
+        for level in ("min", "mixed", "full"):
+            with precision_scope(level):
+                assert cast_graphics(x).dtype == np.float32
+
+    def test_explicit_policy_overrides_context(self):
+        x = np.ones(4)
+        with precision_scope("full"):
+            assert cast_state(x, MIN_PRECISION).dtype == np.float32

@@ -1,0 +1,137 @@
+"""Unit + property tests for repro.precision.emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision.emulation import (
+    FORMAT_LADDER,
+    EmulatedDtype,
+    machine_epsilon,
+    quantize_to_bfloat16,
+    quantize_to_half,
+    truncate_mantissa,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e30, max_value=1e30
+)
+
+
+class TestHalf:
+    def test_exact_values_pass_through(self):
+        x = np.array([0.0, 1.0, 2.0, -0.5, 1024.0])
+        np.testing.assert_array_equal(quantize_to_half(x), x)
+
+    def test_rounding_matches_float16(self):
+        x = np.array([1.0 + 2**-12], dtype=np.float64)
+        assert quantize_to_half(x)[0] == float(np.float16(x[0]))
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(quantize_to_half(np.array([1e6]))[0])
+
+    def test_preserves_input_dtype(self):
+        assert quantize_to_half(np.ones(3, dtype=np.float32)).dtype == np.float32
+        assert quantize_to_half(np.ones(3, dtype=np.float64)).dtype == np.float64
+
+
+class TestBfloat16:
+    def test_exact_values_pass_through(self):
+        x = np.array([0.0, 1.0, -2.0, 0.5, 3.0], dtype=np.float32)
+        np.testing.assert_array_equal(quantize_to_bfloat16(x), x)
+
+    def test_mantissa_limited_to_7_bits(self):
+        out = quantize_to_bfloat16(np.array([1.0 + 2**-9], dtype=np.float32))
+        # 2^-9 is below the bf16 resolution at 1.0 (2^-8); rounds to nearest even
+        assert out[0] in (1.0, 1.0 + 2**-7)
+
+    def test_large_dynamic_range_survives(self):
+        x = np.array([1e30, -1e-30], dtype=np.float32)
+        out = quantize_to_bfloat16(x)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, x, rtol=2**-7)
+
+    def test_nan_stays_nan(self):
+        assert np.isnan(quantize_to_bfloat16(np.array([np.nan], dtype=np.float32)))[0]
+
+    @given(finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_relative_error_bounded(self, value):
+        out = float(quantize_to_bfloat16(np.array([value], dtype=np.float64))[0])
+        f32 = float(np.float32(value))
+        if f32 == 0.0 or not np.isfinite(f32):
+            return
+        # absolute slack covers the bf16 subnormal range (values below
+        # ~9e-41 legitimately flush toward zero)
+        assert abs(out - f32) <= abs(f32) * 2**-8 + 1e-40
+
+
+class TestTruncateMantissa:
+    def test_full_width_is_identity(self):
+        x = np.array([np.pi, -np.e, 1e-10])
+        np.testing.assert_array_equal(truncate_mantissa(x, 52), x)
+
+    def test_23_bits_at_least_float32_info(self):
+        x = np.array([np.pi])
+        out = truncate_mantissa(x, 23)
+        assert abs(out[0] - np.pi) <= abs(np.pi) * 2**-23
+
+    def test_zero_bits_keeps_power_of_two(self):
+        out = truncate_mantissa(np.array([1.75, 5.0]), 0)
+        np.testing.assert_array_equal(out, [1.0, 4.0])
+
+    def test_float32_input_path(self):
+        x = np.array([1.0 + 2**-20], dtype=np.float32)
+        out = truncate_mantissa(x, 10)
+        assert out.dtype == np.float32
+        assert out[0] == 1.0
+
+    def test_out_of_range_bits_raises(self):
+        with pytest.raises(ValueError):
+            truncate_mantissa(np.ones(2), 53)
+        with pytest.raises(ValueError):
+            truncate_mantissa(np.ones(2), -1)
+
+    @given(finite_floats, st.integers(min_value=0, max_value=52))
+    @settings(max_examples=200, deadline=None)
+    def test_truncation_never_increases_magnitude(self, value, bits):
+        out = float(truncate_mantissa(np.array([value]), bits)[0])
+        assert abs(out) <= abs(value)
+        # and keeps the sign (or is zero)
+        assert out == 0.0 or np.sign(out) == np.sign(value)
+
+    @given(finite_floats, st.integers(min_value=0, max_value=52))
+    @settings(max_examples=200, deadline=None)
+    def test_truncation_error_within_one_ulp(self, value, bits):
+        out = float(truncate_mantissa(np.array([value]), bits)[0])
+        assert abs(value - out) <= abs(value) * machine_epsilon(bits) + 1e-300
+
+    @given(finite_floats, st.integers(min_value=0, max_value=52))
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_is_idempotent(self, value, bits):
+        once = truncate_mantissa(np.array([value]), bits)
+        twice = truncate_mantissa(once, bits)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestLadder:
+    def test_epsilons_match_ieee(self):
+        assert machine_epsilon(23) == np.finfo(np.float32).eps
+        assert machine_epsilon(52) == np.finfo(np.float64).eps
+        assert machine_epsilon(10) == np.finfo(np.float16).eps
+
+    def test_ladder_is_monotone_in_storage(self):
+        sizes = [f.storage_bytes for f in FORMAT_LADDER]
+        assert sizes == sorted(sizes)
+
+    def test_quantize_through_named_format(self):
+        fp24 = next(f for f in FORMAT_LADDER if f.name == "fp24")
+        # 2^-20 is finer than fp24's 16-bit mantissa; truncation drops it
+        assert fp24.quantize(np.array([1.0 + 2**-20]))[0] == 1.0
+        # 2^-15 is representable and survives
+        assert fp24.quantize(np.array([1.0 + 2**-15]))[0] == 1.0 + 2**-15
+
+    def test_emulated_dtype_epsilon(self):
+        d = EmulatedDtype("x", mantissa_bits=8, storage_bytes=2)
+        assert d.epsilon == 2**-8

@@ -1,0 +1,136 @@
+"""Unit tests for repro.precision.policy."""
+
+import numpy as np
+import pytest
+
+from repro.precision.policy import (
+    FULL_PRECISION,
+    HALF_PRECISION,
+    MIN_PRECISION,
+    MIXED_PRECISION,
+    ArrayRole,
+    PrecisionLevel,
+    PrecisionPolicy,
+    level_from_name,
+)
+
+
+class TestPrecisionLevel:
+    def test_rank_ordering(self):
+        assert PrecisionLevel.HALF < PrecisionLevel.MIN < PrecisionLevel.MIXED < PrecisionLevel.FULL
+
+    def test_comparisons_are_consistent(self):
+        assert PrecisionLevel.FULL >= PrecisionLevel.FULL
+        assert PrecisionLevel.FULL > PrecisionLevel.MIN
+        assert PrecisionLevel.MIN <= PrecisionLevel.MIXED
+        assert not PrecisionLevel.FULL < PrecisionLevel.HALF
+
+    def test_comparison_with_other_type_raises(self):
+        with pytest.raises(TypeError):
+            _ = PrecisionLevel.MIN < 3
+
+
+class TestLevelFromName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("min", PrecisionLevel.MIN),
+            ("minimum", PrecisionLevel.MIN),
+            ("single", PrecisionLevel.MIN),
+            ("fp32", PrecisionLevel.MIN),
+            ("mixed", PrecisionLevel.MIXED),
+            ("full", PrecisionLevel.FULL),
+            ("double", PrecisionLevel.FULL),
+            ("fp64", PrecisionLevel.FULL),
+            ("half", PrecisionLevel.HALF),
+            ("FP16", PrecisionLevel.HALF),
+            ("  Full  ", PrecisionLevel.FULL),
+        ],
+    )
+    def test_synonyms(self, name, expected):
+        assert level_from_name(name) is expected
+
+    def test_passthrough(self):
+        assert level_from_name(PrecisionLevel.MIXED) is PrecisionLevel.MIXED
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown precision level"):
+            level_from_name("quadruple")
+
+
+class TestPolicyDtypes:
+    def test_min_is_float32_throughout_numerics(self):
+        assert MIN_PRECISION.state_dtype == np.float32
+        assert MIN_PRECISION.compute_dtype == np.float32
+        assert MIN_PRECISION.accumulate_dtype == np.float32
+
+    def test_mixed_stores_single_computes_double(self):
+        assert MIXED_PRECISION.state_dtype == np.float32
+        assert MIXED_PRECISION.compute_dtype == np.float64
+        assert MIXED_PRECISION.accumulate_dtype == np.float64
+
+    def test_full_is_double_throughout(self):
+        assert FULL_PRECISION.state_dtype == np.float64
+        assert FULL_PRECISION.compute_dtype == np.float64
+
+    def test_half_state_is_binary16(self):
+        assert HALF_PRECISION.state_dtype == np.float16
+        assert HALF_PRECISION.compute_dtype == np.float32
+
+    @pytest.mark.parametrize("policy", [HALF_PRECISION, MIN_PRECISION, MIXED_PRECISION, FULL_PRECISION])
+    def test_graphics_always_float32(self, policy):
+        # paper §IV-C: plotting stays single precision at every level
+        assert policy.graphics_dtype == np.float32
+
+    def test_dtype_accepts_role_string(self):
+        assert FULL_PRECISION.dtype("state") == np.float64
+        assert FULL_PRECISION.dtype(ArrayRole.COMPUTE) == np.float64
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_policy(self):
+        p = MIN_PRECISION.with_overrides(accumulate=np.float64)
+        assert p.accumulate_dtype == np.float64
+        assert MIN_PRECISION.accumulate_dtype == np.float32  # original untouched
+
+    def test_overrides_stack(self):
+        p = MIN_PRECISION.with_overrides(accumulate=np.float64).with_overrides(compute=np.float64)
+        assert p.accumulate_dtype == np.float64
+        assert p.compute_dtype == np.float64
+        assert p.state_dtype == np.float32
+
+    def test_promoted_accumulators_min(self):
+        p = MIN_PRECISION.promoted_accumulators()
+        assert p.accumulate_dtype == np.float64
+
+    def test_promoted_accumulators_half(self):
+        # half computes in float32, so accumulators promote to float64
+        p = HALF_PRECISION.promoted_accumulators()
+        assert p.accumulate_dtype == np.float64
+
+    def test_promoted_accumulators_full_goes_to_longdouble(self):
+        p = FULL_PRECISION.promoted_accumulators()
+        assert p.accumulate_dtype == np.longdouble
+
+    def test_invalid_role_raises(self):
+        with pytest.raises(ValueError):
+            MIN_PRECISION.with_overrides(bogus=np.float64)
+
+
+class TestMisc:
+    def test_state_bytes_per_value(self):
+        assert MIN_PRECISION.state_bytes_per_value() == 4
+        assert FULL_PRECISION.state_bytes_per_value() == 8
+        assert HALF_PRECISION.state_bytes_per_value() == 2
+
+    def test_describe_mentions_all_roles(self):
+        text = MIXED_PRECISION.describe()
+        for word in ("state=float32", "compute=float64", "graphics=float32"):
+            assert word in text
+
+    def test_from_level_accepts_string(self):
+        assert PrecisionPolicy.from_level("double").level is PrecisionLevel.FULL
+
+    def test_policies_are_hashable_and_frozen(self):
+        with pytest.raises(Exception):
+            MIN_PRECISION.level = PrecisionLevel.FULL  # type: ignore[misc]

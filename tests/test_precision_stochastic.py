@@ -1,0 +1,110 @@
+"""Property tests for stochastic rounding emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision.emulation import truncate_mantissa
+from repro.precision.stochastic import stochastic_round_float32, stochastic_truncate
+
+
+class TestStochasticFloat32:
+    def test_exact_values_unchanged(self):
+        rng = np.random.default_rng(0)
+        x = np.array([0.0, 1.0, -2.5, 1024.0])
+        out = stochastic_round_float32(x, rng)
+        np.testing.assert_array_equal(out, x.astype(np.float32))
+
+    def test_result_is_enclosing_neighbor(self):
+        rng = np.random.default_rng(1)
+        v = np.full(1000, 1.0 + 2.0**-30)  # strictly between two float32s
+        out = stochastic_round_float32(v, rng).astype(np.float64)
+        lo, hi = 1.0, float(np.nextafter(np.float32(1.0), np.float32(2.0)))
+        assert set(np.unique(out)) <= {lo, hi}
+        assert (out == lo).any() and (out == hi).any()
+
+    def test_unbiased_in_expectation(self):
+        rng = np.random.default_rng(2)
+        v = np.full(200_000, 1.0 + 0.25 * 2.0**-23)  # 25% of the way up
+        out = stochastic_round_float32(v, rng).astype(np.float64)
+        hi = float(np.nextafter(np.float32(1.0), np.float32(2.0)))
+        frac_up = float(np.mean(out == hi))
+        assert frac_up == pytest.approx(0.25, abs=0.01)
+        assert float(out.mean()) == pytest.approx(1.0 + 0.25 * 2.0**-23, rel=1e-9)
+
+    def test_nonfinite_passthrough(self):
+        rng = np.random.default_rng(3)
+        out = stochastic_round_float32(np.array([np.inf, -np.inf, np.nan]), rng)
+        assert np.isinf(out[0]) and np.isinf(out[1]) and np.isnan(out[2])
+
+    def test_deterministic_with_seed(self):
+        x = np.random.default_rng(7).random(100) * 1e-3
+        a = stochastic_round_float32(x, np.random.default_rng(42))
+        b = stochastic_round_float32(x, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.floats(min_value=-1e20, max_value=1e20, allow_nan=False), st.integers(0, 2**31))
+    @settings(max_examples=150, deadline=None)
+    def test_error_within_one_ulp(self, value, seed):
+        rng = np.random.default_rng(seed)
+        out = float(stochastic_round_float32(np.array([value]), rng)[0])
+        nearest = float(np.float32(value))
+        ulp = abs(float(np.nextafter(np.float32(value), np.float32(np.inf))) - nearest) + 1e-45
+        assert abs(out - value) <= 2 * ulp
+
+
+class TestStochasticTruncate:
+    def test_representable_unchanged(self):
+        rng = np.random.default_rng(0)
+        x = np.array([1.0, 1.5, -2.0, 0.0])
+        out = stochastic_truncate(x, 8, rng)
+        np.testing.assert_array_equal(out, x)
+
+    def test_results_bracket_value(self):
+        rng = np.random.default_rng(1)
+        v = np.full(1000, 1.0 + 2.0**-20)
+        out = stochastic_truncate(v, 10, rng)
+        down = float(truncate_mantissa(np.array([v[0]]), 10)[0])
+        up = down + 2.0**-10
+        assert set(np.unique(out)) <= {down, up}
+
+    def test_unbiased_beats_truncation_in_accumulation(self):
+        """The reason the hardware wants it: accumulated stochastic error
+        stays near zero while round-toward-zero drifts linearly."""
+        rng = np.random.default_rng(2)
+        n = 50_000
+        increments = np.full(n, 1.0 + 0.3 * 2.0**-8)  # not representable at 8 bits
+        trunc_sum = float(truncate_mantissa(increments, 8).sum())
+        stoch_sum = float(stochastic_truncate(increments, 8, rng).sum())
+        exact = float(increments.sum())
+        assert abs(stoch_sum - exact) < abs(trunc_sum - exact) / 10
+
+    def test_full_width_copy(self):
+        rng = np.random.default_rng(3)
+        x = np.array([np.pi])
+        out = stochastic_truncate(x, 52, rng)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            stochastic_truncate(np.ones(2), 53, rng)
+
+    def test_negative_values_round_in_magnitude(self):
+        rng = np.random.default_rng(4)
+        v = np.full(1000, -(1.0 + 2.0**-20))
+        out = stochastic_truncate(v, 10, rng)
+        assert set(np.unique(out)) <= {-(1.0), -(1.0 + 2.0**-10)}
+
+    @given(
+        st.floats(min_value=-1e10, max_value=1e10, allow_nan=False),
+        st.integers(0, 50),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_error_bounded_by_kept_ulp(self, value, bits, seed):
+        rng = np.random.default_rng(seed)
+        out = float(stochastic_truncate(np.array([value]), bits, rng)[0])
+        assert abs(out - value) <= abs(value) * 2.0 ** (-bits) + 1e-300

@@ -1,0 +1,152 @@
+"""Unit tests for the greedy precision tuner."""
+
+import pytest
+
+from repro.precision.policy import PrecisionLevel
+from repro.precision.tuner import ArrayBinding, GreedyPrecisionTuner
+
+
+def make_run(errors):
+    """A run function mapping frozen assignments to canned errors.
+
+    ``errors`` maps frozensets of (name, level-value) pairs to error
+    values; anything not listed gets the default.
+    """
+
+    calls = []
+
+    def run(assignment):
+        calls.append(dict(assignment))
+        key = frozenset((k, v.value) for k, v in assignment.items())
+        return errors.get(key, errors.get("default", 0.0))
+
+    run.calls = calls
+    return run
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            GreedyPrecisionTuner(
+                [ArrayBinding("a"), ArrayBinding("a")], lambda a: 0.0, error_bound=1.0
+            )
+
+    def test_unsorted_levels_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            ArrayBinding("a", levels=(PrecisionLevel.FULL, PrecisionLevel.MIN))
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError, match="candidate levels"):
+            ArrayBinding("a", levels=())
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            ArrayBinding("a", weight=0.0)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyPrecisionTuner([ArrayBinding("a")], lambda a: 0.0, error_bound=-1.0)
+
+    def test_baseline_violation_raises(self):
+        tuner = GreedyPrecisionTuner([ArrayBinding("a")], lambda a: 99.0, error_bound=1.0)
+        with pytest.raises(RuntimeError, match="baseline"):
+            tuner.tune()
+
+
+class TestSearch:
+    def test_everything_demotable(self):
+        run = make_run({"default": 0.0})
+        tuner = GreedyPrecisionTuner(
+            [ArrayBinding("a"), ArrayBinding("b")], run, error_bound=1.0
+        )
+        result = tuner.tune()
+        assert all(level is PrecisionLevel.MIN for level in result.assignment.values())
+        assert result.savings_fraction == pytest.approx(0.5)  # 8 bytes -> 4
+
+    def test_nothing_demotable(self):
+        def run(assignment):
+            if any(level is not PrecisionLevel.FULL for level in assignment.values()):
+                return 10.0
+            return 0.0
+
+        tuner = GreedyPrecisionTuner([ArrayBinding("a"), ArrayBinding("b")], run, error_bound=1.0)
+        result = tuner.tune()
+        assert all(level is PrecisionLevel.FULL for level in result.assignment.values())
+        assert result.savings_fraction == 0.0
+        # failed demotions appear in the trace, marked not kept
+        assert any(not kept for *_rest, kept in result.trace)
+
+    def test_one_sensitive_binding(self):
+        def run(assignment):
+            return 5.0 if assignment["sensitive"] is not PrecisionLevel.FULL else 0.0
+
+        tuner = GreedyPrecisionTuner(
+            [ArrayBinding("sensitive"), ArrayBinding("bulk", weight=100.0)],
+            run,
+            error_bound=1.0,
+        )
+        result = tuner.tune()
+        assert result.assignment["sensitive"] is PrecisionLevel.FULL
+        assert result.assignment["bulk"] is PrecisionLevel.MIN
+
+    def test_heavier_binding_demoted_first(self):
+        run = make_run({"default": 0.0})
+        tuner = GreedyPrecisionTuner(
+            [ArrayBinding("small", weight=1.0), ArrayBinding("big", weight=50.0)],
+            run,
+            error_bound=1.0,
+            max_evaluations=3,  # baseline + 2 attempts
+        )
+        result = tuner.tune()
+        # with only two attempts after baseline, the big one went first
+        first_attempt = result.trace[0]
+        assert first_attempt[0] == "big"
+
+    def test_evaluation_cap_respected(self):
+        run = make_run({"default": 0.0})
+        tuner = GreedyPrecisionTuner(
+            [ArrayBinding(f"b{i}") for i in range(10)], run, error_bound=1.0, max_evaluations=4
+        )
+        result = tuner.tune()
+        assert result.evaluations <= 4
+
+    def test_deterministic(self):
+        def run(assignment):
+            return 0.1 * sum(l is PrecisionLevel.MIN for l in assignment.values())
+
+        def tune_once():
+            return GreedyPrecisionTuner(
+                [ArrayBinding("a"), ArrayBinding("b"), ArrayBinding("c")],
+                run,
+                error_bound=0.25,
+            ).tune()
+
+        r1, r2 = tune_once(), tune_once()
+        assert r1.assignment == r2.assignment
+        assert r1.evaluations == r2.evaluations
+
+    def test_error_reported_is_final_assignment_error(self):
+        def run(assignment):
+            return 0.2 if assignment["a"] is PrecisionLevel.MIN else 0.0
+
+        tuner = GreedyPrecisionTuner([ArrayBinding("a")], run, error_bound=1.0)
+        result = tuner.tune()
+        assert result.assignment["a"] is PrecisionLevel.MIN
+        assert result.error == pytest.approx(0.2)
+
+    def test_multi_step_demotion_full_to_min(self):
+        # greedy must walk FULL -> MIXED -> MIN in two kept steps
+        run = make_run({"default": 0.0})
+        tuner = GreedyPrecisionTuner([ArrayBinding("a")], run, error_bound=1.0)
+        result = tuner.tune()
+        assert result.assignment["a"] is PrecisionLevel.MIN
+        kept = [t for t in result.trace if t[4]]
+        assert len(kept) == 2
+
+    def test_nan_error_treated_as_violation(self):
+        def run(assignment):
+            return float("nan") if assignment["a"] is not PrecisionLevel.FULL else 0.0
+
+        tuner = GreedyPrecisionTuner([ArrayBinding("a")], run, error_bound=1.0)
+        result = tuner.tune()
+        assert result.assignment["a"] is PrecisionLevel.FULL

@@ -1,0 +1,106 @@
+"""Unit + property tests for the nodal basis operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.self_.basis import (
+    NodalBasis,
+    barycentric_weights,
+    derivative_matrix,
+    lagrange_interpolation_matrix,
+)
+from repro.self_.quadrature import gauss_lobatto
+
+
+class TestBarycentric:
+    def test_two_points(self):
+        w = barycentric_weights(np.array([-1.0, 1.0]))
+        np.testing.assert_allclose(w, [-0.5, 0.5])
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            barycentric_weights(np.array([0.0]))
+
+    def test_equispaced_alternating_signs(self):
+        w = barycentric_weights(np.linspace(-1, 1, 5))
+        assert (np.sign(w) == [1, -1, 1, -1, 1]).all() or (np.sign(w) == [-1, 1, -1, 1, -1]).all()
+
+
+class TestDerivativeMatrix:
+    @given(st.integers(2, 10), st.integers(0, 9))
+    @settings(max_examples=100, deadline=None)
+    def test_differentiates_monomials_exactly(self, npts, degree):
+        if degree >= npts:
+            return
+        x, _ = gauss_lobatto(npts)
+        D = derivative_matrix(x)
+        f = x**degree
+        df = D @ f
+        expected = degree * x ** max(0, degree - 1) if degree > 0 else np.zeros_like(x)
+        np.testing.assert_allclose(df, expected, atol=1e-10 * max(1, degree**2))
+
+    def test_constant_derivative_is_exactly_zero(self):
+        x, _ = gauss_lobatto(6)
+        D = derivative_matrix(x)
+        np.testing.assert_allclose(D @ np.ones(6), 0.0, atol=1e-13)
+
+    def test_negative_sum_trick_rows(self):
+        x, _ = gauss_lobatto(8)
+        D = derivative_matrix(x)
+        np.testing.assert_allclose(D.sum(axis=1), 0.0, atol=1e-13)
+
+
+class TestInterpolation:
+    def test_exact_at_nodes(self):
+        x, _ = gauss_lobatto(5)
+        M = lagrange_interpolation_matrix(x, x)
+        np.testing.assert_allclose(M, np.eye(5), atol=1e-13)
+
+    def test_interpolates_polynomials(self):
+        x, _ = gauss_lobatto(6)
+        t = np.linspace(-1, 1, 17)
+        M = lagrange_interpolation_matrix(x, t)
+        f = 3 * x**4 - x**2 + 0.5
+        ft = 3 * t**4 - t**2 + 0.5
+        np.testing.assert_allclose(M @ f, ft, atol=1e-12)
+
+    def test_partition_of_unity(self):
+        x, _ = gauss_lobatto(7)
+        t = np.linspace(-1, 1, 23)
+        M = lagrange_interpolation_matrix(x, t)
+        np.testing.assert_allclose(M.sum(axis=1), 1.0, atol=1e-12)
+
+
+class TestNodalBasis:
+    def test_cached(self):
+        assert NodalBasis.gll(4) is NodalBasis.gll(4)
+
+    def test_npoints(self):
+        assert NodalBasis.gll(7).npoints == 8
+
+    def test_modal_roundtrip(self):
+        b = NodalBasis.gll(6)
+        rng = np.random.default_rng(0)
+        nodal = rng.normal(size=7)
+        modal = b.Vinv @ nodal
+        np.testing.assert_allclose(b.V @ modal, nodal, atol=1e-12)
+
+    def test_vandermonde_orthonormal_columns(self):
+        """V^T W V = I for the orthonormalized Legendre Vandermonde,
+        up to the GLL quadrature's inexactness in the top mode."""
+        b = NodalBasis.gll(5)
+        G = b.V.T @ np.diag(b.weights) @ b.V
+        off = G - np.eye(6)
+        off[-1, -1] = 0.0  # 2N-degree product not integrated exactly by GLL
+        np.testing.assert_allclose(off, 0.0, atol=1e-12)
+
+    def test_cast_dtype(self):
+        c = NodalBasis.gll(4).cast(np.float32)
+        assert c.D.dtype == np.float32
+        assert c.npoints == 5
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            NodalBasis.gll(0)

@@ -1,0 +1,81 @@
+"""Tests for SELF state I/O."""
+
+import numpy as np
+import pytest
+
+from repro.self_ import SelfSimulation, ThermalBubbleConfig
+from repro.self_.checkpoint import read_state, state_nbytes, write_anomaly, write_state
+from repro.self_.mesh import HexMesh
+
+
+def small_run(precision="double"):
+    cfg = ThermalBubbleConfig(nex=2, ney=2, nez=2, order=2)
+    sim = SelfSimulation(cfg, precision=precision)
+    sim.run(3)
+    return sim
+
+
+class TestStateRoundtrip:
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    def test_bitwise_roundtrip(self, tmp_path, precision):
+        sim = small_run(precision)
+        path = tmp_path / "state.self"
+        nbytes = write_state(path, sim.mesh, sim.U)
+        assert nbytes == state_nbytes(sim.mesh, sim.U.dtype.itemsize)
+        mesh2, U2 = read_state(path)
+        assert mesh2.nelem == sim.mesh.nelem
+        assert mesh2.lengths == sim.mesh.lengths
+        assert U2.dtype == sim.U.dtype
+        np.testing.assert_array_equal(U2, sim.U)
+
+    def test_size_halves_at_single(self):
+        mesh = HexMesh(nex=3, ney=3, nez=3, lengths=(1, 1, 1), order=4)
+        full = state_nbytes(mesh, 8)
+        single = state_nbytes(mesh, 4)
+        header = full - 5 * mesh.ndof * 8
+        assert (full - header) == 2 * (single - header)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        sim = small_run()
+        with pytest.raises(ValueError, match="shape"):
+            write_state(tmp_path / "x.self", sim.mesh, sim.U[:, :4])
+
+    def test_bad_dtype_rejected(self, tmp_path):
+        sim = small_run()
+        with pytest.raises(ValueError, match="dtype"):
+            write_state(tmp_path / "x.self", sim.mesh, sim.U.astype(np.float16))
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.self"
+        p.write_bytes(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(ValueError, match="magic"):
+            read_state(p)
+
+    def test_truncated(self, tmp_path):
+        sim = small_run()
+        p = tmp_path / "t.self"
+        write_state(p, sim.mesh, sim.U)
+        p.write_bytes(p.read_bytes()[:-4])
+        with pytest.raises(ValueError, match="size"):
+            read_state(p)
+
+
+class TestAnomalyOutput:
+    def test_size_is_precision_blind(self, tmp_path):
+        single = small_run("single")
+        double = small_run("double")
+        a = write_anomaly(tmp_path / "s.anm", single.U[:, 0] - single.solver.rho_bar)
+        b = write_anomaly(tmp_path / "d.anm", double.U[:, 0] - double.solver.rho_bar)
+        assert a == b  # the Table VII SELF-storage argument, in bytes
+
+    def test_header_records_shape(self, tmp_path):
+        import struct
+
+        field = np.zeros((2, 3, 4), dtype=np.float64)
+        path = tmp_path / "x.anm"
+        write_anomaly(path, field)
+        raw = path.read_bytes()
+        assert raw[:4] == b"SANM"
+        ndim = struct.unpack_from("<I", raw, 4)[0]
+        assert ndim == 3
+        assert struct.unpack_from("<3I", raw, 8) == (2, 3, 4)

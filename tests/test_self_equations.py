@@ -1,0 +1,156 @@
+"""Unit tests for the compressible-Euler DGSEM right-hand side."""
+
+import numpy as np
+import pytest
+
+from repro.self_.equations import RHO, RHOE, RHOU, RHOV, RHOW, AtmosphereConstants, CompressibleEuler
+from repro.self_.mesh import HexMesh
+
+
+def make_solver(nex=2, ney=2, nez=2, order=3, dtype=np.float64, lengths=(100.0, 100.0, 100.0)):
+    mesh = HexMesh(nex=nex, ney=ney, nez=nez, lengths=lengths, order=order)
+    c = AtmosphereConstants()
+    _, _, z = mesh.node_coordinates()
+    theta0 = 300.0
+    exner = 1.0 - c.gravity * z / (c.cp * theta0)
+    p_bar = c.p0 * exner ** (c.cp / c.gas_constant)
+    rho_bar = c.p0 * exner ** (c.cv / c.gas_constant) / (c.gas_constant * theta0)
+    solver = CompressibleEuler(mesh, np.dtype(dtype), c, rho_bar, p_bar)
+    return mesh, solver
+
+
+class TestConstants:
+    def test_gamma(self):
+        c = AtmosphereConstants()
+        assert c.gamma == pytest.approx(1.4, abs=0.01)
+        assert c.cv == pytest.approx(717.5)
+
+
+class TestPrimitives:
+    def test_roundtrip(self):
+        mesh, solver = make_solver()
+        U = solver.background_state()
+        rho, u, v, w, p = solver.primitives(U)
+        np.testing.assert_allclose(rho, solver.rho_bar)
+        np.testing.assert_allclose(u, 0.0)
+        np.testing.assert_allclose(p, solver.p_bar, rtol=1e-12)
+
+    def test_sound_speed_physical(self):
+        mesh, solver = make_solver()
+        rho, _, _, _, p = solver.primitives(solver.background_state())
+        c = solver.sound_speed(rho, p)
+        assert 300.0 < c.min() < c.max() < 360.0  # ~347 m/s near 300 K
+
+    def test_single_precision_rejects_mismatched_state(self):
+        mesh, solver = make_solver(dtype=np.float32)
+        U = solver.background_state().astype(np.float64)
+        with pytest.raises(ValueError, match="dtype"):
+            solver.rhs(U)
+
+    def test_bad_shape_rejected(self):
+        mesh, solver = make_solver()
+        with pytest.raises(ValueError, match="shape"):
+            solver.rhs(np.zeros((1, 5, 2, 2, 2), dtype=np.float64))
+
+    def test_unsupported_dtype(self):
+        mesh = HexMesh(nex=2, ney=2, nez=2, lengths=(1, 1, 1), order=2)
+        with pytest.raises(ValueError, match="single or double"):
+            make_solver(dtype=np.float16)
+
+
+class TestWellBalance:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_resting_atmosphere_has_zero_rhs(self, dtype):
+        """The perturbation form is discretely well-balanced: exact zero."""
+        mesh, solver = make_solver(dtype=dtype, nez=3, lengths=(500.0, 500.0, 1000.0))
+        U = solver.background_state()
+        rhs = solver.rhs(U)
+        assert np.abs(rhs).max() == 0.0
+
+
+class TestConservation:
+    def _perturbed(self, solver, amplitude=0.01):
+        U = solver.background_state()
+        rng = np.random.default_rng(0)
+        U[:, RHO] *= 1.0 + amplitude * rng.random(U[:, RHO].shape)
+        return U
+
+    def test_interior_mass_flux_telescopes(self):
+        """Total d(mass)/dt integrates to zero (walls pass no mass)."""
+        mesh, solver = make_solver(order=4)
+        U = self._perturbed(solver)
+        rhs = solver.rhs(U)
+        w = solver.basis.weights
+        w3 = w[:, None, None] * w[None, :, None] * w[None, None, :]
+        mx, my, mz = solver.metric
+        cell_jac = 1.0 / (mx * my * mz)  # (dx/2)(dy/2)(dz/2)
+        total = float((rhs[:, RHO] * w3).sum() * cell_jac)
+        scale = float(np.abs(rhs[:, RHO]).max() * w3.sum() * cell_jac * mesh.nelem)
+        assert abs(total) <= 1e-12 * max(1.0, scale)
+
+    def test_energy_flux_telescopes_too(self):
+        mesh, solver = make_solver(order=3)
+        U = self._perturbed(solver)
+        rhs = solver.rhs(U)
+        w = solver.basis.weights
+        w3 = w[:, None, None] * w[None, :, None] * w[None, None, :]
+        # energy has the gravity source -g rho w; with w=0 it vanishes, so
+        # the integral must telescope like mass
+        total = float((rhs[:, RHOE] * w3).sum())
+        scale = float(np.abs(rhs[:, RHOE]).max() * w3.sum() * mesh.nelem) + 1e-30
+        assert abs(total) <= 1e-10 * scale
+
+
+class TestGravitySource:
+    def test_heavy_parcel_sinks(self):
+        mesh, solver = make_solver()
+        U = solver.background_state()
+        # uniformly 1% denser than hydrostatic: net downward force
+        U[:, RHO] = solver.rho_bar * 1.01
+        rhs = solver.rhs(U)
+        # interior nodes feel -g * rho' directly
+        interior = rhs[:, RHOW][:, 1:-1, 1:-1, 1:-1]
+        assert interior.max() < 0.0
+
+    def test_light_parcel_rises(self):
+        mesh, solver = make_solver()
+        U = solver.background_state()
+        U[:, RHO] = solver.rho_bar * 0.99
+        rhs = solver.rhs(U)
+        interior = rhs[:, RHOW][:, 1:-1, 1:-1, 1:-1]
+        assert interior.min() > 0.0
+
+
+class TestTimestep:
+    def test_stable_dt_positive_and_sane(self):
+        mesh, solver = make_solver(lengths=(1000.0, 1000.0, 1000.0))
+        dt = solver.stable_dt(solver.background_state())
+        # ~1000m/2 elements/(order 3) at c~347 m/s: small fraction of a second
+        assert 1e-4 < dt < 1.0
+
+    def test_dt_scales_inverse_with_resolution(self):
+        _, coarse = make_solver(nex=2, ney=2, nez=2)
+        _, fine = make_solver(nex=4, ney=4, nez=4)
+        dt_c = coarse.stable_dt(coarse.background_state())
+        dt_f = fine.stable_dt(fine.background_state())
+        assert dt_f == pytest.approx(dt_c / 2, rel=0.05)
+
+    def test_courant_validation(self):
+        mesh, solver = make_solver()
+        with pytest.raises(ValueError):
+            solver.stable_dt(solver.background_state(), courant=0.0)
+
+    def test_velocity_increases_wave_speed(self):
+        mesh, solver = make_solver()
+        U = solver.background_state()
+        base = solver.max_wave_speed_metric(U)
+        U[:, RHOU] = U[:, RHO] * 50.0
+        assert solver.max_wave_speed_metric(U) > base
+
+
+class TestBackgroundValidation:
+    def test_wrong_background_shape_rejected(self):
+        mesh = HexMesh(nex=2, ney=2, nez=2, lengths=(1, 1, 1), order=2)
+        bad = np.ones((1, 3, 3, 3))
+        with pytest.raises(ValueError, match="background"):
+            CompressibleEuler(mesh, np.dtype(np.float64), AtmosphereConstants(), bad, bad)

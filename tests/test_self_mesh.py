@@ -1,0 +1,111 @@
+"""Unit tests for the hexahedral spectral-element mesh."""
+
+import numpy as np
+import pytest
+
+from repro.self_.mesh import HexMesh
+
+
+def mesh(nex=2, ney=3, nez=4, order=3, lengths=(2.0, 3.0, 4.0)):
+    return HexMesh(nex=nex, ney=ney, nez=nez, lengths=lengths, order=order)
+
+
+class TestBasics:
+    def test_counts(self):
+        m = mesh()
+        assert m.nelem == 24
+        assert m.npoints == 4
+        assert m.ndof == 24 * 64
+
+    def test_element_sizes(self):
+        m = mesh()
+        assert m.element_sizes == (1.0, 1.0, 1.0)
+
+    def test_metric_factors(self):
+        m = mesh(lengths=(4.0, 3.0, 4.0))
+        mx, my, mz = m.metric_factors()
+        assert mx == pytest.approx(1.0)
+        assert my == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HexMesh(nex=0, ney=1, nez=1, lengths=(1, 1, 1), order=2)
+        with pytest.raises(ValueError):
+            HexMesh(nex=1, ney=1, nez=1, lengths=(0, 1, 1), order=2)
+        with pytest.raises(ValueError):
+            HexMesh(nex=1, ney=1, nez=1, lengths=(1, 1, 1), order=0)
+
+    def test_element_indices_roundtrip(self):
+        m = mesh()
+        ix, iy, iz = m.element_indices()
+        e = ix + m.nex * (iy + m.ney * iz)
+        np.testing.assert_array_equal(e, np.arange(m.nelem))
+
+
+class TestCoordinates:
+    def test_ranges(self):
+        m = mesh()
+        x, y, z = m.node_coordinates()
+        assert x.min() == 0.0 and x.max() == pytest.approx(2.0)
+        assert y.min() == 0.0 and y.max() == pytest.approx(3.0)
+        assert z.min() == 0.0 and z.max() == pytest.approx(4.0)
+
+    def test_axes_vary_correctly(self):
+        m = mesh()
+        x, y, z = m.node_coordinates()
+        # x varies along node axis 1 only
+        assert np.ptp(x[0, :, 0, 0]) > 0
+        assert np.ptp(x[0, 0, :, 0]) == 0
+        assert np.ptp(x[0, 0, 0, :]) == 0
+        # z varies along node axis 3 only
+        assert np.ptp(z[0, 0, 0, :]) > 0
+        assert np.ptp(z[0, :, 0, 0]) == 0
+
+    def test_element_offsets(self):
+        m = mesh()
+        x, _, _ = m.node_coordinates()
+        # element 1 is one x-step to the right of element 0
+        np.testing.assert_allclose(x[1] - x[0], 1.0)
+
+    def test_gll_endpoints_on_element_boundaries(self):
+        m = mesh()
+        x, _, _ = m.node_coordinates()
+        assert x[0, 0, 0, 0] == 0.0
+        assert x[0, -1, 0, 0] == pytest.approx(1.0)
+
+
+class TestNeighbors:
+    def test_interior_connectivity(self):
+        m = mesh(nex=3, ney=3, nez=3)
+        nbr = m.neighbors()
+        center = 1 + 3 * (1 + 3 * 1)  # (1,1,1)
+        assert nbr["xm"][center] == center - 1
+        assert nbr["xp"][center] == center + 1
+        assert nbr["ym"][center] == center - 3
+        assert nbr["zp"][center] == center + 9
+
+    def test_walls_marked(self):
+        m = mesh(nex=2, ney=2, nez=2)
+        nbr = m.neighbors()
+        assert nbr["xm"][0] == -1
+        assert nbr["ym"][0] == -1
+        assert nbr["zm"][0] == -1
+        assert nbr["xp"][m.nelem - 1] == -1
+
+    def test_mutual_links(self):
+        m = mesh(nex=4, ney=2, nez=3)
+        nbr = m.neighbors()
+        for e in range(m.nelem):
+            r = nbr["xp"][e]
+            if r >= 0:
+                assert nbr["xm"][r] == e
+            t = nbr["zp"][e]
+            if t >= 0:
+                assert nbr["zm"][t] == e
+
+    def test_wall_counts(self):
+        m = mesh(nex=3, ney=4, nez=5)
+        nbr = m.neighbors()
+        assert (nbr["xm"] < 0).sum() == 4 * 5
+        assert (nbr["yp"] < 0).sum() == 3 * 5
+        assert (nbr["zm"] < 0).sum() == 3 * 4

@@ -1,0 +1,114 @@
+"""Unit + property tests for Legendre polynomials and quadrature."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.self_.quadrature import (
+    gauss_legendre,
+    gauss_lobatto,
+    legendre,
+    legendre_and_derivative,
+)
+
+
+class TestLegendre:
+    def test_first_few_polynomials(self):
+        x = np.linspace(-1, 1, 7)
+        np.testing.assert_allclose(legendre(0, x), np.ones_like(x))
+        np.testing.assert_allclose(legendre(1, x), x)
+        np.testing.assert_allclose(legendre(2, x), 0.5 * (3 * x**2 - 1), atol=1e-15)
+        np.testing.assert_allclose(legendre(3, x), 0.5 * (5 * x**3 - 3 * x), atol=1e-15)
+
+    def test_endpoint_values(self):
+        for n in range(8):
+            assert legendre(n, np.array([1.0]))[0] == pytest.approx(1.0)
+            assert legendre(n, np.array([-1.0]))[0] == pytest.approx((-1.0) ** n)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            legendre(-1, np.zeros(2))
+
+    @given(st.integers(1, 12), st.floats(-1.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_derivative_matches_finite_difference(self, n, x):
+        x = min(max(x, -0.999), 0.999)
+        _, dp = legendre_and_derivative(n, np.array([x]))
+        h = 1e-7
+        fd = (legendre(n, np.array([x + h]))[0] - legendre(n, np.array([x - h]))[0]) / (2 * h)
+        assert dp[0] == pytest.approx(fd, rel=1e-5, abs=1e-5)
+
+    def test_derivative_at_endpoints(self):
+        for n in range(1, 8):
+            _, dp = legendre_and_derivative(n, np.array([1.0, -1.0]))
+            expected = n * (n + 1) / 2.0
+            assert dp[0] == pytest.approx(expected)
+            assert dp[1] == pytest.approx(expected * (-1.0) ** (n - 1))
+
+
+class TestGaussLegendre:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 32])
+    def test_matches_numpy(self, n):
+        x, w = gauss_legendre(n)
+        xr, wr = np.polynomial.legendre.leggauss(n)
+        np.testing.assert_allclose(x, xr, atol=1e-13)
+        np.testing.assert_allclose(w, wr, atol=1e-13)
+
+    def test_weights_sum_to_two(self):
+        for n in (1, 4, 9, 20):
+            _, w = gauss_legendre(n)
+            assert w.sum() == pytest.approx(2.0)
+
+    @given(st.integers(1, 16), st.integers(0, 31))
+    @settings(max_examples=100, deadline=None)
+    def test_polynomial_exactness(self, n, degree):
+        """n-point Gauss is exact for degree <= 2n-1."""
+        if degree > 2 * n - 1:
+            return
+        x, w = gauss_legendre(n)
+        numeric = float(np.sum(w * x**degree))
+        exact = 0.0 if degree % 2 else 2.0 / (degree + 1)
+        assert numeric == pytest.approx(exact, abs=1e-12)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            gauss_legendre(0)
+
+
+class TestGaussLobatto:
+    def test_includes_endpoints(self):
+        for n in (2, 3, 5, 9):
+            x, _ = gauss_lobatto(n)
+            assert x[0] == -1.0 and x[-1] == 1.0
+
+    def test_known_gll4(self):
+        x, w = gauss_lobatto(4)
+        np.testing.assert_allclose(x, [-1.0, -np.sqrt(1 / 5), np.sqrt(1 / 5), 1.0], atol=1e-14)
+        np.testing.assert_allclose(w, [1 / 6, 5 / 6, 5 / 6, 1 / 6], atol=1e-14)
+
+    def test_weights_sum_to_two(self):
+        for n in (2, 5, 8, 12):
+            _, w = gauss_lobatto(n)
+            assert w.sum() == pytest.approx(2.0)
+
+    @given(st.integers(2, 12), st.integers(0, 21))
+    @settings(max_examples=100, deadline=None)
+    def test_polynomial_exactness(self, n, degree):
+        """n-point GLL is exact for degree <= 2n-3."""
+        if degree > 2 * n - 3:
+            return
+        x, w = gauss_lobatto(n)
+        numeric = float(np.sum(w * x**degree))
+        exact = 0.0 if degree % 2 else 2.0 / (degree + 1)
+        assert numeric == pytest.approx(exact, abs=1e-12)
+
+    def test_nodes_sorted_and_symmetric(self):
+        x, w = gauss_lobatto(9)
+        assert (np.diff(x) > 0).all()
+        np.testing.assert_allclose(x, -x[::-1], atol=1e-14)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-14)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            gauss_lobatto(1)

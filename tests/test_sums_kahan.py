@@ -1,0 +1,80 @@
+"""Unit + property tests for compensated summation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sums import kahan_sum, naive_sum, neumaier_sum
+
+
+def exact_sum(values) -> float:
+    return math.fsum(float(v) for v in np.asarray(values, dtype=np.float64).ravel())
+
+
+class TestNaive:
+    def test_simple(self):
+        assert naive_sum(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_empty(self):
+        assert naive_sum(np.array([])) == 0.0
+
+    def test_left_to_right_order(self):
+        # 1 + 1e16 - 1e16 in float64: the 1 is absorbed
+        assert naive_sum(np.array([1.0, 1e16, -1e16])) == 0.0
+        # but fully cancelling first keeps it
+        assert naive_sum(np.array([1e16, -1e16, 1.0])) == 1.0
+
+    def test_integer_input_promoted(self):
+        assert naive_sum(np.array([1, 2, 3])) == 6.0
+
+    def test_float32_dtype_respected(self):
+        # float32 cannot hold 16777216 + 1
+        x = np.array([16777216.0, 1.0], dtype=np.float32)
+        assert naive_sum(x) == 16777216.0
+        assert naive_sum(x, dtype=np.float64) == 16777217.0
+
+
+class TestKahan:
+    def test_recovers_absorbed_small_terms(self):
+        x = np.array([1e16] + [1.0] * 1000)
+        assert kahan_sum(x) == pytest.approx(exact_sum(x), abs=2.0)
+        # naive loses all 1000 ones
+        assert naive_sum(x) == 1e16
+
+    def test_float32_accumulation_beats_naive(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0.0, 1.0, size=20000).astype(np.float32)
+        exact = exact_sum(x)
+        assert abs(kahan_sum(x) - exact) < abs(naive_sum(x) - exact)
+
+    @given(st.lists(st.floats(-1e8, 1e8), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_error_bound(self, values):
+        x = np.array(values, dtype=np.float64)
+        eps = np.finfo(np.float64).eps
+        bound = 2 * eps * float(np.sum(np.abs(x))) + 1e-300
+        assert abs(kahan_sum(x) - exact_sum(x)) <= bound
+
+
+class TestNeumaier:
+    def test_handles_large_term_after_small_sum(self):
+        # the classic case where plain Kahan fails
+        x = np.array([1.0, 1e100, 1.0, -1e100])
+        assert neumaier_sum(x) == 2.0
+
+    def test_matches_exact_on_random(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=5000) * 10.0 ** rng.integers(-8, 8, size=5000)
+        assert neumaier_sum(x) == pytest.approx(exact_sum(x), rel=1e-15, abs=1e-300)
+
+    @given(st.lists(st.floats(-1e50, 1e50), min_size=0, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_never_worse_than_naive(self, values):
+        x = np.array(values, dtype=np.float64)
+        exact = exact_sum(x)
+        err_n = abs(neumaier_sum(x) - exact)
+        err_0 = abs(naive_sum(x) - exact)
+        assert err_n <= err_0 + 1e-300 or err_n < abs(exact) * 1e-15 + 1e-300

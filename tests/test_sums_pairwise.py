@@ -1,0 +1,60 @@
+"""Unit + property tests for pairwise (tree) summation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sums import naive_sum, pairwise_sum
+
+
+class TestPairwise:
+    def test_simple(self):
+        assert pairwise_sum(np.arange(10.0)) == 45.0
+
+    def test_empty_and_singleton(self):
+        assert pairwise_sum(np.array([])) == 0.0
+        assert pairwise_sum(np.array([3.5])) == 3.5
+
+    def test_odd_lengths(self):
+        for n in (3, 5, 7, 17, 33):
+            x = np.arange(float(n))
+            assert pairwise_sum(x) == float(n * (n - 1) // 2)
+
+    def test_float32_error_beats_naive(self):
+        rng = np.random.default_rng(11)
+        x = rng.uniform(0.0, 1.0, size=2**16).astype(np.float32)
+        exact = math.fsum(x.astype(np.float64).tolist())
+        assert abs(pairwise_sum(x) - exact) <= abs(naive_sum(x) - exact)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1001)
+        assert pairwise_sum(x) == pairwise_sum(x.copy())
+
+    def test_dtype_override(self):
+        x = np.array([16777216.0, 1.0], dtype=np.float32)
+        assert pairwise_sum(x, dtype=np.float64) == 16777217.0
+
+    def test_input_not_mutated(self):
+        x = np.arange(8.0)
+        before = x.copy()
+        pairwise_sum(x)
+        np.testing.assert_array_equal(x, before)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_close_to_exact(self, values):
+        x = np.array(values, dtype=np.float64)
+        exact = math.fsum(values)
+        # pairwise error ~ log2(n) eps Σ|x|
+        n = max(2, x.size)
+        bound = np.log2(n) * np.finfo(np.float64).eps * float(np.sum(np.abs(x))) + 1e-300
+        assert abs(pairwise_sum(x) - exact) <= bound
+
+    @given(st.integers(2, 1024))
+    @settings(max_examples=50, deadline=None)
+    def test_ones_exact(self, n):
+        assert pairwise_sum(np.ones(n)) == float(n)

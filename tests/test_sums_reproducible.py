@@ -1,0 +1,100 @@
+"""Property tests for the binned reproducible sum."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sums import BinnedAccumulator, reproducible_sum
+
+values_strategy = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e30, max_value=1e30),
+    min_size=0,
+    max_size=120,
+)
+
+
+class TestReproducibility:
+    @given(values_strategy, st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_order_independence_bitwise(self, values, rnd):
+        shuffled = list(values)
+        rnd.shuffle(shuffled)
+        a = reproducible_sum(np.array(values, dtype=np.float64))
+        b = reproducible_sum(np.array(shuffled, dtype=np.float64))
+        assert a == b or (math.isnan(a) and math.isnan(b))
+
+    @given(values_strategy, st.integers(0, 120))
+    @settings(max_examples=150, deadline=None)
+    def test_partition_merge_bitwise(self, values, cut):
+        cut = min(cut, len(values))
+        whole = BinnedAccumulator()
+        whole.add_array(np.array(values, dtype=np.float64))
+        left = BinnedAccumulator()
+        left.add_array(np.array(values[:cut], dtype=np.float64))
+        right = BinnedAccumulator()
+        right.add_array(np.array(values[cut:], dtype=np.float64))
+        left.merge(right)
+        assert left.value() == whole.value()
+        assert left.count == whole.count == len(values)
+
+    def test_mpi_style_three_way_merge(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=999) * 1e8
+        ranks = [BinnedAccumulator() for _ in range(3)]
+        for i, acc in enumerate(ranks):
+            acc.add_array(x[i::3])
+        ranks[0].merge(ranks[1])
+        ranks[0].merge(ranks[2])
+        assert ranks[0].value() == reproducible_sum(x)
+
+
+class TestAccuracy:
+    @given(values_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_fsum_to_one_ulp(self, values):
+        result = reproducible_sum(np.array(values, dtype=np.float64))
+        exact = math.fsum(values)
+        if exact == 0.0:
+            assert abs(result) <= 1e-290
+        else:
+            assert result == pytest.approx(exact, rel=4 * np.finfo(np.float64).eps, abs=1e-290)
+
+    def test_catastrophic_cancellation(self):
+        x = np.array([1e20, 3.0, -1e20, 4.0])
+        assert reproducible_sum(x) == 7.0
+
+    def test_many_tiny_on_large(self):
+        x = np.concatenate([[1e16], np.full(10000, 1.0)])
+        assert reproducible_sum(x) == math.fsum(x.tolist())
+
+    def test_subnormals(self):
+        tiny = np.full(100, 5e-324)
+        assert reproducible_sum(tiny) == math.fsum(tiny.tolist())
+
+
+class TestValidation:
+    def test_rejects_nan(self):
+        acc = BinnedAccumulator()
+        with pytest.raises(ValueError):
+            acc.add(float("nan"))
+
+    def test_rejects_inf(self):
+        acc = BinnedAccumulator()
+        with pytest.raises(ValueError):
+            acc.add(float("inf"))
+
+    def test_zero_counts(self):
+        acc = BinnedAccumulator()
+        acc.add(0.0)
+        assert acc.count == 1
+        assert acc.value() == 0.0
+
+    def test_renormalization_survives_many_adds(self):
+        acc = BinnedAccumulator()
+        for _ in range(20000):
+            acc.add(1.0 + 2**-40)
+        expected = math.fsum([1.0 + 2**-40] * 20000)
+        assert acc.value() == pytest.approx(expected, rel=1e-15)

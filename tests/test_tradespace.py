@@ -1,0 +1,177 @@
+"""Tests for the performance/power/precision/resolution trade space."""
+
+import numpy as np
+import pytest
+
+from repro.machine.counters import WorkloadProfile
+from repro.tradespace import (
+    Constraint,
+    DesignPoint,
+    TradeSpace,
+    accuracy_proxy,
+    best_under_constraints,
+    pareto_front,
+)
+
+
+def base_profiles():
+    def profile(state_itemsize, compute_itemsize):
+        # sized so runtimes are seconds, far above GPU launch overheads
+        return WorkloadProfile(
+            name="t",
+            flops=5 * 10**11,
+            state_bytes=10**11 * state_itemsize // 4,
+            state_itemsize=state_itemsize,
+            compute_itemsize=compute_itemsize,
+            resident_state_bytes=10**8,
+        )
+
+    return {
+        "min": profile(4, 4),
+        "mixed": profile(4, 8),
+        "full": profile(8, 8),
+    }
+
+
+def space(**kw):
+    return TradeSpace(base_profiles(), truncation_constant=1e-2, rounding_constant=1.0, **kw)
+
+
+class TestAccuracyProxy:
+    def test_truncation_falls_with_resolution(self):
+        assert accuracy_proxy(2.0, "full") < accuracy_proxy(1.0, "full")
+
+    def test_convergence_order_respected(self):
+        e1 = accuracy_proxy(1.0, "full", convergence_order=2.0)
+        e2 = accuracy_proxy(2.0, "full", convergence_order=2.0)
+        assert e1 / e2 == pytest.approx(4.0, rel=0.01)
+
+    def test_precision_floor_appears_at_high_resolution(self):
+        # at modest resolution min == full to within truncation
+        lo_min = accuracy_proxy(1.0, "min")
+        lo_full = accuracy_proxy(1.0, "full")
+        assert lo_min == pytest.approx(lo_full, rel=1e-4)
+        # at extreme resolution the float32 floor dominates min
+        hi_min = accuracy_proxy(1e6, "min")
+        hi_full = accuracy_proxy(1e6, "full")
+        assert hi_min > 10 * hi_full
+
+    def test_mixed_floor_below_min(self):
+        assert accuracy_proxy(1e6, "mixed") < accuracy_proxy(1e6, "min")
+
+    def test_half_floor_highest(self):
+        assert accuracy_proxy(100.0, "half") > accuracy_proxy(100.0, "min")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_proxy(0.0, "min")
+
+
+class TestTradeSpace:
+    def test_enumerate_size(self):
+        ts = space(devices=("haswell", "titanx"), resolutions=(1.0, 2.0))
+        points = ts.enumerate()
+        assert len(points) == 2 * 3 * 2
+
+    def test_min_hires_beats_full_lores(self):
+        """The Fig. 3 claim as a trade-space fact: at equal runtime budget,
+        min precision at higher resolution achieves lower error."""
+        ts = space(devices=("haswell",), resolutions=(1.0, 2.0))
+        full_lo = ts.evaluate("haswell", "full", 1.0)
+        min_hi = ts.evaluate("haswell", "min", 2.0)
+        assert min_hi.error < full_lo.error
+        # and the runtime premium is far below the 8x the resolution costs
+        # at full precision (work ∝ r^3, bytes halved by min)
+        full_hi = ts.evaluate("haswell", "full", 2.0)
+        assert min_hi.runtime_s < full_hi.runtime_s
+
+    def test_memory_scales_with_resolution_not_steps(self):
+        ts = space(devices=("haswell",))
+        m1 = ts.evaluate("haswell", "full", 1.0).memory_gb
+        m2 = ts.evaluate("haswell", "full", 2.0).memory_gb
+        base = 1.45  # device base memory
+        assert (m2 - base) / (m1 - base) == pytest.approx(4.0, rel=0.01)
+
+    def test_calibration(self):
+        ts = space()
+        ts.calibrate_accuracy(5e-3, at_resolution=2.0)
+        assert ts.evaluate("haswell", "full", 2.0).error == pytest.approx(5e-3, rel=0.01)
+
+    def test_unknown_level_rejected(self):
+        ts = space()
+        with pytest.raises(KeyError):
+            ts.evaluate("haswell", "half", 1.0)
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            TradeSpace({})
+
+
+class TestPareto:
+    def make_points(self):
+        ts = space(devices=("haswell", "titanx", "p100"), resolutions=(0.5, 1.0, 2.0))
+        return ts.enumerate()
+
+    def test_front_is_nondominated(self):
+        points = self.make_points()
+        front = pareto_front(points)
+        assert front
+        for a in front:
+            assert not any(b.dominates(a) for b in points)
+
+    def test_front_smaller_than_space(self):
+        points = self.make_points()
+        assert len(pareto_front(points)) < len(points)
+
+    def test_dominance_definition(self):
+        a = DesignPoint("d", "min", 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+        b = DesignPoint("d", "min", 1.0, 2.0, 2.0, 2.0, 2.0, 2.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_mixed_objectives_both_survive(self):
+        fast_inaccurate = DesignPoint("d", "min", 1.0, 1.0, 1.0, 1.0, 9.0, 1.0)
+        slow_accurate = DesignPoint("d", "full", 1.0, 9.0, 9.0, 9.0, 1.0, 9.0)
+        front = pareto_front([fast_inaccurate, slow_accurate])
+        assert len(front) == 2
+
+
+class TestConstrainedSelection:
+    def test_best_under_energy_budget(self):
+        ts = space(devices=("haswell", "titanx"), resolutions=(1.0, 2.0, 4.0))
+        points = ts.enumerate()
+        unconstrained = best_under_constraints(points, objective="error")
+        budget = unconstrained.energy_j / 4
+        constrained = best_under_constraints(
+            points, objective="error", constraints=[Constraint("energy_j", budget)]
+        )
+        assert constrained.energy_j <= budget
+        assert constrained.error >= unconstrained.error
+
+    def test_infeasible_raises_with_context(self):
+        ts = space(devices=("haswell",), resolutions=(1.0,))
+        with pytest.raises(ValueError, match="no design point"):
+            best_under_constraints(
+                ts.enumerate(), objective="runtime_s", constraints=[Constraint("energy_j", 1e-12)]
+            )
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("speed", 1.0)
+        with pytest.raises(ValueError):
+            best_under_constraints([], objective="speed")
+
+    def test_reduced_precision_wins_under_tight_budgets(self):
+        """The paper's thesis as an optimization outcome: under a tight
+        energy budget at fixed resolution, the optimizer picks a reduced-
+        precision configuration."""
+        ts = space(devices=("titanx",), resolutions=(1.0,))
+        points = ts.enumerate()
+        full = next(p for p in points if p.level == "full")
+        choice = best_under_constraints(
+            points,
+            objective="error",
+            constraints=[Constraint("energy_j", full.energy_j * 0.5)],
+        )
+        assert choice.level in ("min", "mixed")

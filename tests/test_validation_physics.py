@@ -1,0 +1,163 @@
+"""Physics validation against analytic theory.
+
+These tests check that the mini-apps simulate the right *physics*, not
+just stable numerics: the shallow-water gravity-wave dispersion relation
+for CLAMR, and Archimedean buoyancy for the SELF thermal bubble.  Getting
+these right is a precondition for the paper's fidelity comparisons to
+mean anything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clamr.kernels import FaceLists, compute_timestep, finite_diff_vectorized
+from repro.clamr.mesh import AmrMesh
+from repro.clamr.state import GRAVITY, ShallowWaterState
+from repro.precision.policy import FULL_PRECISION
+from repro.self_ import SelfSimulation, ThermalBubbleConfig
+
+
+class TestShallowWaterDispersion:
+    """A small-amplitude standing wave must oscillate at ω = k·sqrt(g·H0)."""
+
+    def _measure_period(self, nx: int = 32, amplitude: float = 1e-3) -> float:
+        mesh = AmrMesh.uniform(nx, 4, coarse_size=1.0 / nx)
+        x, _ = mesh.cell_centers()
+        H0 = 1.0
+        # cos(pi x / L): zero-slope at both walls, the gravest standing mode
+        H = H0 + amplitude * np.cos(np.pi * x)
+        state = ShallowWaterState(
+            H=H, U=np.zeros_like(H), V=np.zeros_like(H), policy=FULL_PRECISION
+        )
+        faces = FaceLists.from_mesh(mesh)
+        probe = int(np.argmin(x))  # leftmost cell: an antinode
+        t = 0.0
+        crossings = []
+        prev = float(state.H[probe] - H0)
+        # run long enough for ~3 half-periods of the analytic wave
+        T_analytic = 2.0 / np.sqrt(GRAVITY * H0)
+        while t < 1.7 * T_analytic:
+            dt = compute_timestep(mesh, state, 0.2)
+            finite_diff_vectorized(mesh, state, dt, faces=faces)
+            t += dt
+            cur = float(state.H[probe] - H0)
+            if prev > 0.0 >= cur or prev < 0.0 <= cur:
+                crossings.append(t)
+            prev = cur
+        assert len(crossings) >= 2, "wave did not oscillate"
+        # consecutive zero crossings are half a period apart
+        half_periods = np.diff(crossings)
+        return 2.0 * float(np.mean(half_periods))
+
+    def test_standing_wave_period(self):
+        measured = self._measure_period()
+        analytic = 2.0 / np.sqrt(GRAVITY * 1.0)  # T = 2L / sqrt(g H0), L = 1
+        assert measured == pytest.approx(analytic, rel=0.05)
+
+    def test_amplitude_decays_not_grows(self):
+        """First-order Rusanov must damp the wave, never amplify it."""
+        mesh = AmrMesh.uniform(32, 4, coarse_size=1 / 32)
+        x, _ = mesh.cell_centers()
+        H = 1.0 + 1e-3 * np.cos(np.pi * x)
+        state = ShallowWaterState(
+            H=H, U=np.zeros_like(H), V=np.zeros_like(H), policy=FULL_PRECISION
+        )
+        faces = FaceLists.from_mesh(mesh)
+        t = 0.0
+        T = 2.0 / np.sqrt(GRAVITY)
+        while t < T:  # one full period: amplitude comparable phase
+            dt = compute_timestep(mesh, state, 0.2)
+            finite_diff_vectorized(mesh, state, dt, faces=faces)
+            t += dt
+        assert float(np.abs(state.H - 1.0).max()) <= 1.05e-3
+
+
+class TestBubbleBuoyancy:
+    """The warm blob's initial ascent must match reduced gravity
+    g' = g Δθ/θ0 (Archimedes, Boussinesq limit)."""
+
+    def test_initial_acceleration(self):
+        amplitude = 0.5
+        cfg = ThermalBubbleConfig(
+            nex=4, ney=4, nez=4, order=4, bubble_amplitude=amplitude
+        )
+        sim = SelfSimulation(cfg, precision="double")
+        target_t = 1.0  # seconds of ascent
+        while sim.time < target_t:
+            res = sim.run(10)
+        w_max = res.max_vertical_velocity
+        g_reduced = 9.81 * amplitude / cfg.theta0
+        expected = g_reduced * sim.time
+        # drag, pressure adjustment and profile smoothing slow the peak;
+        # same order of magnitude and below the free-rise bound
+        assert 0.3 * expected < w_max <= 1.1 * expected
+
+    def test_acceleration_scales_with_amplitude(self):
+        results = {}
+        for amplitude in (0.25, 1.0):
+            cfg = ThermalBubbleConfig(
+                nex=3, ney=3, nez=3, order=3, bubble_amplitude=amplitude
+            )
+            sim = SelfSimulation(cfg, precision="double")
+            while sim.time < 0.8:
+                res = sim.run(10)
+            results[amplitude] = res.max_vertical_velocity / sim.time
+        ratio = results[1.0] / results[0.25]
+        assert ratio == pytest.approx(4.0, rel=0.35)
+
+    def test_cold_bubble_sinks(self):
+        cfg = ThermalBubbleConfig(nex=3, ney=3, nez=3, order=3, bubble_amplitude=0.5)
+        sim = SelfSimulation(cfg, precision="double")
+        # flip the anomaly: colder-than-background = denser = sinks.
+        # rebuild the initial state with a negative amplitude by mirroring
+        # the density anomaly about the background.
+        rho_bar = sim.solver.rho_bar
+        anomaly = sim.U[:, 0] - rho_bar
+        sim.U[:, 0] = rho_bar - anomaly  # now heavier where it was lighter
+        sim.run(40)
+        w = sim.U[:, 3] / sim.U[:, 0]
+        assert w.min() < 0.0
+        assert abs(w.min()) > abs(w.max()) * 0.5  # dominated by sinking
+
+
+class TestAcousticTimescale:
+    """SELF's acoustic CFL: the stable dt must track the sound-crossing
+    time of a collocation interval — the dispersion-level check that the
+    wave speeds inside the DG solver are physical."""
+
+    def test_stable_dt_matches_sound_speed(self):
+        cfg = ThermalBubbleConfig(nex=4, ney=4, nez=4, order=4)
+        sim = SelfSimulation(cfg, precision="double")
+        dt = sim.solver.stable_dt(sim.U, courant=0.3)
+        # c = sqrt(gamma R T); T ~ theta0 * exner near the surface ~ 290-300K
+        c = np.sqrt(1.4 * 287.0 * 295.0)
+        dx_elem = 1000.0 / 4
+        expected = 0.3 * 2.0 / ((2 * 4 + 1) * 3 * (2.0 / dx_elem) * c)
+        assert dt == pytest.approx(expected, rel=0.1)
+
+    def test_pressure_pulse_travels_at_sound_speed(self):
+        """Drop a small pressure bump at the center; after t, the wave
+        front sits ~c·t from the origin."""
+        cfg = ThermalBubbleConfig(
+            nex=6, ney=2, nez=2, lengths=(3000.0, 500.0, 500.0), order=4,
+            bubble_amplitude=1e-6,  # effectively no thermal bubble
+        )
+        sim = SelfSimulation(cfg, precision="double")
+        # add a pressure/density pulse at the domain center (x only)
+        x, _, _ = sim.mesh.node_coordinates()
+        pulse = 1e-4 * np.exp(-((x - 1500.0) / 100.0) ** 2)
+        sim.U[:, 0] += (sim.solver.rho_bar * pulse).astype(sim.U.dtype)
+        sim.U[:, 4] += (sim.solver.p_bar * pulse / 0.4).astype(sim.U.dtype)
+        target_t = 2.0
+        while sim.time < target_t:
+            sim.run(10)
+        # locate the rightmost |anomaly| front along the center line
+        anomaly = np.abs(sim.U[:, 0].astype(np.float64) - sim.solver.rho_bar)
+        field = sim._assemble_uniform(anomaly)
+        line = field[:, field.shape[1] // 2, field.shape[2] // 2]
+        xs = np.linspace(0.0, 3000.0, line.size)
+        threshold = 0.2 * line.max()
+        front = xs[np.flatnonzero(line > threshold)[-1]]
+        c = np.sqrt(1.4 * 287.0 * 295.0)  # ~344 m/s
+        expected_front = 1500.0 + c * sim.time
+        assert front == pytest.approx(min(expected_front, 3000.0), rel=0.15)
