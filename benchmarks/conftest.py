@@ -9,11 +9,30 @@ Every benchmark prints the regenerated table/figure, so
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's entire
 evaluation section on stdout; EXPERIMENTS.md records the paper-vs-measured
 comparison.
+
+Pass ``--telemetry DIR`` to trace every shared mini-app run and persist a
+Perfetto-loadable Chrome trace plus a JSONL record stream per run into
+``DIR`` (see docs/telemetry.md).  Without the flag the simulations take
+their zero-overhead no-op telemetry path.
 """
 
 import pytest
 
 from repro.harness.experiments import run_clamr_levels, run_self_precisions
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="persist per-run telemetry traces (Chrome trace + JSONL) into DIR",
+    )
+
+
+@pytest.fixture(scope="session")
+def telemetry_dir(request):
+    return request.config.getoption("--telemetry")
 
 # bench-scale workloads (the generators lift these to paper scale through
 # the machine model, so the *shape* does not depend on these numbers)
@@ -29,19 +48,21 @@ FIG_STEPS = 1000
 
 
 @pytest.fixture(scope="session")
-def clamr_runs():
-    return run_clamr_levels(nx=CLAMR_NX, steps=CLAMR_STEPS)
+def clamr_runs(telemetry_dir):
+    return run_clamr_levels(nx=CLAMR_NX, steps=CLAMR_STEPS, telemetry_dir=telemetry_dir)
 
 
 @pytest.fixture(scope="session")
-def self_runs():
-    return run_self_precisions(elems=SELF_ELEMS, order=SELF_ORDER, steps=SELF_STEPS)
+def self_runs(telemetry_dir):
+    return run_self_precisions(
+        elems=SELF_ELEMS, order=SELF_ORDER, steps=SELF_STEPS, telemetry_dir=telemetry_dir
+    )
 
 
 @pytest.fixture(scope="session")
-def clamr_fidelity_runs():
+def clamr_fidelity_runs(telemetry_dir):
     """The Fig 1/2 workload: longer run on the paper's 64-cell grid."""
-    return run_clamr_levels(nx=FIG_NX, steps=FIG_STEPS)
+    return run_clamr_levels(nx=FIG_NX, steps=FIG_STEPS, telemetry_dir=telemetry_dir)
 
 
 def emit(renderable) -> None:

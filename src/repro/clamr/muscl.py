@@ -242,4 +242,5 @@ def finite_diff_muscl(
         flops = 2 * (nfaces * FLOPS_PER_FACE_MUSCL + ncells * (FLOPS_PER_CELL_UPDATE + 3 * FLOPS_PER_CELL_SLOPES))
         itemsize = state.state_dtype.itemsize
         state_bytes = 2 * (2 * nfaces * 3 + 4 * ncells * 3) * itemsize
-        counters.add(flops=flops, state_bytes=state_bytes)
+        # two spatial sweeps (Heun's predictor and corrector) = two launches
+        counters.add(flops=flops, state_bytes=state_bytes, invocations=2)

@@ -32,6 +32,8 @@ from repro.clamr.state import ShallowWaterState
 from repro.machine.counters import CountedWorkload, WorkloadProfile
 from repro.precision.analysis import line_out
 from repro.precision.policy import PrecisionPolicy, level_from_name
+from repro.sums.doubledouble import dd_sum
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["DamBreakConfig", "SimulationResult", "ClamrSimulation"]
 
@@ -146,6 +148,15 @@ class ClamrSimulation:
     scheme:
         ``"rusanov"`` (first-order, the default) or ``"muscl"``
         (second-order space × Heun time; see :mod:`repro.clamr.muscl`).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`.  When provided, every
+        kernel invocation (timestep reduction, finite-diff update,
+        refinement flagging, regrid, mass sum) runs inside a span with its
+        flop/byte deltas attached, the metrics registry collects dt /
+        regrid / mass-drift series, and the numerical watchpoints scan
+        H/U/V at the telemetry's stride.  ``None`` (default) routes all
+        instrumentation through the shared no-op object — overhead is two
+        trivial calls per span.
     """
 
     def __init__(
@@ -154,6 +165,7 @@ class ClamrSimulation:
         policy: PrecisionPolicy | str = "full",
         vectorized: bool = True,
         scheme: str = "rusanov",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not isinstance(policy, PrecisionPolicy):
             policy = PrecisionPolicy.from_level(level_from_name(policy))
@@ -165,6 +177,7 @@ class ClamrSimulation:
         self.policy = policy
         self.vectorized = vectorized
         self.scheme = scheme
+        self.telemetry = telemetry
         self.mesh = AmrMesh.uniform(
             config.nx, config.ny, max_level=config.max_level, coarse_size=config.coarse_size
         )
@@ -202,6 +215,25 @@ class ClamrSimulation:
             H=H, U=np.zeros_like(H), V=np.zeros_like(H), policy=self.policy
         )
 
+    def _measured_mass(self, area: np.ndarray, tel) -> float:
+        """Double-double total mass, with telemetry on the accumulation.
+
+        The plain path delegates to :meth:`ShallowWaterState.total_mass`;
+        with telemetry enabled the sum runs inside a span and the
+        cancellation watchpoint sees the accumulator's condition number
+        (Σ|x| / |Σx|) — the §III-C quantity that motivates promoting the
+        conservation sums in the first place.
+        """
+        if not tel.enabled:
+            return self.state.total_mass(area)
+        with tel.span("clamr/mass_sum") as sp:
+            contrib = self.state.H.astype(np.float64) * np.asarray(area, dtype=np.float64)
+            mass = float(dd_sum(contrib))
+            abs_sum = float(np.sum(np.abs(contrib)))
+            tel.check_cancellation("mass", abs_sum, mass, step=self.step_count)
+            sp.set(mass=mass)
+        return mass
+
     def run(self, steps: int, record_mass: bool = True) -> SimulationResult:
         """Advance ``steps`` timesteps and package the results."""
         if steps < 1:
@@ -222,49 +254,110 @@ class ClamrSimulation:
         )
         counters = workload.counters
 
+        tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        recording = tel.enabled
+        kernel_span_name = f"clamr/{kernel.__name__}"
+
         times: list[float] = []
         mass_history: list[float] = []
         ncells_history: list[int] = []
         area = self.mesh.cell_area()
         if record_mass:
-            mass_history.append(self.state.total_mass(area))
+            mass_history.append(self._measured_mass(area, tel))
         ncells_history.append(self.mesh.ncells)
 
         faces = FaceLists.from_mesh(self.mesh)
         kernel_elapsed = 0.0
         t_start = time.perf_counter()
-        for _ in range(steps):
-            dt = compute_timestep(self.mesh, self.state, cfg.courant, counters=counters)
-            t0 = time.perf_counter()
-            kernel(self.mesh, self.state, dt, faces=faces, counters=counters)
-            kernel_elapsed += time.perf_counter() - t0
-            # precision-independent mesh traffic: the face-index gathers of
-            # the step (int32 neighbor/face reads).  This is the part of
-            # CLAMR's data motion that does NOT shrink at reduced precision
-            # and keeps CPU speedups modest (Table I).
-            counters.add(fixed_bytes=4 * (2 * faces.nfaces + 4 * self.mesh.ncells))
-            self.time += dt
-            self.step_count += 1
-            times.append(self.time)
-            if cfg.max_level > 0 and self.step_count % cfg.regrid_interval == 0:
-                flags = refinement_flags(
-                    self.mesh, self.state, cfg.refine_threshold, cfg.coarsen_threshold
-                )
-                self.mesh, self.state = regrid(self.mesh, self.state, flags)
-                faces = FaceLists.from_mesh(self.mesh)
-                area = self.mesh.cell_area()
-                # regrid cost: hash repaint (int64 image) + neighbor rebuild
-                # gathers + flag evaluation traffic.
-                counters.add(
-                    fixed_bytes=8 * self.mesh.nxf * self.mesh.nyf
-                    + 4 * 8 * self.mesh.ncells
-                )
-                if record_mass:
-                    mass_history.append(self.state.total_mass(area))
-                ncells_history.append(self.mesh.ncells)
+        with tel.span("clamr/run", steps=steps, ncells=self.mesh.ncells):
+            for _ in range(steps):
+                with tel.span("clamr/step", step=self.step_count):
+                    if recording:
+                        f0, b0 = counters.flops, counters.state_bytes
+                    with tel.span("clamr/compute_timestep") as sp:
+                        dt = compute_timestep(
+                            self.mesh, self.state, cfg.courant, counters=counters
+                        )
+                    if recording:
+                        sp.set(
+                            flops=counters.flops - f0,
+                            state_bytes=counters.state_bytes - b0,
+                            dt=dt,
+                            ncells=self.mesh.ncells,
+                        )
+                        tel.metrics.counter("clamr.compute_timestep.flops").add(
+                            counters.flops - f0
+                        )
+                        tel.metrics.histogram("clamr.dt").observe(dt)
+                        f0, b0 = counters.flops, counters.state_bytes
+                    t0 = time.perf_counter()
+                    with tel.span(kernel_span_name) as sp:
+                        kernel(self.mesh, self.state, dt, faces=faces, counters=counters)
+                    kernel_elapsed += time.perf_counter() - t0
+                    if recording:
+                        dflops = counters.flops - f0
+                        dbytes = counters.state_bytes - b0
+                        sp.set(flops=dflops, state_bytes=dbytes)
+                        tel.metrics.counter(f"clamr.{kernel.__name__}.flops").add(dflops)
+                        tel.metrics.counter(f"clamr.{kernel.__name__}.state_bytes").add(
+                            dbytes
+                        )
+                    # precision-independent mesh traffic: the face-index
+                    # gathers of the step (int32 neighbor/face reads).  This
+                    # is the part of CLAMR's data motion that does NOT shrink
+                    # at reduced precision and keeps CPU speedups modest
+                    # (Table I).  Not a kernel launch of its own — the bytes
+                    # belong to the finite_diff launch counted above.
+                    counters.add(
+                        fixed_bytes=4 * (2 * faces.nfaces + 4 * self.mesh.ncells),
+                        invocations=0,
+                    )
+                    self.time += dt
+                    self.step_count += 1
+                    times.append(self.time)
+                    if recording and tel.numerics.should_scan(self.step_count):
+                        state_dtype = self.state.state_dtype
+                        tel.scan("H", self.state.H, dtype=state_dtype, step=self.step_count)
+                        tel.scan("U", self.state.U, dtype=state_dtype, step=self.step_count)
+                        tel.scan("V", self.state.V, dtype=state_dtype, step=self.step_count)
+                    if cfg.max_level > 0 and self.step_count % cfg.regrid_interval == 0:
+                        with tel.span("clamr/refinement_flags"):
+                            flags = refinement_flags(
+                                self.mesh,
+                                self.state,
+                                cfg.refine_threshold,
+                                cfg.coarsen_threshold,
+                            )
+                        ncells_before = self.mesh.ncells
+                        with tel.span("clamr/regrid") as sp:
+                            self.mesh, self.state = regrid(self.mesh, self.state, flags)
+                            faces = FaceLists.from_mesh(self.mesh)
+                            area = self.mesh.cell_area()
+                        # regrid cost: hash repaint (int64 image) + neighbor
+                        # rebuild gathers + flag evaluation traffic.
+                        counters.add(
+                            fixed_bytes=8 * self.mesh.nxf * self.mesh.nyf
+                            + 4 * 8 * self.mesh.ncells
+                        )
+                        if recording:
+                            sp.set(
+                                ncells_before=ncells_before,
+                                ncells_after=self.mesh.ncells,
+                            )
+                            tel.metrics.histogram("clamr.regrid.ncells").observe(
+                                self.mesh.ncells
+                            )
+                        if record_mass:
+                            mass_history.append(self._measured_mass(area, tel))
+                            if recording and mass_history[0] != 0.0:
+                                tel.metrics.gauge("clamr.mass_drift").set(
+                                    abs(mass_history[-1] - mass_history[0])
+                                    / abs(mass_history[0])
+                                )
+                        ncells_history.append(self.mesh.ncells)
         elapsed = time.perf_counter() - t_start
         if record_mass:
-            mass_history.append(self.state.total_mass(area))
+            mass_history.append(self._measured_mass(area, tel))
 
         field = self.mesh.sample_to_uniform(self.state.H.astype(self.policy.graphics_dtype))
         field_precise = self.mesh.sample_to_uniform(self.state.H.astype(np.float64))

@@ -12,6 +12,10 @@ Subcommands
     Regenerate one of the paper's tables/figures at a chosen scale.
 ``compare``
     Run CLAMR at two precision levels and print the fidelity comparison.
+``trace``
+    Run a mini-app under full telemetry and print the span tree, the
+    per-kernel summary, and the numerical-event report; optionally dump
+    Chrome-trace / JSONL files for Perfetto or post-mortem analysis.
 
 The CLI is a thin veneer over the public API — every command body is a
 few calls a user could type in a REPL — so it doubles as executable
@@ -69,6 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser("validate", help="check every paper claim against a fresh run")
     validate.add_argument("--scale", default="quick", choices=("quick", "bench"))
+
+    trace = sub.add_parser("trace", help="run a workload with telemetry and report the trace")
+    trace.add_argument("workload", choices=("clamr", "self"))
+    trace.add_argument("--nx", type=int, default=64, help="CLAMR coarse grid per side")
+    trace.add_argument("--steps", type=int, default=100)
+    trace.add_argument("--max-level", type=int, default=2)
+    trace.add_argument("--policy", default="full", choices=("min", "mixed", "full"))
+    trace.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
+    trace.add_argument("--elems", type=int, default=3, help="SELF elements per side")
+    trace.add_argument("--order", type=int, default=3, help="SELF polynomial order")
+    trace.add_argument("--precision", default="double", choices=("single", "double"))
+    trace.add_argument("--stride", type=int, default=4, help="numerics watchpoint stride (steps)")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write a Chrome-trace JSON (load in ui.perfetto.dev)")
+    trace.add_argument("--jsonl", default=None, metavar="FILE",
+                       help="write the raw telemetry as JSONL")
+    trace.add_argument("--strict", action="store_true",
+                       help="exit 1 if any NaN/Inf numerical event was recorded")
     return parser
 
 
@@ -204,6 +226,63 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        Telemetry,
+        event_report,
+        span_summary,
+        span_tree,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if args.workload == "clamr":
+        from repro.clamr import ClamrSimulation, DamBreakConfig
+
+        tel = Telemetry(
+            label=f"clamr/dam_break/{args.policy}", watch_stride=args.stride
+        )
+        cfg = DamBreakConfig(nx=args.nx, ny=args.nx, max_level=args.max_level)
+        sim = ClamrSimulation(cfg, policy=args.policy, scheme=args.scheme, telemetry=tel)
+        res = sim.run(args.steps)
+        print(f"CLAMR dam break: {args.nx}^2 coarse, {args.max_level} AMR levels, "
+              f"{args.steps} steps, policy {args.policy}")
+        print(f"  wall {res.elapsed_s:.3f}s (kernel {res.kernel_elapsed_s:.3f}s), "
+              f"mass drift {res.mass_drift:.3e}")
+    else:
+        from repro.self_ import SelfSimulation, ThermalBubbleConfig
+
+        tel = Telemetry(
+            label=f"self/thermal_bubble/{args.precision}", watch_stride=args.stride
+        )
+        cfg = ThermalBubbleConfig(
+            nex=args.elems, ney=args.elems, nez=args.elems, order=args.order
+        )
+        sim = SelfSimulation(cfg, precision=args.precision, telemetry=tel)
+        res = sim.run(args.steps)
+        print(f"SELF thermal bubble: {args.elems}^3 elements, order {args.order}, "
+              f"{args.steps} steps, precision {args.precision}")
+        print(f"  wall {res.elapsed_s:.3f}s (kernel {res.kernel_elapsed_s:.3f}s)")
+
+    print()
+    print(span_tree(tel))
+    print()
+    print(span_summary(tel).render())
+    print()
+    print(event_report(tel))
+    if args.out:
+        path = write_chrome_trace(tel, args.out)
+        print(f"chrome trace : {path}")
+    if args.jsonl:
+        path = write_jsonl(tel, args.jsonl)
+        print(f"jsonl trace  : {path}")
+    fatal = tel.numerics.fatal_events
+    if args.strict and fatal:
+        print(f"STRICT: {len(fatal)} NaN/Inf event(s) recorded", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.harness.validate import validate_reproduction
 
@@ -223,6 +302,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "compare": _cmd_compare,
     "validate": _cmd_validate,
+    "trace": _cmd_trace,
 }
 
 

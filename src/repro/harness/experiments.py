@@ -104,30 +104,72 @@ def self_paper_scale_factor(cfg: ThermalBubbleConfig, steps: int) -> float:
 # ---------------------------------------------------------------------------
 
 
+def _make_telemetry(telemetry_dir, label: str):
+    """A fresh :class:`~repro.telemetry.Telemetry` when tracing is requested,
+    else ``None`` (the simulations then take their zero-overhead path)."""
+    if telemetry_dir is None:
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(label=label)
+
+
+def _persist_telemetry(telemetry_dir, tel) -> None:
+    """Write ``<label>.trace.json`` (Perfetto) and ``<label>.jsonl`` next to
+    the benchmark output."""
+    if tel is None:
+        return
+    from pathlib import Path
+
+    from repro.telemetry import write_chrome_trace, write_jsonl
+
+    out = Path(telemetry_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = tel.label.replace("/", "_")
+    write_chrome_trace(tel, out / f"{stem}.trace.json")
+    write_jsonl(tel, out / f"{stem}.jsonl")
+
+
 def run_clamr_levels(
     nx: int = 48,
     steps: int = 100,
     max_level: int = 2,
     vectorized: bool = True,
+    telemetry_dir=None,
 ) -> dict[str, SimulationResult]:
-    """One dam-break run per CLAMR precision level."""
+    """One dam-break run per CLAMR precision level.
+
+    With ``telemetry_dir`` set, each run is traced and persisted there as a
+    Chrome-trace JSON plus a JSONL record stream (see :mod:`repro.telemetry`).
+    """
     cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
-    return {
-        level: ClamrSimulation(cfg, policy=level, vectorized=vectorized).run(steps)
-        for level in CLAMR_LEVELS
-    }
+    results: dict[str, SimulationResult] = {}
+    for level in CLAMR_LEVELS:
+        tel = _make_telemetry(telemetry_dir, f"clamr/nx{nx}/{level}")
+        results[level] = ClamrSimulation(
+            cfg, policy=level, vectorized=vectorized, telemetry=tel
+        ).run(steps)
+        _persist_telemetry(telemetry_dir, tel)
+    return results
 
 
 def run_self_precisions(
     elems: int = 4,
     order: int = 4,
     steps: int = 60,
+    telemetry_dir=None,
 ) -> dict[str, SelfResult]:
-    """One thermal-bubble run per SELF precision."""
+    """One thermal-bubble run per SELF precision.
+
+    ``telemetry_dir`` behaves as in :func:`run_clamr_levels`.
+    """
     cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
-    return {
-        prec: SelfSimulation(cfg, precision=prec).run(steps) for prec in SELF_PRECISIONS
-    }
+    results: dict[str, SelfResult] = {}
+    for prec in SELF_PRECISIONS:
+        tel = _make_telemetry(telemetry_dir, f"self/e{elems}o{order}/{prec}")
+        results[prec] = SelfSimulation(cfg, precision=prec, telemetry=tel).run(steps)
+        _persist_telemetry(telemetry_dir, tel)
+    return results
 
 
 # ---------------------------------------------------------------------------

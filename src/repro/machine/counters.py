@@ -51,6 +51,7 @@ class KernelCounters:
         state_bytes: int = 0,
         compute_bytes: int = 0,
         fixed_bytes: int = 0,
+        invocations: int = 1,
     ) -> None:
         """Accumulate one kernel invocation's work.
 
@@ -58,14 +59,23 @@ class KernelCounters:
         dtype — integer mesh arrays, neighbor gathers, hash rebuilds.  It
         is what keeps CPU precision speedups modest (Table I): the float
         traffic halves, this part does not.
+
+        ``invocations`` is the number of kernel *launches* this charge
+        represents — the quantity GPU fixed-overhead models consume.  It
+        defaults to 1 (one ``add`` per launch), but call sites that charge
+        bookkeeping traffic belonging to an already-counted launch (the
+        driver's per-step mesh-gather bytes) must pass 0, and fused
+        drivers that launch several device kernels per call (MUSCL's two
+        spatial sweeps) pass the true launch count — otherwise the
+        profile's ``invocations`` silently mis-states launch overhead.
         """
-        if min(flops, state_bytes, compute_bytes, fixed_bytes) < 0:
+        if min(flops, state_bytes, compute_bytes, fixed_bytes, invocations) < 0:
             raise ValueError("counter increments must be non-negative")
         self.flops += flops
         self.state_bytes += state_bytes
         self.compute_bytes += compute_bytes
         self.fixed_bytes += fixed_bytes
-        self.invocations += 1
+        self.invocations += invocations
 
     def merge(self, other: "KernelCounters") -> None:
         self.flops += other.flops

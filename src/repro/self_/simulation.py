@@ -40,6 +40,7 @@ from repro.self_.equations import RHO, AtmosphereConstants, CompressibleEuler
 from repro.self_.filter import apply_filter_3d, modal_filter_matrix
 from repro.self_.mesh import HexMesh
 from repro.self_.timeint import LowStorageRK3
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["ThermalBubbleConfig", "SelfResult", "SelfSimulation", "parse_precision"]
 
@@ -144,6 +145,13 @@ class SelfSimulation:
         ``"single"`` or ``"double"`` (paper vocabulary), or a dtype.
     constants:
         Atmosphere constants; defaults are dry air.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`.  When provided, the
+        RK stages (each RHS evaluation), the modal filter, the viscous
+        operator and the stable-dt reduction all run inside spans, the
+        metrics registry collects the dt and flop series, and the
+        numerical watchpoints scan the conserved variables at the
+        telemetry's stride.
     """
 
     def __init__(
@@ -151,10 +159,12 @@ class SelfSimulation:
         config: ThermalBubbleConfig = ThermalBubbleConfig(),
         precision: str | np.dtype = "double",
         constants: AtmosphereConstants = AtmosphereConstants(),
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
         self.dtype = parse_precision(precision)
         self.constants = constants
+        self.telemetry = telemetry
         self.mesh = HexMesh(
             nex=config.nex,
             ney=config.ney,
@@ -175,19 +185,25 @@ class SelfSimulation:
             config.order, cutoff=config.filter_cutoff, strength=config.filter_strength
         ).astype(self.dtype)
         self._background = self.solver.background_state()
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
         if config.viscosity > 0.0:
             from repro.self_.viscous import ViscousOperator
 
             viscous = ViscousOperator(self.solver, mu=config.viscosity, prandtl=config.prandtl)
 
             def rhs(U: np.ndarray) -> np.ndarray:
-                out = self.solver.rhs(U)
-                viscous.add_rhs(U, out)
+                with tel.span("self/rhs"):
+                    out = self.solver.rhs(U)
+                with tel.span("self/viscous"):
+                    viscous.add_rhs(U, out)
                 return out
-
-            self._stepper = LowStorageRK3(rhs=rhs)
         else:
-            self._stepper = LowStorageRK3(rhs=self.solver.rhs)
+
+            def rhs(U: np.ndarray) -> np.ndarray:
+                with tel.span("self/rhs"):
+                    return self.solver.rhs(U)
+
+        self._stepper = LowStorageRK3(rhs=rhs)
         self.time = 0.0
         self.step_count = 0
 
@@ -230,20 +246,43 @@ class SelfSimulation:
         if steps < 1:
             raise ValueError("steps must be at least 1")
         cfg = self.config
+        tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        recording = tel.enabled
         flops = 0
         kernel_elapsed = 0.0
         t_start = time.perf_counter()
-        for _ in range(steps):
-            dt = self.solver.stable_dt(self.U, cfg.courant)
-            t0 = time.perf_counter()
-            self._stepper.step(self.U, dt)
-            if self.step_count % cfg.filter_interval == 0:
-                perturbation = self.U - self._background
-                self.U = self._background + apply_filter_3d(perturbation, self._filter)
-            kernel_elapsed += time.perf_counter() - t0
-            self.time += dt
-            self.step_count += 1
-            flops += self._flops_per_step()
+        with tel.span("self/run", steps=steps, ndof=self.mesh.ndof):
+            for _ in range(steps):
+                with tel.span("self/step", step=self.step_count):
+                    with tel.span("self/stable_dt") as sp:
+                        dt = self.solver.stable_dt(self.U, cfg.courant)
+                    if recording:
+                        sp.set(dt=dt)
+                        tel.metrics.histogram("self.dt").observe(dt)
+                    t0 = time.perf_counter()
+                    with tel.span("self/rk3_step") as sp:
+                        self._stepper.step(self.U, dt)
+                    if self.step_count % cfg.filter_interval == 0:
+                        with tel.span("self/filter"):
+                            perturbation = self.U - self._background
+                            self.U = self._background + apply_filter_3d(
+                                perturbation, self._filter
+                            )
+                    kernel_elapsed += time.perf_counter() - t0
+                    self.time += dt
+                    self.step_count += 1
+                    step_flops = self._flops_per_step()
+                    flops += step_flops
+                    if recording:
+                        sp.set(flops=step_flops)
+                        tel.metrics.counter("self.flops").add(step_flops)
+                        tel.metrics.counter("self.state_bytes").add(
+                            self._state_traffic_per_step()
+                        )
+                        if tel.numerics.should_scan(self.step_count):
+                            tel.scan("rho", self.U[:, RHO], step=self.step_count)
+                            tel.scan("momentum", self.U[:, 1:4], step=self.step_count)
+                            tel.scan("energy", self.U[:, 4], step=self.step_count)
         elapsed = time.perf_counter() - t_start
 
         anomaly = (self.U[:, RHO].astype(np.float64) - self.solver.rho_bar.astype(np.float64))

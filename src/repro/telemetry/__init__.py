@@ -1,0 +1,167 @@
+"""``repro.telemetry`` — tracing spans, metrics, and numerical watchpoints.
+
+The measurement substrate for every performance and precision claim the
+repo makes: instead of ad-hoc ``time.time()`` pairs and end-of-run
+aggregates, a solver run carries one :class:`Telemetry` object that
+collects
+
+* hierarchical wall-time **spans** per kernel invocation
+  (:mod:`repro.telemetry.spans`),
+* named **metrics** — per-kernel flop/byte counters, dt histograms,
+  regrid cell counts, mass-drift gauges (:mod:`repro.telemetry.metrics`),
+* **numerical events** — NaN/Inf births, subnormal flushes, dynamic-range
+  saturation, accumulator cancellation (:mod:`repro.telemetry.numerics`),
+
+and exports them as JSONL, Chrome-trace JSON (``chrome://tracing`` /
+Perfetto), or terminal summaries (:mod:`repro.telemetry.export`).
+
+Usage::
+
+    tel = Telemetry()
+    sim = ClamrSimulation(cfg, policy="mixed", telemetry=tel)
+    sim.run(200)
+    print(span_summary(tel).render())
+    write_chrome_trace(tel, "dam_break.trace.json")
+
+Both :class:`~repro.clamr.simulation.ClamrSimulation` and
+:class:`~repro.self_.simulation.SelfSimulation` accept ``telemetry=``;
+passing ``None`` (the default) routes every instrumentation site through
+the shared :data:`NULL_TELEMETRY` no-op object, whose overhead is two
+trivial method calls per span — unmeasurable against a kernel step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.numerics import (
+    NullNumericsWatch,
+    NumericalEvent,
+    NumericsWatch,
+)
+from repro.telemetry.spans import NULL_SPAN, NullSpan, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NumericsWatch",
+    "NumericalEvent",
+    # re-exported for convenience; implemented in repro.telemetry.export
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "span_tree",
+    "span_summary",
+    "event_report",
+]
+
+
+class Telemetry:
+    """One run's trace: a tracer, a metrics registry, and a numerics watch.
+
+    Parameters
+    ----------
+    label:
+        Free-form run label carried into the exports (e.g.
+        ``"clamr/dam_break/min"``).
+    watch_stride:
+        Step stride for numerical watchpoint scans (0 disables scanning
+        while keeping spans and metrics).
+    """
+
+    enabled = True
+
+    def __init__(self, label: str = "", watch_stride: int = 8) -> None:
+        self.label = label
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.numerics = NumericsWatch(stride=watch_stride)
+
+    # -- spans ------------------------------------------------------------
+
+    def span(self, name: str, **counters: float):
+        """Open a span; see :meth:`repro.telemetry.spans.Tracer.span`."""
+        return self.tracer.span(name, **counters)
+
+    # -- numerics ---------------------------------------------------------
+
+    def scan(
+        self,
+        name: str,
+        array: "np.ndarray",
+        dtype: "np.dtype | None" = None,
+        step: int = 0,
+    ) -> list[NumericalEvent]:
+        """Watchpoint-scan an array, tagging events with the current span."""
+        current = self.tracer.current()
+        span_id = current.span_id if current is not None else None
+        return self.numerics.scan(name, array, dtype=dtype, step=step, span_id=span_id)
+
+    def check_cancellation(
+        self, name: str, abs_sum: float, total: float, step: int = 0
+    ) -> NumericalEvent | None:
+        current = self.tracer.current()
+        span_id = current.span_id if current is not None else None
+        return self.numerics.check_cancellation(
+            name, abs_sum, total, step=step, span_id=span_id
+        )
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a shared no-op.
+
+    ``enabled`` is ``False`` so instrumented code can cheaply gate the few
+    sites that would otherwise *compute* something just to record it
+    (counter deltas, promoted copies for scanning).
+    """
+
+    enabled = False
+    label = ""
+
+    tracer = None  # sentinel: there is deliberately no span storage
+    metrics = NullRegistry()
+    numerics = NullNumericsWatch()
+
+    __slots__ = ()
+
+    def span(self, name: str, **counters: float) -> NullSpan:
+        return NULL_SPAN
+
+    def scan(self, name, array, dtype=None, step=0) -> list[NumericalEvent]:
+        return []
+
+    def check_cancellation(self, name, abs_sum, total, step=0) -> None:
+        return None
+
+
+#: Shared instance the simulations substitute for ``telemetry=None``.
+NULL_TELEMETRY = NullTelemetry()
+
+
+# Exporters live in their own module but are part of the package surface.
+from repro.telemetry.export import (  # noqa: E402
+    event_report,
+    read_jsonl,
+    span_summary,
+    span_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)

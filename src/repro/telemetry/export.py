@@ -1,0 +1,367 @@
+"""Trace exporters: JSONL, Chrome trace (Perfetto), and terminal summaries.
+
+Three consumers, three formats:
+
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) — one self-typed
+  JSON object per line (``meta`` / ``span`` / ``event`` / ``metric``),
+  append-friendly and greppable; the round-trip format the harness
+  persists next to benchmark JSON.
+* **Chrome trace** (:func:`to_chrome_trace` / :func:`write_chrome_trace`)
+  — the ``chrome://tracing`` / Perfetto "JSON object format": spans as
+  complete (``"ph": "X"``) events in microseconds, numerical events as
+  instants, metrics tucked into ``otherData``.  Load the file in
+  https://ui.perfetto.dev to see the kernel timeline.
+* **Terminal** (:func:`span_tree` / :func:`span_summary` /
+  :func:`event_report`) — an aggregated call tree, a per-kernel summary
+  :class:`~repro.harness.report.Table`, and the numerical-event digest
+  the ``repro trace`` CLI prints.
+
+All readers/renderers accept either a live
+:class:`~repro.telemetry.Telemetry` or the :class:`TraceData` that
+:func:`read_jsonl` reconstructs, so post-mortem analysis of a persisted
+trace uses the same code paths as a live one.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.numerics import NumericalEvent
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "TraceData",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "span_tree",
+    "span_summary",
+    "event_report",
+]
+
+_JSONL_VERSION = 1
+
+
+@dataclass
+class TraceData:
+    """A telemetry snapshot reconstructed from disk (see :func:`read_jsonl`)."""
+
+    label: str = ""
+    spans: list[Span] = field(default_factory=list)
+    events: list[NumericalEvent] = field(default_factory=list)
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def _spans_of(tel) -> list[Span]:
+    tracer = getattr(tel, "tracer", None)
+    if tracer is not None:
+        return tracer.spans
+    return tel.spans
+
+
+def _events_of(tel) -> list[NumericalEvent]:
+    numerics = getattr(tel, "numerics", None)
+    if numerics is not None:
+        return numerics.events
+    return tel.events
+
+
+def _metrics_of(tel) -> dict[str, dict[str, float]]:
+    metrics = getattr(tel, "metrics", None)
+    if metrics is not None and hasattr(metrics, "snapshot"):
+        return metrics.snapshot()
+    return getattr(tel, "metrics", {}) or {}
+
+
+def _clean(value: float):
+    """JSON has no inf/nan literals; round-trip them as strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # 'inf', '-inf', 'nan'
+    return value
+
+
+def _unclean(value):
+    if isinstance(value, str) and value in ("inf", "-inf", "nan"):
+        return float(value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(tel, path: str | Path) -> Path:
+    """Persist a telemetry object as one JSON record per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        meta = {
+            "type": "meta",
+            "version": _JSONL_VERSION,
+            "label": getattr(tel, "label", ""),
+        }
+        fh.write(json.dumps(meta) + "\n")
+        for s in _spans_of(tel):
+            record = {
+                "type": "span",
+                "name": s.name,
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "start_s": s.start_s,
+                "end_s": s.end_s,
+                "counters": {k: _clean(v) for k, v in s.counters.items()},
+            }
+            fh.write(json.dumps(record) + "\n")
+        for e in _events_of(tel):
+            record = {
+                "type": "event",
+                "kind": e.kind,
+                "array": e.array,
+                "step": e.step,
+                "span_id": e.span_id,
+                "value": _clean(e.value),
+                "severity": e.severity,
+                "detail": {k: _clean(v) for k, v in e.detail.items()},
+            }
+            fh.write(json.dumps(record) + "\n")
+        for name, snap in _metrics_of(tel).items():
+            record = {"type": "metric", "name": name}
+            record.update({k: _clean(v) for k, v in snap.items()})
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> TraceData:
+    """Reconstruct a :class:`TraceData` from a :func:`write_jsonl` file."""
+    data = TraceData()
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                data.label = record.get("label", "")
+            elif kind == "span":
+                data.spans.append(
+                    Span(
+                        name=record["name"],
+                        span_id=record["id"],
+                        parent_id=record["parent"],
+                        start_s=record["start_s"],
+                        end_s=record["end_s"],
+                        counters={
+                            k: _unclean(v) for k, v in record.get("counters", {}).items()
+                        },
+                    )
+                )
+            elif kind == "event":
+                data.events.append(
+                    NumericalEvent(
+                        kind=record["kind"],
+                        array=record["array"],
+                        step=record["step"],
+                        span_id=record["span_id"],
+                        value=_unclean(record["value"]),
+                        severity=record["severity"],
+                        detail={
+                            k: _unclean(v) for k, v in record.get("detail", {}).items()
+                        },
+                    )
+                )
+            elif kind == "metric":
+                name = record.pop("name")
+                record.pop("type")
+                data.metrics[name] = {k: _unclean(v) for k, v in record.items()}
+            else:
+                raise ValueError(f"unknown JSONL record type {kind!r}")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace / Perfetto
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(tel, pid: int = 1, tid: int = 1) -> dict:
+    """The trace as a ``chrome://tracing`` JSON object.
+
+    Timestamps are rebased so the earliest span starts at t=0 (the
+    ``perf_counter`` epoch is arbitrary) and expressed in microseconds,
+    per the trace-event format spec.
+    """
+    spans = _spans_of(tel)
+    t0 = min((s.start_s for s in spans), default=0.0)
+    label = getattr(tel, "label", "") or "repro"
+    trace_events: list[dict] = [
+        {"ph": "M", "pid": pid, "name": "process_name", "args": {"name": label}},
+        {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name", "args": {"name": "solver"}},
+    ]
+    span_start: dict[int, float] = {}
+    for s in spans:
+        span_start[s.span_id] = s.start_s
+        trace_events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": (s.start_s - t0) * 1e6,
+                "dur": (s.duration_s) * 1e6,
+                "args": {k: _clean(v) for k, v in s.counters.items()},
+            }
+        )
+    for e in _events_of(tel):
+        ts = (span_start.get(e.span_id, t0) - t0) * 1e6 if e.span_id is not None else 0.0
+        trace_events.append(
+            {
+                "name": f"{e.kind}:{e.array}",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "args": {
+                    "step": e.step,
+                    "value": _clean(e.value),
+                    "severity": e.severity,
+                    **{k: _clean(v) for k, v in e.detail.items()},
+                },
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label, "metrics": _metrics_of(tel)},
+    }
+
+
+def write_chrome_trace(tel, path: str | Path, pid: int = 1, tid: int = 1) -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tel, pid=pid, tid=tid), fh)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Terminal rendering
+# ---------------------------------------------------------------------------
+
+
+def _aggregate_paths(spans: list[Span]):
+    """Group spans by their name-path from the root, preserving first-seen
+    order.  Returns ``[(path_tuple, count, total_s, counters_total)]``."""
+    by_id = {s.span_id: s for s in spans}
+    path_cache: dict[int, tuple[str, ...]] = {}
+
+    def path_of(s: Span) -> tuple[str, ...]:
+        cached = path_cache.get(s.span_id)
+        if cached is not None:
+            return cached
+        if s.parent_id is None or s.parent_id not in by_id:
+            p = (s.name,)
+        else:
+            p = path_of(by_id[s.parent_id]) + (s.name,)
+        path_cache[s.span_id] = p
+        return p
+
+    order: list[tuple[str, ...]] = []
+    agg: dict[tuple[str, ...], list] = {}
+    for s in spans:
+        p = path_of(s)
+        entry = agg.get(p)
+        if entry is None:
+            entry = agg[p] = [0, 0.0, {}]
+            order.append(p)
+        entry[0] += 1
+        entry[1] += s.duration_s
+        for k, v in s.counters.items():
+            if isinstance(v, (int, float)) and math.isfinite(v):
+                entry[2][k] = entry[2].get(k, 0.0) + v
+    # depth-first order: parents before children, siblings in first-seen order
+    first_seen = {p: i for i, p in enumerate(order)}
+    order.sort(
+        key=lambda p: tuple(
+            first_seen.get(p[: i + 1], len(first_seen)) for i in range(len(p))
+        )
+    )
+    return [(p, agg[p][0], agg[p][1], agg[p][2]) for p in order]
+
+
+def span_tree(tel, counter_keys: tuple[str, ...] = ("flops",)) -> str:
+    """Aggregated call tree: one line per unique span path.
+
+    Spans sharing a path collapse into ``count × total-time`` lines, so a
+    thousand-step run prints a dozen lines, not five thousand.
+    """
+    spans = _spans_of(tel)
+    if not spans:
+        return "(no spans recorded)"
+    lines = []
+    for path, count, total, counters in _aggregate_paths(spans):
+        indent = "  " * (len(path) - 1)
+        extra = ""
+        shown = [
+            f"{k}={counters[k]:.3g}" for k in counter_keys if counters.get(k)
+        ]
+        if shown:
+            extra = "  [" + " ".join(shown) + "]"
+        lines.append(f"{indent}{path[-1]:<{max(1, 44 - len(indent))}} {count:>6}x {total:>9.4f}s{extra}")
+    return "\n".join(lines)
+
+
+def span_summary(tel):
+    """Per-span-name aggregate as a :class:`~repro.harness.report.Table`."""
+    from repro.harness.report import Table  # local: avoid package import cycle
+
+    spans = _spans_of(tel)
+    agg: dict[str, list] = {}
+    order: list[str] = []
+    for s in spans:
+        entry = agg.get(s.name)
+        if entry is None:
+            entry = agg[s.name] = [0, 0.0, 0.0, 0.0]
+            order.append(s.name)
+        entry[0] += 1
+        entry[1] += s.duration_s
+        entry[2] += s.counters.get("flops", 0.0)
+        entry[3] += s.counters.get("state_bytes", 0.0) + s.counters.get("bytes", 0.0)
+    wall = sum(s.duration_s for s in spans if s.parent_id is None)
+    table = Table(
+        title=f"Span summary — {getattr(tel, 'label', '') or 'trace'}",
+        headers=["Span", "Calls", "Total (s)", "Mean (ms)", "% wall", "Gflop", "GB"],
+    )
+    for name in order:
+        count, total, flops, nbytes = agg[name]
+        table.add_row(
+            name,
+            count,
+            total,
+            1e3 * total / count if count else 0.0,
+            100.0 * total / wall if wall > 0 else 0.0,
+            flops / 1e9,
+            nbytes / 1e9,
+        )
+    return table
+
+
+def event_report(tel, limit: int = 20) -> str:
+    """Digest of the numerical events: counts by kind plus the first few."""
+    events = _events_of(tel)
+    if not events:
+        return "numerical events: none"
+    counts: dict[str, int] = {}
+    for e in events:
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+    head = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    lines = [f"numerical events: {len(events)} ({head})"]
+    for e in events[:limit]:
+        lines.append(f"  {e.describe()}")
+    if len(events) > limit:
+        lines.append(f"  ... and {len(events) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Named counters, gauges and histograms for solver runs.
+
+The span layer answers *where time went*; the metrics registry answers
+*how much of everything happened* — per-kernel flops and bytes, the dt
+series, regrid cell counts, mass-conservation drift per step.  Metrics
+are deliberately process-local and allocation-light: a histogram keeps a
+bounded reservoir plus exact count/sum/min/max, so a million-step run
+cannot grow memory without bound.
+
+All three metric kinds share the get-or-create :class:`MetricsRegistry`
+entry point, mirroring the usual Prometheus-style client shape so the
+names (``counter``/``gauge``/``histogram``) read familiarly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing tally (flops, bytes, events)."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value plus its observed extremes (mass drift, ncells)."""
+
+    name: str
+    value: float = math.nan
+    min: float = math.inf
+    max: float = -math.inf
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.updates += 1
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary with a bounded sample reservoir.
+
+    Exact ``count``/``sum``/``min``/``max``; percentiles come from the
+    first ``reservoir`` observations (solver series like dt are smooth
+    enough that an early reservoir is representative, and the exact
+    extremes are kept regardless).
+    """
+
+    name: str
+    reservoir: int = 512
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < self.reservoir:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from the reservoir."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+
+class MetricsRegistry:
+    """Get-or-create home for all metrics of one run."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, reservoir: int = 512) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, reservoir=reservoir)
+        return h
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict view of every metric, for export and assertions."""
+        out: dict[str, dict[str, float]] = {}
+        for name, c in self.counters.items():
+            out[name] = {"kind": "counter", "value": c.value}
+        for name, g in self.gauges.items():
+            out[name] = {
+                "kind": "gauge",
+                "value": g.value,
+                "min": g.min,
+                "max": g.max,
+                "updates": g.updates,
+            }
+        for name, h in self.histograms.items():
+            out[name] = {
+                "kind": "histogram",
+                "count": h.count,
+                "sum": h.sum,
+                "min": h.min,
+                "max": h.max,
+                "mean": h.mean,
+            }
+        return out
+
+
+class _NullMetric:
+    """Accepts any write and drops it — the disabled-mode metric."""
+
+    __slots__ = ()
+
+    def add(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Registry whose every lookup returns the shared null metric."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, reservoir: int = 512) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {}

@@ -1,0 +1,173 @@
+"""Hierarchical tracing spans with near-zero disabled overhead.
+
+A :class:`Span` is one timed region of a run — a kernel launch, a regrid,
+a whole simulation — with a monotonic id, a link to its parent, and a
+bag of attached counters (flops, bytes, dt, cell counts…).  Spans are
+opened as context managers through a :class:`Tracer`, which maintains the
+open-span stack so nesting is recorded without the instrumented code
+threading parent handles around.
+
+Timing uses :func:`time.perf_counter` throughout — monotonic, so spans
+can never report negative durations the way raw ``time.time()`` can when
+NTP steps the wall clock.
+
+Disabled fast path
+------------------
+Instrumented code does not branch on "is telemetry on?" at every site; it
+always writes ``with tel.span("kernel"):``.  When telemetry is off,
+``tel`` is the module-level :data:`NULL_SPAN`-returning null object, so
+the whole construct costs two trivial method calls and allocates nothing
+(the null span is a shared singleton).  ``bench_table1_clamr_arch``
+budget: the disabled path must stay within 2% of un-instrumented runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One closed-or-open timed region.
+
+    Attributes
+    ----------
+    name:
+        Span label, e.g. ``"clamr/finite_diff_vectorized"``.  Spans of the
+        same name aggregate in summaries; the Chrome trace keeps each
+        instance.
+    span_id / parent_id:
+        Monotonic id unique within one :class:`Tracer`; ``parent_id`` is
+        ``None`` for roots.  Ids increase in *open* order, so sorting by id
+        reproduces execution order.
+    start_s / end_s:
+        ``perf_counter`` timestamps; ``end_s`` is ``None`` while open.
+    counters:
+        Numbers attached via :meth:`add` / :meth:`set` — kernel work
+        tallies, dt, cell counts.  ``add`` accumulates, ``set`` overwrites.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    end_s: float | None = None
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def add(self, **values: float) -> None:
+        """Accumulate counters onto this span (missing keys start at 0)."""
+        counters = self.counters
+        for key, value in values.items():
+            counters[key] = counters.get(key, 0.0) + value
+
+    def set(self, **values: float) -> None:
+        """Set counters on this span, overwriting prior values."""
+        self.counters.update(values)
+
+
+class _OpenSpan:
+    """Context manager binding one :class:`Span` to its tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end_s = time.perf_counter()
+        stack = self._tracer._stack
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        return False
+
+
+class NullSpan:
+    """Shared do-nothing span: the disabled-telemetry fast path.
+
+    Supports the full :class:`Span` surface (context manager, ``add``,
+    ``set``, ``duration_s``) so instrumented code never branches.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, **values: float) -> None:
+        pass
+
+    def set(self, **values: float) -> None:
+        pass
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+#: The singleton all disabled span() calls return — nothing is allocated.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects spans for one run; hands out context-managed children.
+
+    Not thread-safe by design: each simulation owns its tracer, matching
+    how the mini-apps run (one driver loop per process).
+    """
+
+    __slots__ = ("spans", "_stack", "_next_id")
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    def span(self, name: str, **counters: float) -> _OpenSpan:
+        """Open a child of the current span (or a root) as a context manager."""
+        parent = self._stack[-1].span_id if self._stack else None
+        sp = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            start_s=time.perf_counter(),
+        )
+        if counters:
+            sp.counters.update(counters)
+        self._next_id += 1
+        self.spans.append(sp)
+        self._stack.append(sp)
+        return _OpenSpan(self, sp)
+
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def total_s(self, name: str) -> float:
+        """Summed duration of all closed spans with this name."""
+        return sum(s.duration_s for s in self.spans if s.name == name)

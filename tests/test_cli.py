@@ -27,6 +27,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "6"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "clamr"])
+        assert args.nx == 64 and args.steps == 100 and args.stride == 4
+        assert not args.strict
+
+    def test_trace_workload_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "lulesh"])
+
 
 class TestCommands:
     def test_devices(self, capsys):
@@ -72,3 +81,26 @@ class TestCommands:
         assert main(["figure", "5"]) == 0
         out = capsys.readouterr().out
         assert "asymmetry" in out.lower()
+
+    def test_trace_clamr(self, tmp_path, capsys):
+        trace = tmp_path / "t.trace.json"
+        jsonl = tmp_path / "t.jsonl"
+        assert main(["trace", "clamr", "--nx", "16", "--steps", "10",
+                     "--max-level", "1", "--out", str(trace),
+                     "--jsonl", str(jsonl), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "clamr/compute_timestep" in out
+        assert "Span summary" in out
+        assert "numerical events" in out
+        import json
+
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert len(names) >= 4
+        assert jsonl.exists()
+
+    def test_trace_self(self, capsys):
+        assert main(["trace", "self", "--elems", "2", "--order", "2",
+                     "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "self/rhs" in out

@@ -66,6 +66,17 @@ class TestExamples:
         out = run_example("reproduce_paper.py", "--scale", "quick", "--only", "table4,fig5")
         assert "GNU" in out and "Fig. 5" in out
 
+    def test_trace_dam_break(self, tmp_path):
+        out = run_example(
+            "trace_dam_break.py", "--nx", "16", "--steps", "30",
+            "--max-level", "1", "--outdir", str(tmp_path),
+        )
+        assert "Kernel time by precision policy" in out
+        assert "numerical events" in out
+        for policy in ("min", "mixed", "full"):
+            assert (tmp_path / f"dam_break_{policy}.trace.json").exists()
+            assert (tmp_path / f"dam_break_{policy}.jsonl").exists()
+
 
 class TestBitSweepViaApi:
     def test_example_pipeline_small(self):
