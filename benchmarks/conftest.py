@@ -12,8 +12,15 @@ comparison.
 
 Pass ``--telemetry DIR`` to trace every shared mini-app run and persist a
 Perfetto-loadable Chrome trace plus a JSONL record stream per run into
-``DIR`` (see docs/telemetry.md).  Without the flag the simulations take
-their zero-overhead no-op telemetry path.
+``DIR`` (see docs/telemetry.md).  Traces are named by workload *and*
+scale (``clamr_bench_nx48s200_min`` vs ``clamr_fidelity_nx64s1000_min``),
+so the bench-scale and fidelity-scale CLAMR fixtures never overwrite each
+other's files.  Without the flag the simulations take their zero-overhead
+no-op telemetry path.
+
+Pass ``--ledger PATH`` to additionally append one fingerprinted run
+record per shared run to a JSONL run ledger (docs/observatory.md) —
+feed it to ``repro ledger report`` / ``gate`` / ``export-bench``.
 """
 
 import pytest
@@ -28,11 +35,22 @@ def pytest_addoption(parser):
         metavar="DIR",
         help="persist per-run telemetry traces (Chrome trace + JSONL) into DIR",
     )
+    parser.addoption(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append a run record per shared mini-app run to this run ledger",
+    )
 
 
 @pytest.fixture(scope="session")
 def telemetry_dir(request):
     return request.config.getoption("--telemetry")
+
+
+@pytest.fixture(scope="session")
+def ledger_path(request):
+    return request.config.getoption("--ledger")
 
 # bench-scale workloads (the generators lift these to paper scale through
 # the machine model, so the *shape* does not depend on these numbers)
@@ -48,21 +66,38 @@ FIG_STEPS = 1000
 
 
 @pytest.fixture(scope="session")
-def clamr_runs(telemetry_dir):
-    return run_clamr_levels(nx=CLAMR_NX, steps=CLAMR_STEPS, telemetry_dir=telemetry_dir)
-
-
-@pytest.fixture(scope="session")
-def self_runs(telemetry_dir):
-    return run_self_precisions(
-        elems=SELF_ELEMS, order=SELF_ORDER, steps=SELF_STEPS, telemetry_dir=telemetry_dir
+def clamr_runs(telemetry_dir, ledger_path):
+    return run_clamr_levels(
+        nx=CLAMR_NX,
+        steps=CLAMR_STEPS,
+        telemetry_dir=telemetry_dir,
+        ledger=ledger_path,
+        label=f"clamr_bench/nx{CLAMR_NX}s{CLAMR_STEPS}",
     )
 
 
 @pytest.fixture(scope="session")
-def clamr_fidelity_runs(telemetry_dir):
+def self_runs(telemetry_dir, ledger_path):
+    return run_self_precisions(
+        elems=SELF_ELEMS,
+        order=SELF_ORDER,
+        steps=SELF_STEPS,
+        telemetry_dir=telemetry_dir,
+        ledger=ledger_path,
+        label=f"self_bench/e{SELF_ELEMS}o{SELF_ORDER}s{SELF_STEPS}",
+    )
+
+
+@pytest.fixture(scope="session")
+def clamr_fidelity_runs(telemetry_dir, ledger_path):
     """The Fig 1/2 workload: longer run on the paper's 64-cell grid."""
-    return run_clamr_levels(nx=FIG_NX, steps=FIG_STEPS, telemetry_dir=telemetry_dir)
+    return run_clamr_levels(
+        nx=FIG_NX,
+        steps=FIG_STEPS,
+        telemetry_dir=telemetry_dir,
+        ledger=ledger_path,
+        label=f"clamr_fidelity/nx{FIG_NX}s{FIG_STEPS}",
+    )
 
 
 def emit(renderable) -> None:

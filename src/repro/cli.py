@@ -16,6 +16,11 @@ Subcommands
     Run a mini-app under full telemetry and print the span tree, the
     per-kernel summary, and the numerical-event report; optionally dump
     Chrome-trace / JSONL files for Perfetto or post-mortem analysis.
+``ledger record|report|compare|gate|export-bench``
+    The run ledger & regression observatory (see docs/observatory.md):
+    persist runs as fingerprinted records, trend them with sparklines,
+    diff two fingerprints, gate against a committed baseline, and export
+    the ``BENCH_observatory.json`` perf trajectory.
 
 The CLI is a thin veneer over the public API — every command body is a
 few calls a user could type in a REPL — so it doubles as executable
@@ -48,6 +53,8 @@ def build_parser() -> argparse.ArgumentParser:
     clamr.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
     clamr.add_argument("--scalar", action="store_true", help="use the unvectorized kernel")
     clamr.add_argument("--checkpoint", default=None, help="write a checkpoint here")
+    clamr.add_argument("--ledger", default=None, metavar="PATH",
+                       help="trace the run and append a run record to this ledger")
 
     selfp = sub.add_parser("self", help="run the SELF thermal bubble")
     selfp.add_argument("--elems", type=int, default=4)
@@ -55,6 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
     selfp.add_argument("--steps", type=int, default=100)
     selfp.add_argument("--precision", default="double", choices=("single", "double"))
     selfp.add_argument("--viscosity", type=float, default=0.0)
+    selfp.add_argument("--ledger", default=None, metavar="PATH",
+                       help="trace the run and append a run record to this ledger")
 
     sub.add_parser("devices", help="list the simulated architectures")
 
@@ -90,15 +99,80 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--jsonl", default=None, metavar="FILE",
                        help="write the raw telemetry as JSONL")
     trace.add_argument("--strict", action="store_true",
-                       help="exit 1 if any NaN/Inf numerical event was recorded")
+                       help="exit 1 if any NaN/Inf event was recorded, or any "
+                            "overflow-headroom event fell below --strict-headroom-bits")
+    trace.add_argument("--strict-headroom-bits", type=float, default=2.0, metavar="N",
+                       help="with --strict, overflow_risk events with less than N bits "
+                            "of dynamic-range headroom left are fatal (default 2)")
+
+    ledger = sub.add_parser(
+        "ledger", help="persistent cross-run telemetry and regression gating"
+    )
+    lsub = ledger.add_subparsers(dest="ledger_command", required=True)
+
+    lrec = lsub.add_parser("record", help="run a workload and append a run record")
+    lrec.add_argument("workload", choices=("clamr", "self"))
+    lrec.add_argument("--ledger", required=True, metavar="PATH",
+                      help="ledger file (.jsonl) or directory")
+    lrec.add_argument("--runs", type=int, default=1, help="record this many repeat runs")
+    lrec.add_argument("--seed", type=int, default=0, help="workload seed (fingerprint input)")
+    lrec.add_argument("--stride", type=int, default=4, help="numerics watchpoint stride")
+    lrec.add_argument("--trace-dir", default=None, metavar="DIR",
+                      help="also persist Chrome-trace + JSONL telemetry per run")
+    lrec.add_argument("--nx", type=int, default=24, help="CLAMR coarse grid per side")
+    lrec.add_argument("--steps", type=int, default=40)
+    lrec.add_argument("--max-level", type=int, default=1)
+    lrec.add_argument("--policy", default="mixed", choices=("min", "mixed", "full"))
+    lrec.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
+    lrec.add_argument("--elems", type=int, default=3, help="SELF elements per side")
+    lrec.add_argument("--order", type=int, default=3, help="SELF polynomial order")
+    lrec.add_argument("--precision", default="double", choices=("single", "double"))
+
+    lrep = lsub.add_parser("report", help="terminal dashboard: trends + sparklines")
+    lrep.add_argument("--ledger", required=True, metavar="PATH")
+    lrep.add_argument("--last", type=int, default=12, help="runs per workload in the trend")
+
+    lcmp = lsub.add_parser("compare", help="per-kernel deltas between two fingerprints")
+    lcmp.add_argument("a", metavar="FINGERPRINT_A", help="fingerprint (prefix ok)")
+    lcmp.add_argument("b", metavar="FINGERPRINT_B", help="fingerprint (prefix ok)")
+    lcmp.add_argument("--ledger", required=True, metavar="PATH")
+
+    lgate = lsub.add_parser(
+        "gate", help="exit nonzero on perf or fidelity regression vs a baseline ledger"
+    )
+    lgate.add_argument("--ledger", required=True, metavar="PATH",
+                       help="ledger holding the current run(s)")
+    lgate.add_argument("--baseline", required=True, metavar="PATH",
+                       help="committed baseline ledger to gate against")
+    lgate.add_argument("--rel-floor", type=float, default=0.10,
+                       help="relative perf tolerance floor (default 0.10; use a generous "
+                            "value when baseline and current machines differ)")
+    lgate.add_argument("--mad-z", type=float, default=5.0,
+                       help="MAD z-score band width (default 5)")
+    lgate.add_argument("--min-kernel-ms", type=float, default=1.0,
+                       help="skip kernels whose baseline median is below this (default 1 ms)")
+    lgate.add_argument("--require-baseline", action="store_true",
+                       help="fail (instead of skip) workloads missing from the baseline")
+
+    lexp = lsub.add_parser("export-bench", help="write the BENCH_observatory.json trajectory")
+    lexp.add_argument("--ledger", required=True, metavar="PATH")
+    lexp.add_argument("--out", default="BENCH_observatory.json", metavar="FILE")
+    lexp.add_argument("--window", type=int, default=10,
+                      help="median window (runs per workload, default 10)")
     return parser
 
 
 def _cmd_clamr(args: argparse.Namespace) -> int:
     from repro.clamr import ClamrSimulation, DamBreakConfig, write_checkpoint
 
+    tel = None
+    if args.ledger:
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(label=f"clamr/nx{args.nx}s{args.steps}/{args.policy}")
     cfg = DamBreakConfig(nx=args.nx, ny=args.nx, max_level=args.max_level)
-    sim = ClamrSimulation(cfg, policy=args.policy, vectorized=not args.scalar, scheme=args.scheme)
+    sim = ClamrSimulation(cfg, policy=args.policy, vectorized=not args.scalar,
+                          scheme=args.scheme, telemetry=tel)
     res = sim.run(args.steps)
     print(f"CLAMR dam break: {args.nx}^2 coarse, {args.max_level} AMR levels, {args.steps} steps")
     print(f"  policy       : {res.policy.describe()}")
@@ -113,17 +187,27 @@ def _cmd_clamr(args: argparse.Namespace) -> int:
     if args.checkpoint:
         nbytes = write_checkpoint(args.checkpoint, sim.mesh, sim.state)
         print(f"  checkpoint   : {args.checkpoint} ({nbytes / 1e6:.2f} MB)")
+    if tel is not None:
+        from repro.ledger import Ledger, record_from_clamr
+
+        record = Ledger(args.ledger).append(record_from_clamr(res, tel, cfg, label=tel.label))
+        print(f"  ledger       : {args.ledger} += {record.fingerprint}")
     return 0
 
 
 def _cmd_self(args: argparse.Namespace) -> int:
     from repro.self_ import SelfSimulation, ThermalBubbleConfig
 
+    tel = None
+    if args.ledger:
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(label=f"self/e{args.elems}o{args.order}s{args.steps}/{args.precision}")
     cfg = ThermalBubbleConfig(
         nex=args.elems, ney=args.elems, nez=args.elems, order=args.order,
         viscosity=args.viscosity,
     )
-    sim = SelfSimulation(cfg, precision=args.precision)
+    sim = SelfSimulation(cfg, precision=args.precision, telemetry=tel)
     res = sim.run(args.steps)
     dof = cfg.nex * cfg.ney * cfg.nez * (cfg.order + 1) ** 3 * 5
     print(f"SELF thermal bubble: {args.elems}^3 elements, order {args.order} ({dof} DOF)")
@@ -133,6 +217,11 @@ def _cmd_self(args: argparse.Namespace) -> int:
     print(f"  state memory : {res.state_nbytes / 1e6:.2f} MB")
     print(f"  w_max        : {res.max_vertical_velocity:.4f} m/s")
     print(f"  anomaly scale: {res.anomaly_scale:.3e}")
+    if tel is not None:
+        from repro.ledger import Ledger, record_from_self
+
+        record = Ledger(args.ledger).append(record_from_self(res, tel, cfg, label=tel.label))
+        print(f"  ledger       : {args.ledger} += {record.fingerprint}")
     return 0
 
 
@@ -226,6 +315,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _strict_failures(tel, headroom_bits: float):
+    """Events that fail ``trace --strict``: (fatal NaN/Inf, exhausted headroom).
+
+    Overflow-risk watchpoints carry the remaining *decades* of dynamic range;
+    the strict threshold is expressed in bits (1 decade = log2(10) ≈ 3.32
+    bits), so an event fails when ``value * log2(10) < headroom_bits``.
+    """
+    import math
+
+    fatal = list(tel.numerics.fatal_events)
+    exhausted = [
+        e
+        for e in tel.numerics.events
+        if e.kind == "overflow_risk" and e.value * math.log2(10.0) < headroom_bits
+    ]
+    return fatal, exhausted
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.telemetry import (
         Telemetry,
@@ -276,11 +383,112 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.jsonl:
         path = write_jsonl(tel, args.jsonl)
         print(f"jsonl trace  : {path}")
-    fatal = tel.numerics.fatal_events
-    if args.strict and fatal:
-        print(f"STRICT: {len(fatal)} NaN/Inf event(s) recorded", file=sys.stderr)
-        return 1
+    if args.strict:
+        fatal, exhausted = _strict_failures(tel, args.strict_headroom_bits)
+        if fatal:
+            print(f"STRICT: {len(fatal)} NaN/Inf event(s) recorded", file=sys.stderr)
+        if exhausted:
+            print(
+                f"STRICT: {len(exhausted)} overflow-headroom event(s) below "
+                f"{args.strict_headroom_bits:g} bits",
+                file=sys.stderr,
+            )
+        if fatal or exhausted:
+            return 1
     return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.ledger import Ledger
+
+    if args.ledger_command == "record":
+        from repro.ledger import run_workload
+
+        ledger = Ledger(args.ledger)
+        for i in range(max(1, args.runs)):
+            record, tel = run_workload(
+                args.workload,
+                seed=args.seed,
+                watch_stride=args.stride,
+                nx=args.nx,
+                steps=args.steps,
+                max_level=args.max_level,
+                policy=args.policy,
+                scheme=args.scheme,
+                elems=args.elems,
+                order=args.order,
+                precision=args.precision,
+            )
+            ledger.append(record)
+            fatal = record.fidelity["nan_events"] + record.fidelity["inf_events"]
+            print(
+                f"recorded {record.label} run {i + 1}/{args.runs}: "
+                f"fingerprint {record.fingerprint}, wall {record.wall_s:.3f}s, "
+                f"drift {record.fidelity['mass_drift']:.3e}, fatal events {fatal}"
+            )
+            if args.trace_dir:
+                from pathlib import Path
+
+                from repro.telemetry import write_chrome_trace, write_jsonl
+
+                out = Path(args.trace_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                stem = f"{record.label.replace('/', '_')}.run{len(ledger.by_fingerprint(record.fingerprint))}"
+                write_chrome_trace(tel, out / f"{stem}.trace.json")
+                write_jsonl(tel, out / f"{stem}.jsonl")
+        print(f"ledger: {ledger.path} ({len(ledger)} records)")
+        return 0
+
+    if args.ledger_command == "report":
+        from repro.ledger import ledger_summary, trend_table
+
+        ledger = Ledger(args.ledger)
+        if not len(ledger):
+            print(f"ledger {ledger.path} is empty")
+            return 0
+        print(ledger_summary(ledger, last=args.last).render())
+        print()
+        print(trend_table(ledger, last=args.last).render())
+        return 0
+
+    if args.ledger_command == "compare":
+        from repro.ledger import compare_table
+
+        ledger = Ledger(args.ledger)
+        runs_a = ledger.by_fingerprint(args.a)
+        runs_b = ledger.by_fingerprint(args.b)
+        for name, runs in ((args.a, runs_a), (args.b, runs_b)):
+            if not runs:
+                print(f"no records match fingerprint {name!r}", file=sys.stderr)
+                return 2
+        print(compare_table(runs_a, runs_b).render())
+        return 0
+
+    if args.ledger_command == "gate":
+        from repro.ledger import GateConfig, gate_ledger
+
+        config = GateConfig(
+            rel_floor=args.rel_floor,
+            mad_z=args.mad_z,
+            min_kernel_s=args.min_kernel_ms / 1e3,
+            require_baseline=args.require_baseline,
+        )
+        result = gate_ledger(Ledger(args.ledger), Ledger(args.baseline), config)
+        print(result.render())
+        return 0 if result.passed else 1
+
+    if args.ledger_command == "export-bench":
+        from repro.ledger import write_bench
+
+        ledger = Ledger(args.ledger)
+        path = write_bench(ledger, args.out, window=args.window)
+        import json
+
+        doc = json.loads(path.read_text())
+        print(f"wrote {path}: {len(doc['entries'])} entries from {len(ledger)} run records")
+        return 0
+
+    raise ValueError(f"unknown ledger command {args.ledger_command!r}")  # pragma: no cover
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -303,6 +511,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "validate": _cmd_validate,
     "trace": _cmd_trace,
+    "ledger": _cmd_ledger,
 }
 
 

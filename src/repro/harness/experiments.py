@@ -104,10 +104,11 @@ def self_paper_scale_factor(cfg: ThermalBubbleConfig, steps: int) -> float:
 # ---------------------------------------------------------------------------
 
 
-def _make_telemetry(telemetry_dir, label: str):
-    """A fresh :class:`~repro.telemetry.Telemetry` when tracing is requested,
-    else ``None`` (the simulations then take their zero-overhead path)."""
-    if telemetry_dir is None:
+def _make_telemetry(telemetry_dir, label: str, ledger=None):
+    """A fresh :class:`~repro.telemetry.Telemetry` when tracing or ledger
+    recording is requested, else ``None`` (the simulations then take their
+    zero-overhead path)."""
+    if telemetry_dir is None and ledger is None:
         return None
     from repro.telemetry import Telemetry
 
@@ -117,7 +118,7 @@ def _make_telemetry(telemetry_dir, label: str):
 def _persist_telemetry(telemetry_dir, tel) -> None:
     """Write ``<label>.trace.json`` (Perfetto) and ``<label>.jsonl`` next to
     the benchmark output."""
-    if tel is None:
+    if tel is None or telemetry_dir is None:
         return
     from pathlib import Path
 
@@ -130,26 +131,46 @@ def _persist_telemetry(telemetry_dir, tel) -> None:
     write_jsonl(tel, out / f"{stem}.jsonl")
 
 
+def _append_to_ledger(ledger, workload: str, result, tel, cfg) -> None:
+    """Append one fingerprinted run record when a ledger is requested."""
+    if ledger is None:
+        return
+    from repro.ledger import Ledger, record_from_clamr, record_from_self
+
+    if not isinstance(ledger, Ledger):
+        ledger = Ledger(ledger)
+    build = record_from_clamr if workload == "clamr" else record_from_self
+    ledger.append(build(result, tel, cfg, label=tel.label))
+
+
 def run_clamr_levels(
     nx: int = 48,
     steps: int = 100,
     max_level: int = 2,
     vectorized: bool = True,
     telemetry_dir=None,
+    ledger=None,
+    label: str | None = None,
 ) -> dict[str, SimulationResult]:
     """One dam-break run per CLAMR precision level.
 
     With ``telemetry_dir`` set, each run is traced and persisted there as a
     Chrome-trace JSON plus a JSONL record stream (see :mod:`repro.telemetry`).
+    With ``ledger`` set (a path or :class:`repro.ledger.Ledger`), each run
+    additionally appends a fingerprinted run record (docs/observatory.md).
+    ``label`` names the traces/records; the default includes grid *and*
+    step count so different scales of the same workload never collide.
     """
     cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
+    label = label or f"clamr/nx{nx}s{steps}"
     results: dict[str, SimulationResult] = {}
     for level in CLAMR_LEVELS:
-        tel = _make_telemetry(telemetry_dir, f"clamr/nx{nx}/{level}")
+        tel = _make_telemetry(telemetry_dir, f"{label}/{level}", ledger)
         results[level] = ClamrSimulation(
             cfg, policy=level, vectorized=vectorized, telemetry=tel
         ).run(steps)
         _persist_telemetry(telemetry_dir, tel)
+        _append_to_ledger(ledger, "clamr", results[level], tel, cfg)
     return results
 
 
@@ -158,17 +179,22 @@ def run_self_precisions(
     order: int = 4,
     steps: int = 60,
     telemetry_dir=None,
+    ledger=None,
+    label: str | None = None,
 ) -> dict[str, SelfResult]:
     """One thermal-bubble run per SELF precision.
 
-    ``telemetry_dir`` behaves as in :func:`run_clamr_levels`.
+    ``telemetry_dir``, ``ledger`` and ``label`` behave as in
+    :func:`run_clamr_levels`.
     """
     cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
+    label = label or f"self/e{elems}o{order}s{steps}"
     results: dict[str, SelfResult] = {}
     for prec in SELF_PRECISIONS:
-        tel = _make_telemetry(telemetry_dir, f"self/e{elems}o{order}/{prec}")
+        tel = _make_telemetry(telemetry_dir, f"{label}/{prec}", ledger)
         results[prec] = SelfSimulation(cfg, precision=prec, telemetry=tel).run(steps)
         _persist_telemetry(telemetry_dir, tel)
+        _append_to_ledger(ledger, "self", results[prec], tel, cfg)
     return results
 
 

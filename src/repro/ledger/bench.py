@@ -1,0 +1,156 @@
+"""Export the ledger's perf trajectory as ``BENCH_observatory.json``.
+
+The bench document is the repo-level, machine-readable performance
+trajectory: a flat list of named scalar entries (per-kernel medians,
+wall times, fidelity magnitudes) derived from the last runs of every
+workload in a ledger.  CI regenerates it on every push and uploads it as
+an artifact, so the trajectory accumulates run-over-run instead of dying
+with each process.
+
+Schema (``repro-bench/v1``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "generated_unix": 1754438400.0,    # float seconds
+      "git_sha": "…",
+      "machine": {…},                    # repro.ledger.record.machine_spec()
+      "entries": [
+        {"name": "clamr/nx24/mixed/kernel/clamr_finite_diff_vectorized/total_ms",
+         "value": 41.7, "unit": "ms", "samples": 3,
+         "workload_key": "…", "fingerprint": "…"},
+        …
+      ]
+    }
+
+:func:`validate_bench_document` enforces it — names unique and non-empty,
+values finite numbers, units from a closed set — and the exporter runs
+the validator before writing, so an invalid document can never be
+emitted.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.ledger.record import git_sha, machine_spec
+from repro.ledger.stats import noise_model
+from repro.ledger.store import Ledger
+
+__all__ = ["BENCH_SCHEMA", "bench_document", "validate_bench_document", "write_bench"]
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+_UNITS = frozenset({"ms", "s", "1", "count"})
+
+
+def _slug(name: str) -> str:
+    return name.replace("/", "_")
+
+
+def bench_document(ledger: Ledger, window: int = 10) -> dict:
+    """Reduce a ledger to the bench document (median over the last runs)."""
+    entries: list[dict] = []
+    for key in ledger.workload_keys():
+        runs = ledger.tail(key, window)
+        latest = runs[-1]
+        prefix = latest.label or f"workload/{key[:8]}"
+        fingerprint = latest.fingerprint
+
+        def emit(metric: str, value: float, unit: str, samples: int) -> None:
+            entries.append(
+                {
+                    "name": f"{prefix}/{metric}",
+                    "value": float(value),
+                    "unit": unit,
+                    "samples": samples,
+                    "workload_key": key,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+        wall = noise_model([r.wall_s for r in runs])
+        emit("wall/total_ms", 1e3 * wall.median, "ms", wall.n)
+        kern = noise_model([r.kernel_s for r in runs])
+        emit("kernel_wall/total_ms", 1e3 * kern.median, "ms", kern.n)
+        for name in sorted(latest.kernels):
+            samples = [r.kernels[name].total_s for r in runs if name in r.kernels]
+            model = noise_model(samples)
+            emit(f"kernel/{_slug(name)}/total_ms", 1e3 * model.median, "ms", model.n)
+        emit("fidelity/mass_drift", float(latest.fidelity.get("mass_drift", 0.0)), "1", 1)
+        emit(
+            "fidelity/asymmetry_relative",
+            float(latest.fidelity.get("asymmetry_relative", 0.0)),
+            "1",
+            1,
+        )
+        fatal = int(latest.fidelity.get("nan_events", 0)) + int(
+            latest.fidelity.get("inf_events", 0)
+        )
+        emit("fidelity/fatal_events", fatal, "count", 1)
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_unix": time.time(),
+        "git_sha": git_sha(),
+        "machine": machine_spec(),
+        "entries": entries,
+    }
+
+
+def validate_bench_document(doc: dict) -> None:
+    """Raise ``ValueError`` listing every schema violation (None if valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        errors.append(f"schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("generated_unix"), (int, float)):
+        errors.append("generated_unix must be a number")
+    if not isinstance(doc.get("git_sha"), str) or not doc.get("git_sha"):
+        errors.append("git_sha must be a non-empty string")
+    if not isinstance(doc.get("machine"), dict):
+        errors.append("machine must be an object")
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        errors.append("entries must be a list")
+        entries = []
+    seen: set[str] = set()
+    for i, entry in enumerate(entries):
+        where = f"entries[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: name must be a non-empty string")
+        elif name in seen:
+            errors.append(f"{where}: duplicate name {name!r}")
+        else:
+            seen.add(name)
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or not math.isfinite(value):
+            errors.append(f"{where}: value must be a finite number, got {value!r}")
+        if entry.get("unit") not in _UNITS:
+            errors.append(f"{where}: unit must be one of {sorted(_UNITS)}, got {entry.get('unit')!r}")
+        samples = entry.get("samples")
+        if not isinstance(samples, int) or samples < 1:
+            errors.append(f"{where}: samples must be a positive integer")
+        for field in ("workload_key", "fingerprint"):
+            if not isinstance(entry.get(field), str) or not entry.get(field):
+                errors.append(f"{where}: {field} must be a non-empty string")
+    if errors:
+        raise ValueError("invalid bench document:\n  " + "\n  ".join(errors))
+
+
+def write_bench(ledger: Ledger, path: str | Path, window: int = 10) -> Path:
+    """Build, validate, and write the bench document."""
+    doc = bench_document(ledger, window=window)
+    validate_bench_document(doc)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,236 @@
+"""Regression gating: current runs vs a committed baseline ledger.
+
+Two regression classes, two rule sets:
+
+**Performance** — per-kernel total seconds (plus the run's ``wall_s`` and
+``kernel_s``) are compared against a median-of-k baseline with the
+:mod:`repro.ledger.stats` noise model: regression iff the current value
+exceeds ``median + max(rel_floor·median, z·1.4826·MAD)``.  Kernels whose
+baseline median is below ``min_kernel_s`` are skipped — timing a 50 µs
+span is measuring the OS, not the code.
+
+**Fidelity** — deterministic quantities gate strictly, statistical ones
+by factor:
+
+* fatal numerical events (``nan``/``inf``): any count above the baseline
+  maximum fails — a healthy baseline has zero, so one NaN birth anywhere
+  in the run trips the gate;
+* headroom/subnormal watchpoint counts: same any-increase rule (scans
+  are deterministic for a fixed workload);
+* conservation drift and relative asymmetry amplitude: fail above
+  ``max(baseline) · factor`` with a small absolute floor, tolerating
+  cross-machine last-bit wiggle while catching order-of-magnitude
+  fidelity loss.
+
+Matching between current and baseline uses the machine-independent
+``workload_key``, so a baseline committed from one machine gates runs on
+another; the perf thresholds are then doing cross-machine comparison and
+CI should pass a generous ``rel_floor`` (see ``docs/observatory.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ledger.record import RunRecord
+from repro.ledger.stats import noise_model, regression_threshold
+from repro.ledger.store import Ledger
+
+__all__ = ["GateConfig", "GateFinding", "GateResult", "gate_record", "gate_ledger"]
+
+#: Fidelity counters gated by the strict any-increase rule.
+_STRICT_EVENT_KEYS = ("nan_events", "inf_events", "overflow_risk_events", "subnormal_events")
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Thresholds; defaults suit same-machine gating (see module docstring)."""
+
+    rel_floor: float = 0.10
+    mad_z: float = 5.0
+    min_kernel_s: float = 1e-3
+    drift_factor: float = 2.0
+    drift_floor: float = 1e-12
+    asymmetry_factor: float = 2.0
+    asymmetry_floor: float = 1e-9
+    baseline_window: int = 10
+    require_baseline: bool = False
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One detected regression (or a missing-baseline complaint)."""
+
+    kind: str  # "perf" | "fidelity" | "missing-baseline"
+    workload_key: str
+    label: str
+    metric: str
+    baseline: float
+    threshold: float
+    current: float
+
+    def describe(self) -> str:
+        if self.kind == "missing-baseline":
+            return f"[missing-baseline] {self.label}: no baseline records for key {self.workload_key}"
+        return (
+            f"[{self.kind}] {self.label} :: {self.metric}: current {self.current:.6g} "
+            f"> threshold {self.threshold:.6g} (baseline median {self.baseline:.6g})"
+        )
+
+
+@dataclass
+class GateResult:
+    """All findings plus bookkeeping of what was (not) checked."""
+
+    findings: list[GateFinding] = field(default_factory=list)
+    checks: int = 0
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "GateResult") -> None:
+        self.findings.extend(other.findings)
+        self.checks += other.checks
+        self.skipped.extend(other.skipped)
+
+    def render(self) -> str:
+        lines = [
+            f"gate: {self.checks} checks, {len(self.findings)} regression(s), "
+            f"{len(self.skipped)} skipped"
+        ]
+        lines.extend("  " + f.describe() for f in self.findings)
+        lines.extend(f"  [skipped] {s}" for s in self.skipped)
+        lines.append("gate: " + ("PASS" if self.passed else "FAIL"))
+        return "\n".join(lines)
+
+
+def _perf_samples(baseline: list[RunRecord], metric: str) -> list[float]:
+    if metric == "wall_s":
+        return [r.wall_s for r in baseline]
+    if metric == "kernel_s":
+        return [r.kernel_s for r in baseline]
+    return [r.kernels[metric].total_s for r in baseline if metric in r.kernels]
+
+
+def gate_record(
+    current: RunRecord,
+    baseline: list[RunRecord],
+    config: GateConfig = GateConfig(),
+) -> GateResult:
+    """Gate one current record against its baseline records."""
+    result = GateResult()
+    if not baseline:
+        if config.require_baseline:
+            result.findings.append(
+                GateFinding(
+                    kind="missing-baseline",
+                    workload_key=current.workload_key,
+                    label=current.label,
+                    metric="-",
+                    baseline=0.0,
+                    threshold=0.0,
+                    current=0.0,
+                )
+            )
+        else:
+            result.skipped.append(
+                f"{current.label}: no baseline for workload key {current.workload_key}"
+            )
+        return result
+    baseline = baseline[-config.baseline_window :]
+
+    # -- performance ------------------------------------------------------
+    perf_metrics = ["wall_s", "kernel_s"] + sorted(current.kernels)
+    for metric in perf_metrics:
+        samples = _perf_samples(baseline, metric)
+        if not samples:
+            result.skipped.append(f"{current.label}: kernel {metric!r} absent from baseline")
+            continue
+        model = noise_model(samples)
+        if metric not in ("wall_s", "kernel_s") and model.median < config.min_kernel_s:
+            continue  # too small to time meaningfully
+        value = (
+            current.wall_s
+            if metric == "wall_s"
+            else current.kernel_s
+            if metric == "kernel_s"
+            else current.kernels[metric].total_s
+        )
+        threshold = regression_threshold(model, rel_floor=config.rel_floor, z=config.mad_z)
+        result.checks += 1
+        if value > threshold:
+            result.findings.append(
+                GateFinding(
+                    kind="perf",
+                    workload_key=current.workload_key,
+                    label=current.label,
+                    metric=metric,
+                    baseline=model.median,
+                    threshold=threshold,
+                    current=value,
+                )
+            )
+
+    # -- fidelity: strict event counts ------------------------------------
+    for key in _STRICT_EVENT_KEYS:
+        worst = max(float(r.fidelity.get(key, 0)) for r in baseline)
+        value = float(current.fidelity.get(key, 0))
+        result.checks += 1
+        if value > worst:
+            result.findings.append(
+                GateFinding(
+                    kind="fidelity",
+                    workload_key=current.workload_key,
+                    label=current.label,
+                    metric=key,
+                    baseline=worst,
+                    threshold=worst,
+                    current=value,
+                )
+            )
+
+    # -- fidelity: factor-banded magnitudes -------------------------------
+    for key, factor, floor in (
+        ("mass_drift", config.drift_factor, config.drift_floor),
+        ("asymmetry_relative", config.asymmetry_factor, config.asymmetry_floor),
+    ):
+        worst = max(abs(float(r.fidelity.get(key, 0.0))) for r in baseline)
+        threshold = max(worst * factor, floor)
+        value = abs(float(current.fidelity.get(key, 0.0)))
+        result.checks += 1
+        if value > threshold:
+            result.findings.append(
+                GateFinding(
+                    kind="fidelity",
+                    workload_key=current.workload_key,
+                    label=current.label,
+                    metric=key,
+                    baseline=worst,
+                    threshold=threshold,
+                    current=value,
+                )
+            )
+    return result
+
+
+def gate_ledger(
+    current: Ledger,
+    baseline: Ledger,
+    config: GateConfig = GateConfig(),
+) -> GateResult:
+    """Gate the latest current record of every workload key.
+
+    Keys present only in the baseline are ignored (retired workloads);
+    keys present only in the current ledger are skipped or, with
+    ``require_baseline``, failed — that setting is what keeps CI honest
+    when someone changes the smoke workload without regenerating the
+    committed baseline.
+    """
+    result = GateResult()
+    for key in current.workload_keys():
+        latest = current.latest(key)
+        assert latest is not None
+        result.merge(gate_record(latest, baseline.by_workload_key(key), config))
+    return result

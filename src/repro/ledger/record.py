@@ -1,0 +1,339 @@
+"""Run records: one run reduced to a fingerprinted, comparable summary.
+
+A :class:`RunRecord` is the unit the ledger persists.  Its identity is
+two hashes over canonical JSON:
+
+``workload_key``
+    Hash of (schema, workload, config, policy, seed) — *machine
+    independent*, so a committed baseline recorded on one machine matches
+    the same workload recorded on another.  Gating and trend grouping key
+    on this.
+``fingerprint``
+    ``workload_key`` inputs plus the machine spec and git sha — the full
+    run identity.  Two records with equal fingerprints are re-runs of the
+    same code on the same workload and machine, and (the determinism test
+    asserts) carry bitwise-identical double-double conservation sums.
+
+Wall-clock facts (timestamps, durations) are deliberately *excluded*
+from both hashes: identity is what was run, not how long it took.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "KernelSummary",
+    "RunRecord",
+    "fingerprint_of",
+    "workload_key_of",
+    "machine_spec",
+    "git_sha",
+    "kernel_summaries",
+    "record_from_clamr",
+    "record_from_self",
+]
+
+#: Bump on any backwards-incompatible record change; readers refuse newer.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Hex digits kept from the sha256 digests (64 bits — plenty for a ledger).
+_HASH_CHARS = 16
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """Aggregate of all spans sharing one name in a run."""
+
+    calls: int
+    total_s: float
+    mean_ms: float
+    flops: float
+    state_bytes: float
+
+
+@dataclass
+class RunRecord:
+    """One run's ledger entry; see the module docstring for identity rules."""
+
+    schema: int
+    fingerprint: str
+    workload_key: str
+    workload: str  # "clamr" | "self"
+    label: str
+    config: dict
+    policy: str
+    seed: int
+    git_sha: str
+    machine: dict
+    created_unix: float
+    wall_s: float
+    kernel_s: float
+    kernels: dict[str, KernelSummary]
+    fidelity: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        doc = asdict(self)
+        return json.dumps(doc, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        doc = json.loads(line)
+        schema = doc.get("schema")
+        if not isinstance(schema, int) or schema > LEDGER_SCHEMA_VERSION:
+            raise ValueError(
+                f"ledger record schema {schema!r} is newer than supported "
+                f"({LEDGER_SCHEMA_VERSION}); upgrade repro to read this ledger"
+            )
+        doc["kernels"] = {
+            name: KernelSummary(**summary) for name, summary in doc["kernels"].items()
+        }
+        return cls(**doc)
+
+
+def _canonical(payload: dict) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace variance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(_canonical(payload)).hexdigest()[:_HASH_CHARS]
+
+
+def workload_key_of(workload: str, config: dict, policy: str, seed: int) -> str:
+    """Machine-independent workload identity (see module docstring)."""
+    return _digest(
+        {
+            "schema": LEDGER_SCHEMA_VERSION,
+            "workload": workload,
+            "config": config,
+            "policy": policy,
+            "seed": seed,
+        }
+    )
+
+
+def fingerprint_of(
+    workload: str,
+    config: dict,
+    policy: str,
+    seed: int,
+    machine: dict,
+    sha: str,
+) -> str:
+    """Full run identity: workload key inputs + machine spec + git sha."""
+    return _digest(
+        {
+            "schema": LEDGER_SCHEMA_VERSION,
+            "workload": workload,
+            "config": config,
+            "policy": policy,
+            "seed": seed,
+            "machine": machine,
+            "git_sha": sha,
+        }
+    )
+
+
+_MACHINE: dict | None = None
+_GIT_SHA: str | None = None
+
+
+def machine_spec() -> dict:
+    """The machine facts that enter the fingerprint (stable per process)."""
+    global _MACHINE
+    if _MACHINE is None:
+        import platform
+
+        _MACHINE = {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        }
+    return _MACHINE
+
+
+def git_sha() -> str:
+    """HEAD commit of the working tree, or ``"unknown"`` outside a repo."""
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            _GIT_SHA = (
+                subprocess.run(
+                    ["git", "rev-parse", "HEAD"],
+                    capture_output=True,
+                    text=True,
+                    timeout=5,
+                    check=True,
+                ).stdout.strip()
+                or "unknown"
+            )
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
+
+
+def kernel_summaries(tel) -> dict[str, KernelSummary]:
+    """Per-span-name aggregates from a live telemetry or ``TraceData``."""
+    tracer = getattr(tel, "tracer", None)
+    spans = tracer.spans if tracer is not None else tel.spans
+    agg: dict[str, list] = {}
+    for s in spans:
+        entry = agg.get(s.name)
+        if entry is None:
+            entry = agg[s.name] = [0, 0.0, 0.0, 0.0]
+        entry[0] += 1
+        entry[1] += s.duration_s
+        flops = s.counters.get("flops", 0.0)
+        nbytes = s.counters.get("state_bytes", 0.0) + s.counters.get("bytes", 0.0)
+        if isinstance(flops, (int, float)) and math.isfinite(flops):
+            entry[2] += flops
+        if isinstance(nbytes, (int, float)) and math.isfinite(nbytes):
+            entry[3] += nbytes
+    return {
+        name: KernelSummary(
+            calls=count,
+            total_s=total,
+            mean_ms=1e3 * total / count if count else 0.0,
+            flops=flops,
+            state_bytes=nbytes,
+        )
+        for name, (count, total, flops, nbytes) in agg.items()
+    }
+
+
+def _event_counts(tel) -> dict[str, int]:
+    numerics = getattr(tel, "numerics", None)
+    events = numerics.events if numerics is not None else getattr(tel, "events", [])
+    out: dict[str, int] = {}
+    for e in events:
+        out[e.kind] = out.get(e.kind, 0) + 1
+    return out
+
+
+def _fidelity_base(tel) -> dict:
+    counts = _event_counts(tel)
+    return {
+        "nan_events": counts.get("nan", 0),
+        "inf_events": counts.get("inf", 0),
+        "overflow_risk_events": counts.get("overflow_risk", 0),
+        "subnormal_events": counts.get("subnormal", 0),
+        "cancellation_events": counts.get("cancellation", 0),
+    }
+
+
+def _build(
+    workload: str,
+    config: dict,
+    policy: str,
+    seed: int,
+    label: str,
+    tel,
+    wall_s: float,
+    kernel_s: float,
+    fidelity: dict,
+) -> RunRecord:
+    machine = machine_spec()
+    sha = git_sha()
+    return RunRecord(
+        schema=LEDGER_SCHEMA_VERSION,
+        fingerprint=fingerprint_of(workload, config, policy, seed, machine, sha),
+        workload_key=workload_key_of(workload, config, policy, seed),
+        workload=workload,
+        label=label,
+        config=config,
+        policy=policy,
+        seed=seed,
+        git_sha=sha,
+        machine=machine,
+        created_unix=time.time(),
+        wall_s=wall_s,
+        kernel_s=kernel_s,
+        kernels=kernel_summaries(tel),
+        fidelity=fidelity,
+    )
+
+
+def record_from_clamr(result, tel, config, seed: int = 0, label: str = "") -> RunRecord:
+    """Reduce one CLAMR run (+ its telemetry) to a :class:`RunRecord`.
+
+    The conservation sums are stored both as floats and as ``float.hex()``
+    strings: the hex form is the bitwise identity the determinism test
+    compares, immune to JSON round-trip formatting.
+    """
+    from repro.precision.analysis import asymmetry_signature
+
+    cfg = asdict(config) if not isinstance(config, dict) else dict(config)
+    sig = asymmetry_signature(result.slice_precise)
+    mass_first = float(result.mass_history[0]) if result.mass_history else 0.0
+    mass_last = float(result.mass_history[-1]) if result.mass_history else 0.0
+    fidelity = {
+        **_fidelity_base(tel),
+        "mass_drift": float(result.mass_drift),
+        "conservation_first": mass_first,
+        "conservation_last": mass_last,
+        "conservation_first_hex": mass_first.hex(),
+        "conservation_last_hex": mass_last.hex(),
+        "asymmetry_max": sig.max_abs,
+        "asymmetry_relative": sig.relative_max,
+        "solution_scale": sig.relative_to,
+    }
+    return _build(
+        workload="clamr",
+        config=cfg,
+        policy=result.policy.level.value,
+        seed=seed,
+        label=label or f"clamr/nx{cfg.get('nx', '?')}/{result.policy.level.value}",
+        tel=tel,
+        wall_s=float(result.elapsed_s),
+        kernel_s=float(result.kernel_elapsed_s),
+        fidelity=fidelity,
+    )
+
+
+def record_from_self(result, tel, config, seed: int = 0, label: str = "") -> RunRecord:
+    """Reduce one SELF run (+ its telemetry) to a :class:`RunRecord`.
+
+    SELF has no running mass history; the conservation sum is the
+    double-double total of the final density-anomaly field, which is just
+    as deterministic and serves the same bitwise-identity role.
+    """
+    from repro.precision.analysis import asymmetry_signature
+    from repro.sums.doubledouble import dd_sum
+
+    cfg = asdict(config) if not isinstance(config, dict) else dict(config)
+    cfg = json.loads(json.dumps(cfg))  # tuples → lists, canonical JSON types
+    sig = asymmetry_signature(result.slice_precise)
+    conserved = float(dd_sum(np.asarray(result.anomaly_field, dtype=np.float64).ravel()))
+    fidelity = {
+        **_fidelity_base(tel),
+        "mass_drift": 0.0,
+        "conservation_first": conserved,
+        "conservation_last": conserved,
+        "conservation_first_hex": conserved.hex(),
+        "conservation_last_hex": conserved.hex(),
+        "asymmetry_max": sig.max_abs,
+        "asymmetry_relative": sig.relative_max,
+        "solution_scale": sig.relative_to,
+        "max_vertical_velocity": float(result.max_vertical_velocity),
+    }
+    return _build(
+        workload="self",
+        config=cfg,
+        policy=result.precision,
+        seed=seed,
+        label=label or f"self/e{cfg.get('nex', '?')}o{cfg.get('order', '?')}/{result.precision}",
+        tel=tel,
+        wall_s=float(result.elapsed_s),
+        kernel_s=float(result.kernel_elapsed_s),
+        fidelity=fidelity,
+    )

@@ -1,0 +1,180 @@
+"""Terminal observatory: trend tables, sparklines, and A/B comparison.
+
+Everything renders through :class:`repro.harness.report.Table`, so the
+ledger dashboards look like the paper tables they sit next to.  The
+sparkline is the longitudinal element: one braille-free unicode bar per
+run, oldest to newest, normalized per row — the shape (flat, drifting,
+one spike) is the signal, not the absolute height.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ledger.record import RunRecord
+from repro.ledger.stats import noise_model
+from repro.ledger.store import Ledger
+
+__all__ = ["sparkline", "trend_table", "ledger_summary", "compare_table"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 16) -> str:
+    """Unicode bar chart of a series, resampled to at most ``width`` chars.
+
+    Non-finite values render as ``!`` — a NaN in a timing series is a
+    data problem worth seeing, not hiding.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        # keep the newest runs at native resolution; thin the oldest
+        stride = len(values) / width
+        values = [values[min(len(values) - 1, int(i * stride))] for i in range(width)]
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return "!" * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if not math.isfinite(v):
+            out.append("!")
+        elif span <= 0:
+            out.append(_BARS[0])
+        else:
+            out.append(_BARS[min(len(_BARS) - 1, int((v - lo) / span * (len(_BARS) - 1)))])
+    return "".join(out)
+
+
+def _fmt_key(key: str) -> str:
+    return key[:8]
+
+
+def trend_table(ledger: Ledger, workload_key: str | None = None, last: int = 12):
+    """Per-kernel trend over the last N runs of each workload.
+
+    Columns: latest total, median/MAD of the window, latest-vs-median
+    delta, and the sparkline of the per-run totals.
+    """
+    from repro.harness.report import Table
+
+    table = Table(
+        title=f"Run ledger — per-kernel trend (last {last} runs per workload)",
+        headers=["Workload", "Kernel", "Runs", "Last (ms)", "Median (ms)", "Δ vs med", "Trend"],
+    )
+    keys = [workload_key] if workload_key else ledger.workload_keys()
+    for key in keys:
+        runs = ledger.tail(key, last)
+        if not runs:
+            continue
+        label = runs[-1].label or _fmt_key(key)
+        kernel_names = sorted({name for r in runs for name in r.kernels})
+        rows = [("wall", [r.wall_s for r in runs])]
+        rows += [
+            (name, [r.kernels[name].total_s for r in runs if name in r.kernels])
+            for name in kernel_names
+        ]
+        for name, series in rows:
+            if not series:
+                continue
+            model = noise_model(series)
+            latest = series[-1]
+            delta = (latest / model.median - 1.0) * 100.0 if model.median else 0.0
+            table.add_row(
+                label,
+                name,
+                len(series),
+                1e3 * latest,
+                1e3 * model.median,
+                f"{delta:+.1f}%",
+                sparkline(series),
+            )
+    return table
+
+
+def ledger_summary(ledger: Ledger, last: int = 12):
+    """One row per workload: run count, latest wall time, fidelity digest."""
+    from repro.harness.report import Table
+
+    table = Table(
+        title="Run ledger — workloads",
+        headers=["Key", "Workload", "Policy", "Runs", "Last wall (s)", "Mass drift", "Fatal ev", "Wall trend"],
+    )
+    for key in ledger.workload_keys():
+        runs = ledger.by_workload_key(key)
+        latest = runs[-1]
+        fatal = int(latest.fidelity.get("nan_events", 0)) + int(
+            latest.fidelity.get("inf_events", 0)
+        )
+        table.add_row(
+            _fmt_key(key),
+            latest.label or latest.workload,
+            latest.policy,
+            len(runs),
+            latest.wall_s,
+            float(latest.fidelity.get("mass_drift", 0.0)),
+            fatal,
+            sparkline([r.wall_s for r in runs[-last:]]),
+        )
+    return table
+
+
+def compare_table(a: list[RunRecord], b: list[RunRecord]):
+    """Per-kernel A-vs-B deltas with the MAD noise model.
+
+    ``a``/``b`` are record sets sharing a fingerprint each (re-runs).
+    The verdict column marks a delta significant only when B's median
+    leaves A's noise band — median ± 5·1.4826·MAD — so one-off scheduler
+    spikes read as "~" (noise), not "slower".
+    """
+    from repro.harness.report import Table
+    from repro.ledger.stats import regression_threshold
+
+    if not a or not b:
+        raise ValueError("compare needs at least one record on each side")
+    la = a[-1].label or _fmt_key(a[-1].fingerprint)
+    lb = b[-1].label or _fmt_key(b[-1].fingerprint)
+    table = Table(
+        title=f"Ledger compare — A: {la} ({a[-1].fingerprint[:8]}, n={len(a)}) "
+        f"vs B: {lb} ({b[-1].fingerprint[:8]}, n={len(b)})",
+        headers=["Kernel", "A med (ms)", "B med (ms)", "Δ", "Verdict"],
+    )
+    names = sorted(
+        {n for r in a for n in r.kernels} & {n for r in b for n in r.kernels}
+    )
+    rows = [("wall", [r.wall_s for r in a], [r.wall_s for r in b])]
+    rows += [
+        (
+            n,
+            [r.kernels[n].total_s for r in a if n in r.kernels],
+            [r.kernels[n].total_s for r in b if n in r.kernels],
+        )
+        for n in names
+    ]
+    for name, sa, sb in rows:
+        ma, mb = noise_model(sa), noise_model(sb)
+        delta = (mb.median / ma.median - 1.0) * 100.0 if ma.median else 0.0
+        upper = regression_threshold(ma, rel_floor=0.0, z=5.0)
+        lower = ma.median - (upper - ma.median)
+        if mb.median > upper:
+            verdict = "slower"
+        elif mb.median < lower:
+            verdict = "faster"
+        else:
+            verdict = "~"
+        table.add_row(name, 1e3 * ma.median, 1e3 * mb.median, f"{delta:+.1f}%", verdict)
+    fa, fb = a[-1].fidelity, b[-1].fidelity
+    table.notes.append(
+        "fidelity A vs B: drift {:.3g} vs {:.3g}, rel asymmetry {:.3g} vs {:.3g}, "
+        "fatal events {} vs {}".format(
+            float(fa.get("mass_drift", 0.0)),
+            float(fb.get("mass_drift", 0.0)),
+            float(fa.get("asymmetry_relative", 0.0)),
+            float(fb.get("asymmetry_relative", 0.0)),
+            int(fa.get("nan_events", 0)) + int(fa.get("inf_events", 0)),
+            int(fb.get("nan_events", 0)) + int(fb.get("inf_events", 0)),
+        )
+    )
+    return table

@@ -1,0 +1,59 @@
+"""Run one workload under telemetry and reduce it to a :class:`RunRecord`.
+
+The single entry point every ``--ledger`` wire uses — the ``repro ledger
+record`` CLI, the ``repro clamr``/``repro self`` flags, and the harness
+runners — so a record means the same thing no matter which door the run
+came through.
+"""
+
+from __future__ import annotations
+
+from repro.ledger.record import RunRecord, record_from_clamr, record_from_self
+
+__all__ = ["run_workload"]
+
+
+def run_workload(
+    workload: str,
+    *,
+    seed: int = 0,
+    watch_stride: int = 4,
+    label: str = "",
+    # clamr knobs
+    nx: int = 24,
+    steps: int = 40,
+    max_level: int = 1,
+    policy: str = "mixed",
+    scheme: str = "rusanov",
+    # self knobs
+    elems: int = 3,
+    order: int = 3,
+    precision: str = "double",
+):
+    """Run ``"clamr"`` or ``"self"`` traced, return ``(record, telemetry)``.
+
+    Defaults are the ledger smoke workload: a few seconds end to end, big
+    enough that the hot kernels clear the gate's ``min_kernel_s`` floor.
+    """
+    from repro.telemetry import Telemetry
+
+    if workload == "clamr":
+        from repro.clamr import ClamrSimulation, DamBreakConfig
+
+        cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
+        tel = Telemetry(label=label or f"clamr/nx{nx}s{steps}/{policy}", watch_stride=watch_stride)
+        result = ClamrSimulation(cfg, policy=policy, scheme=scheme, telemetry=tel).run(steps)
+        record = record_from_clamr(result, tel, cfg, seed=seed, label=tel.label)
+    elif workload == "self":
+        from repro.self_ import SelfSimulation, ThermalBubbleConfig
+
+        cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
+        tel = Telemetry(
+            label=label or f"self/e{elems}o{order}s{steps}/{precision}",
+            watch_stride=watch_stride,
+        )
+        result = SelfSimulation(cfg, precision=precision, telemetry=tel).run(steps)
+        record = record_from_self(result, tel, cfg, seed=seed, label=tel.label)
+    else:
+        raise ValueError(f"unknown workload {workload!r}; use 'clamr' or 'self'")
+    return record, tel

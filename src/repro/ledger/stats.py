@@ -1,0 +1,76 @@
+"""Robust statistics for run-to-run noise: median-of-k and MAD thresholds.
+
+Kernel wall times are heavy-tailed — one OS scheduling hiccup can double
+a sample — so the noise model is median/MAD, not mean/stddev: a single
+outlier in the baseline neither inflates the center nor the spread.
+
+The regression threshold combines two guards:
+
+* a **relative floor** (default 10%): below this, a difference is noise
+  by fiat — sub-10% wall-time deltas on small workloads are weather;
+* a **MAD band** (default z = 5): ``z · 1.4826 · MAD`` above the median
+  covers the baseline's *observed* run-to-run scatter, so a workload
+  whose timings genuinely wobble 30% does not false-positive at 11%.
+
+The 1.4826 factor rescales MAD to the standard deviation of a normal
+distribution, making ``z`` read like a familiar sigma count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NoiseModel", "median", "mad", "noise_model", "regression_threshold"]
+
+#: MAD → normal-σ consistency constant (1 / Φ⁻¹(3/4)).
+MAD_TO_SIGMA = 1.4826
+
+
+def median(samples: list[float]) -> float:
+    """Plain median (average of the two middle values for even counts)."""
+    if not samples:
+        raise ValueError("median of an empty sample set")
+    ordered = sorted(samples)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad(samples: list[float], center: float | None = None) -> float:
+    """Median absolute deviation about ``center`` (defaults to the median)."""
+    if not samples:
+        raise ValueError("mad of an empty sample set")
+    c = median(samples) if center is None else center
+    return median([abs(x - c) for x in samples])
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Median-of-k summary of a baseline sample set."""
+
+    median: float
+    mad: float
+    n: int
+
+    @property
+    def sigma(self) -> float:
+        """MAD rescaled to a normal-equivalent standard deviation."""
+        return MAD_TO_SIGMA * self.mad
+
+
+def noise_model(samples: list[float]) -> NoiseModel:
+    return NoiseModel(median=median(samples), mad=mad(samples), n=len(samples))
+
+
+def regression_threshold(
+    model: NoiseModel, rel_floor: float = 0.10, z: float = 5.0
+) -> float:
+    """The value above which a current sample counts as a regression.
+
+    ``max`` of the two guards, not their sum: whichever band is wider
+    governs.  With a single-sample baseline MAD is zero and the relative
+    floor alone decides.
+    """
+    return model.median + max(rel_floor * abs(model.median), z * model.sigma)

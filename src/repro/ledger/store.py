@@ -1,0 +1,137 @@
+"""The ledger file: append-only JSONL with an in-memory query index.
+
+One :class:`RunRecord` per line, written with ``O_APPEND`` semantics so
+concurrent benchmark processes interleave whole lines rather than
+corrupting each other.  The file is the source of truth; the index
+(by fingerprint, by workload key) is rebuilt from it on load and kept
+incrementally consistent on append — queries never re-read the file.
+
+A ledger path may be a ``.jsonl`` file or a directory; a directory means
+``<dir>/ledger.jsonl``, which is what the ``--ledger DIR`` flags pass.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.ledger.record import RunRecord
+
+__all__ = ["Ledger", "resolve_ledger_path"]
+
+_DEFAULT_NAME = "ledger.jsonl"
+
+
+def resolve_ledger_path(path: str | Path) -> Path:
+    """Map a ``--ledger`` argument (file or directory) to the JSONL file."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return path
+    return path / _DEFAULT_NAME
+
+
+class Ledger:
+    """Append-only run ledger over one JSONL file.
+
+    Loading is lazy and tolerant of the file not existing yet (an empty
+    ledger); appending creates parent directories on first write.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = resolve_ledger_path(path)
+        self._records: list[RunRecord] = []
+        self._by_fingerprint: dict[str, list[RunRecord]] = {}
+        self._by_workload_key: dict[str, list[RunRecord]] = {}
+        self._loaded = False
+
+    # -- loading ----------------------------------------------------------
+
+    def _index(self, record: RunRecord) -> None:
+        self._records.append(record)
+        self._by_fingerprint.setdefault(record.fingerprint, []).append(record)
+        self._by_workload_key.setdefault(record.workload_key, []).append(record)
+
+    def load(self) -> "Ledger":
+        """(Re)build the in-memory index from the file."""
+        self._records = []
+        self._by_fingerprint = {}
+        self._by_workload_key = {}
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = RunRecord.from_json(line)
+                    except (ValueError, KeyError, TypeError) as exc:
+                        raise ValueError(
+                            f"{self.path}:{lineno}: unreadable ledger record: {exc}"
+                        ) from exc
+                    self._index(record)
+        self._loaded = True
+        return self
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Append one record to the file and the live index."""
+        self._ensure_loaded()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(record.to_json() + "\n")
+        self._index(record)
+        return record
+
+    # -- queries ----------------------------------------------------------
+
+    def records(self) -> list[RunRecord]:
+        """All records in append (chronological) order."""
+        self._ensure_loaded()
+        return list(self._records)
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._records)
+
+    def workload_keys(self) -> list[str]:
+        """Distinct workload keys in first-seen order."""
+        self._ensure_loaded()
+        return list(self._by_workload_key)
+
+    def by_workload_key(self, key: str) -> list[RunRecord]:
+        self._ensure_loaded()
+        return list(self._by_workload_key.get(key, []))
+
+    def by_fingerprint(self, prefix: str) -> list[RunRecord]:
+        """Records whose fingerprint starts with ``prefix``.
+
+        A unique prefix is accepted anywhere a fingerprint is — the CLI
+        convention (like git's abbreviated shas).  Ambiguous prefixes
+        raise rather than guess.
+        """
+        self._ensure_loaded()
+        exact = self._by_fingerprint.get(prefix)
+        if exact is not None:
+            return list(exact)
+        matches = [fp for fp in self._by_fingerprint if fp.startswith(prefix)]
+        if not matches:
+            return []
+        if len(matches) > 1:
+            raise ValueError(
+                f"fingerprint prefix {prefix!r} is ambiguous: {sorted(matches)}"
+            )
+        return list(self._by_fingerprint[matches[0]])
+
+    def latest(self, key: str) -> RunRecord | None:
+        """The most recently appended record for one workload key."""
+        runs = self.by_workload_key(key)
+        return runs[-1] if runs else None
+
+    def tail(self, key: str, n: int) -> list[RunRecord]:
+        """The last ``n`` records for one workload key, oldest first."""
+        runs = self.by_workload_key(key)
+        return runs[-n:] if n > 0 else []

@@ -234,10 +234,14 @@ def to_chrome_trace(tel, pid: int = 1, tid: int = 1) -> dict:
                 },
             }
         )
+    metrics = {
+        name: {k: _clean(v) for k, v in snap.items()}
+        for name, snap in _metrics_of(tel).items()
+    }
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"label": label, "metrics": _metrics_of(tel)},
+        "otherData": {"label": label, "metrics": metrics},
     }
 
 

@@ -31,6 +31,27 @@ class TestParser:
         args = build_parser().parse_args(["trace", "clamr"])
         assert args.nx == 64 and args.steps == 100 and args.stride == 4
         assert not args.strict
+        assert args.strict_headroom_bits == 2.0
+
+    def test_trace_strict_headroom_flag(self):
+        args = build_parser().parse_args(
+            ["trace", "clamr", "--strict", "--strict-headroom-bits", "8"]
+        )
+        assert args.strict and args.strict_headroom_bits == 8.0
+
+    def test_ledger_record_defaults(self):
+        args = build_parser().parse_args(
+            ["ledger", "record", "clamr", "--ledger", "runs"]
+        )
+        assert args.runs == 1 and args.nx == 24 and args.steps == 40
+        assert args.policy == "mixed" and args.seed == 0
+
+    def test_ledger_gate_defaults(self):
+        args = build_parser().parse_args(
+            ["ledger", "gate", "--ledger", "a", "--baseline", "b"]
+        )
+        assert args.rel_floor == 0.10 and args.mad_z == 5.0
+        assert args.min_kernel_ms == 1.0 and not args.require_baseline
 
     def test_trace_workload_choices(self):
         with pytest.raises(SystemExit):
@@ -104,3 +125,57 @@ class TestCommands:
                      "--steps", "3"]) == 0
         out = capsys.readouterr().out
         assert "self/rhs" in out
+
+    def test_clamr_ledger_flag(self, tmp_path, capsys):
+        from repro.ledger import Ledger
+
+        assert main(["clamr", "--nx", "8", "--steps", "5", "--max-level", "1",
+                     "--ledger", str(tmp_path / "obs")]) == 0
+        assert "ledger" in capsys.readouterr().out
+        assert len(Ledger(tmp_path / "obs")) == 1
+
+    def test_self_ledger_flag(self, tmp_path):
+        from repro.ledger import Ledger
+
+        assert main(["self", "--elems", "2", "--order", "2", "--steps", "3",
+                     "--ledger", str(tmp_path / "obs")]) == 0
+        record = Ledger(tmp_path / "obs").records()[0]
+        assert record.workload == "self"
+
+
+class TestStrictTrace:
+    """``trace --strict`` fails on fatal events and on exhausted headroom."""
+
+    def test_healthy_run_passes_strict(self):
+        assert main(["trace", "clamr", "--nx", "12", "--steps", "8",
+                     "--max-level", "1", "--strict",
+                     "--strict-headroom-bits", "4"]) == 0
+
+    def test_fatal_events_detected(self):
+        import numpy as np
+
+        from repro.cli import _strict_failures
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(watch_stride=1)
+        tel.scan("H", np.array([1.0, np.nan]))
+        fatal, exhausted = _strict_failures(tel, 2.0)
+        assert len(fatal) == 1 and not exhausted
+
+    def test_headroom_exhaustion_detected(self):
+        import numpy as np
+
+        from repro.cli import _strict_failures
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(watch_stride=1)
+        # ~0.5 decades (~1.7 bits) below float32 max: an overflow_risk
+        # watchpoint event with headroom under the 2-bit default
+        tel.scan("H", np.array([1.0e38], dtype=np.float32))
+        events = [e for e in tel.numerics.events if e.kind == "overflow_risk"]
+        assert events, "scan should have recorded an overflow_risk event"
+        fatal, exhausted = _strict_failures(tel, 2.0)
+        assert not fatal and len(exhausted) == 1
+        # a tighter threshold tolerates the same event
+        _, ok = _strict_failures(tel, 0.5)
+        assert not ok

@@ -2,6 +2,7 @@
 watchpoints, exporters, and the simulation integrations."""
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -290,6 +291,89 @@ class TestExporters:
         tel = Telemetry(label="empty")
         assert span_tree(tel) == "(no spans recorded)"
         assert "none" in event_report(tel)
+
+
+class TestExporterRoundTrips:
+    """Non-finite floats must survive every exporter path, and the Chrome
+    trace must satisfy the trace-event schema (Perfetto rejects files with
+    bare ``Infinity``/``NaN`` literals or malformed complete events)."""
+
+    def _nonfinite_sample(self):
+        tel = Telemetry(label="unit/nonfinite", watch_stride=1)
+        with tel.span("kernel", flops=1e6) as sp:
+            sp.set(pos_inf=float("inf"), neg_inf=float("-inf"), not_a_num=float("nan"))
+        # a cancellation event against total == 0.0 carries value == inf
+        tel.numerics.check_cancellation("mass", abs_sum=1.0, total=0.0)
+        a = np.ones(4)
+        a[0] = np.inf
+        tel.scan("H", a, step=0)
+        tel.metrics.gauge("headroom").set(float("inf"))
+        return tel
+
+    def test_jsonl_span_counters_round_trip_all_nonfinite(self, tmp_path):
+        tel = self._nonfinite_sample()
+        data = read_jsonl(write_jsonl(tel, tmp_path / "t.jsonl"))
+        counters = next(s for s in data.spans if s.name == "kernel").counters
+        assert counters["pos_inf"] == float("inf")
+        assert counters["neg_inf"] == float("-inf")
+        assert math.isnan(counters["not_a_num"])
+        assert counters["flops"] == 1e6  # finite values untouched
+
+    def test_jsonl_event_values_round_trip_nonfinite(self, tmp_path):
+        tel = self._nonfinite_sample()
+        data = read_jsonl(write_jsonl(tel, tmp_path / "t.jsonl"))
+        cancel = next(e for e in data.events if e.kind == "cancellation")
+        assert cancel.value == float("inf")
+        assert isinstance(cancel.value, float)
+
+    def test_jsonl_metrics_round_trip_nonfinite(self, tmp_path):
+        tel = self._nonfinite_sample()
+        data = read_jsonl(write_jsonl(tel, tmp_path / "t.jsonl"))
+        assert data.metrics["headroom"]["value"] == float("inf")
+
+    def test_jsonl_lines_are_strictly_valid_json(self, tmp_path):
+        # every line must parse under allow_nan=False: no bare Infinity/NaN
+        path = write_jsonl(self._nonfinite_sample(), tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line, parse_constant=lambda c: pytest.fail(f"bare {c} in JSONL"))
+
+    def test_chrome_trace_complete_events_carry_required_fields(self):
+        tel = self._nonfinite_sample()
+        doc = to_chrome_trace(tel)
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert complete
+        for e in complete:
+            for key in ("ph", "ts", "dur", "pid", "tid", "name"):
+                assert key in e, f"complete event missing {key!r}: {e}"
+            assert isinstance(e["ts"], float) and isinstance(e["dur"], float)
+
+    def test_chrome_trace_instants_carry_required_fields(self):
+        tel = self._nonfinite_sample()
+        doc = to_chrome_trace(tel)
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert instants
+        for e in instants:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in e, f"instant event missing {key!r}: {e}"
+
+    def test_chrome_trace_serializes_without_nonfinite_literals(self, tmp_path):
+        tel = self._nonfinite_sample()
+        # allow_nan=False raises if any non-finite float survived cleaning
+        text = json.dumps(to_chrome_trace(tel), allow_nan=False)
+        assert "Infinity" not in text and "NaN" not in text
+
+    def test_clamr_trace_files_round_trip(self, tmp_path):
+        # end-to-end: a real traced run through both file exporters
+        tel = Telemetry(label="clamr/rt", watch_stride=4)
+        cfg = DamBreakConfig(nx=12, ny=12, max_level=1)
+        ClamrSimulation(cfg, policy="mixed", telemetry=tel).run(8)
+        data = read_jsonl(write_jsonl(tel, tmp_path / "run.jsonl"))
+        assert len(data.spans) == len(tel.tracer.spans)
+        doc = json.loads(write_chrome_trace(tel, tmp_path / "run.trace.json").read_text())
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(complete) == len(tel.tracer.spans)
+        for e in complete:
+            assert {"ph", "ts", "dur", "pid", "tid"} <= set(e)
 
 
 class TestClamrIntegration:
