@@ -108,6 +108,9 @@ class SimulationResult:
         Counted work, for the roofline/energy machine models.
     state_nbytes / checkpoint_bytes:
         Resident state footprint and predicted checkpoint size.
+    scheme / vectorized:
+        Which flux scheme and kernel path produced the run — part of the
+        workload identity the run ledger fingerprints.
     """
 
     policy: PrecisionPolicy
@@ -124,6 +127,8 @@ class SimulationResult:
     state_nbytes: int
     checkpoint_bytes: int
     final_time: float = 0.0
+    scheme: str = "rusanov"
+    vectorized: bool = True
 
     @property
     def mass_drift(self) -> float:
@@ -378,6 +383,8 @@ class ClamrSimulation:
             state_nbytes=self.state.nbytes(),
             checkpoint_bytes=checkpoint_nbytes(self.mesh.ncells, self.policy),
             final_time=self.time,
+            scheme=self.scheme,
+            vectorized=self.vectorized,
         )
 
     def run_to_time(self, target_time: float, max_steps: int = 100000) -> SimulationResult:

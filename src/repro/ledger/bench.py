@@ -15,7 +15,7 @@ Schema (``repro-bench/v1``)::
       "git_sha": "…",
       "machine": {…},                    # repro.ledger.record.machine_spec()
       "entries": [
-        {"name": "clamr/nx24/mixed/kernel/clamr_finite_diff_vectorized/total_ms",
+        {"name": "clamr/nx24s40/mixed/74504dee/kernel/clamr_finite_diff_vectorized/total_ms",
          "value": 41.7, "unit": "ms", "samples": 3,
          "workload_key": "…", "fingerprint": "…"},
         …
@@ -56,7 +56,10 @@ def bench_document(ledger: Ledger, window: int = 10) -> dict:
     for key in ledger.workload_keys():
         runs = ledger.tail(key, window)
         latest = runs[-1]
-        prefix = latest.label or f"workload/{key[:8]}"
+        # labels are user-settable and may collide across workload keys
+        # (e.g. two seeds of the same config); the key suffix keeps entry
+        # names unique, which the validator demands
+        prefix = f"{latest.label or 'workload'}/{key[:8]}"
         fingerprint = latest.fingerprint
 
         def emit(metric: str, value: float, unit: str, samples: int) -> None:

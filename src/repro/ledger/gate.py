@@ -142,6 +142,15 @@ def gate_record(
     baseline = baseline[-config.baseline_window :]
 
     # -- performance ------------------------------------------------------
+    # kernels only the baseline knows are not checkable, but silence would
+    # let instrumentation coverage shrink unnoticed — surface them
+    baseline_only = sorted(
+        {name for r in baseline for name in r.kernels} - set(current.kernels)
+    )
+    result.skipped.extend(
+        f"{current.label}: baseline kernel {name!r} missing from current run"
+        for name in baseline_only
+    )
     perf_metrics = ["wall_s", "kernel_s"] + sorted(current.kernels)
     for metric in perf_metrics:
         samples = _perf_samples(baseline, metric)

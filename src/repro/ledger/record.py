@@ -7,7 +7,11 @@ two hashes over canonical JSON:
     Hash of (schema, workload, config, policy, seed) — *machine
     independent*, so a committed baseline recorded on one machine matches
     the same workload recorded on another.  Gating and trend grouping key
-    on this.
+    on this.  The ``config`` payload is the simulation config dict plus a
+    ``run`` sub-dict of the knobs that change the workload without living
+    on the config dataclass — step count, flux scheme, kernel path
+    (vectorized or scalar), watchpoint stride — so e.g. a 1000-step MUSCL
+    run can never share an identity with the 40-step Rusanov baseline.
 ``fingerprint``
     ``workload_key`` inputs plus the machine spec and git sha — the full
     run identity.  Two records with equal fingerprints are re-runs of the
@@ -220,6 +224,18 @@ def _event_counts(tel) -> dict[str, int]:
     return out
 
 
+def _watch_stride_of(tel) -> int:
+    """The numerics watchpoint stride of a live telemetry (or trace dump).
+
+    Part of the workload identity: the stride decides how many scans run
+    (perf) and how many events can be observed (fidelity counts).
+    """
+    numerics = getattr(tel, "numerics", None)
+    if numerics is not None:
+        return int(getattr(numerics, "stride", 0))
+    return int(getattr(tel, "watch_stride", 0) or 0)
+
+
 def _fidelity_base(tel) -> dict:
     counts = _event_counts(tel)
     return {
@@ -273,6 +289,12 @@ def record_from_clamr(result, tel, config, seed: int = 0, label: str = "") -> Ru
     from repro.precision.analysis import asymmetry_signature
 
     cfg = asdict(config) if not isinstance(config, dict) else dict(config)
+    cfg["run"] = {
+        "steps": int(result.steps),
+        "scheme": str(getattr(result, "scheme", "rusanov")),
+        "vectorized": bool(getattr(result, "vectorized", True)),
+        "watch_stride": _watch_stride_of(tel),
+    }
     sig = asymmetry_signature(result.slice_precise)
     mass_first = float(result.mass_history[0]) if result.mass_history else 0.0
     mass_last = float(result.mass_history[-1]) if result.mass_history else 0.0
@@ -312,6 +334,10 @@ def record_from_self(result, tel, config, seed: int = 0, label: str = "") -> Run
 
     cfg = asdict(config) if not isinstance(config, dict) else dict(config)
     cfg = json.loads(json.dumps(cfg))  # tuples → lists, canonical JSON types
+    cfg["run"] = {
+        "steps": int(result.steps),
+        "watch_stride": _watch_stride_of(tel),
+    }
     sig = asymmetry_signature(result.slice_precise)
     conserved = float(dd_sum(np.asarray(result.anomaly_field, dtype=np.float64).ravel()))
     fidelity = {

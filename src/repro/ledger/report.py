@@ -29,9 +29,13 @@ def sparkline(values: list[float], width: int = 16) -> str:
     if not values:
         return ""
     if len(values) > width:
-        # keep the newest runs at native resolution; thin the oldest
-        stride = len(values) / width
-        values = [values[min(len(values) - 1, int(i * stride))] for i in range(width)]
+        # uniform resample anchored at both ends, so the newest run — the
+        # one a trend review cares about — is always the last bar
+        if width == 1:
+            values = [values[-1]]
+        else:
+            last = len(values) - 1
+            values = [values[round(i * last / (width - 1))] for i in range(width)]
     finite = [v for v in values if math.isfinite(v)]
     if not finite:
         return "!" * len(values)

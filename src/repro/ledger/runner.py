@@ -41,7 +41,11 @@ def run_workload(
         from repro.clamr import ClamrSimulation, DamBreakConfig
 
         cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
-        tel = Telemetry(label=label or f"clamr/nx{nx}s{steps}/{policy}", watch_stride=watch_stride)
+        variant = "" if scheme == "rusanov" else f"/{scheme}"
+        tel = Telemetry(
+            label=label or f"clamr/nx{nx}s{steps}/{policy}{variant}",
+            watch_stride=watch_stride,
+        )
         result = ClamrSimulation(cfg, policy=policy, scheme=scheme, telemetry=tel).run(steps)
         record = record_from_clamr(result, tel, cfg, seed=seed, label=tel.label)
     elif workload == "self":

@@ -108,6 +108,35 @@ class TestDeterminism:
         assert other.fingerprint != r1.fingerprint
         assert other.workload_key != r1.workload_key
 
+    def test_run_shape_knobs_enter_the_key(self, clamr_runs):
+        # steps / scheme / watch stride change the workload, so they must
+        # change the identity — otherwise the gate compares a 1000-step
+        # MUSCL run against the 40-step Rusanov baseline
+        r1, _ = clamr_runs
+        for knob in (dict(steps=24), dict(scheme="muscl"), dict(watch_stride=1)):
+            other, _ = run_workload("clamr", seed=0, **{**SMOKE, **knob})
+            assert other.workload_key != r1.workload_key, knob
+            assert other.fingerprint != r1.fingerprint, knob
+        assert r1.config["run"]["steps"] == SMOKE["steps"]
+        assert r1.config["run"]["scheme"] == "rusanov"
+
+    def test_vectorized_flag_enters_the_key(self):
+        from repro.clamr import ClamrSimulation, DamBreakConfig
+        from repro.ledger import record_from_clamr
+        from repro.telemetry import Telemetry
+
+        cfg = DamBreakConfig(nx=8, ny=8, max_level=1)
+        records = {}
+        for vectorized in (True, False):
+            tel = Telemetry(label="vec-test")
+            res = ClamrSimulation(
+                cfg, policy="mixed", vectorized=vectorized, telemetry=tel
+            ).run(4)
+            records[vectorized] = record_from_clamr(res, tel, cfg)
+        assert records[True].workload_key != records[False].workload_key
+        assert records[True].config["run"]["vectorized"] is True
+        assert records[False].config["run"]["vectorized"] is False
+
     def test_seed_enters_the_key(self):
         cfg = {"nx": 12}
         assert workload_key_of("clamr", cfg, "mixed", 0) != workload_key_of(
@@ -273,6 +302,16 @@ class TestGate:
         result = gate_record(cur, [base, base, base])
         assert result.passed  # below min_kernel_s: measuring the OS, not code
 
+    def test_baseline_only_kernel_is_surfaced(self):
+        # a kernel that disappears from the current run (renamed, or no
+        # longer instrumented) cannot be checked, but must not vanish
+        # silently from the gate output
+        base = _synthetic({"big": 0.5, "gone": 0.5})
+        cur = _synthetic({"big": 0.5})
+        result = gate_record(cur, [base, base, base])
+        assert result.passed
+        assert any("'gone'" in s for s in result.skipped)
+
     def test_missing_baseline_skips_or_fails(self, clamr_runs):
         r1, _ = clamr_runs
         lenient = gate_record(clone(r1), [])
@@ -342,6 +381,13 @@ class TestReport:
     def test_sparkline_thins_long_series(self):
         assert len(sparkline(list(range(100)), width=16)) == 16
 
+    def test_sparkline_keeps_the_newest_run(self):
+        # downsampling must anchor the final element — the newest run is
+        # the one a trend review is about
+        assert sparkline([0.0] * 99 + [1.0], width=16)[-1] == "█"
+        assert sparkline([1.0] + [0.0] * 99, width=16)[0] == "█"
+        assert len(sparkline([0.0] * 99 + [1.0], width=1)) == 1
+
     def test_sparkline_marks_nonfinite(self):
         assert "!" in sparkline([1.0, float("nan"), 2.0])
         assert sparkline([float("inf")] * 3) == "!!!"
@@ -391,6 +437,21 @@ class TestBench:
         assert any(n.endswith("fidelity/mass_drift") for n in names)
         medians = {e["name"]: e["samples"] for e in doc["entries"]}
         assert max(medians.values()) == 2  # both runs entered the medians
+
+    def test_colliding_labels_stay_unique(self, tmp_path, clamr_runs):
+        # default labels omit the seed, so two seeds of one config share a
+        # label; entry names must still be unique or export-bench crashes
+        r1, _ = clamr_runs
+        twin = clone(r1)
+        twin.seed = 1
+        twin.workload_key = "1" * 16
+        twin.fingerprint = "2" * 16
+        ledger = Ledger(tmp_path / "runs")
+        ledger.append(clone(r1))
+        ledger.append(twin)
+        doc = bench_document(ledger)
+        validate_bench_document(doc)  # must not raise on duplicate names
+        assert len({e["workload_key"] for e in doc["entries"]}) == 2
 
     def test_write_bench(self, tmp_path, clamr_runs):
         r1, _ = clamr_runs
