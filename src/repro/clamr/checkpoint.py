@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.clamr.mesh import AmrMesh
 from repro.clamr.state import ShallowWaterState
+from repro.ioutil import atomic_write_bytes
 from repro.precision.policy import PrecisionPolicy, MIN_PRECISION, FULL_PRECISION
 
 __all__ = ["write_checkpoint", "read_checkpoint", "checkpoint_nbytes"]
@@ -48,11 +49,26 @@ def checkpoint_nbytes(ncells: int, policy: PrecisionPolicy) -> int:
     return _HEADER.size + ncells * (3 * 4 + 3 * policy.state_bytes_per_value())
 
 
+def _checkpoint_chunks(mesh: AmrMesh, state: ShallowWaterState):
+    itemsize = state.state_dtype.itemsize
+    yield _HEADER.pack(
+        _MAGIC, _VERSION, mesh.ncells, mesh.nx, mesh.ny, mesh.max_level, itemsize, mesh.coarse_size
+    )
+    for arr in (mesh.i, mesh.j, mesh.level):
+        yield np.ascontiguousarray(arr, dtype="<i4").tobytes()
+    le_state = state.state_dtype.newbyteorder("<")
+    for arr in (state.H, state.U, state.V):
+        yield np.ascontiguousarray(arr, dtype=le_state).tobytes()
+
+
 def write_checkpoint(path: str | Path, mesh: AmrMesh, state: ShallowWaterState) -> int:
     """Write a checkpoint; returns the number of bytes written.
 
     State arrays are written at their in-memory (policy state) dtype — the
-    whole point of the storage comparison.
+    whole point of the storage comparison.  The write is atomic and
+    durable (temp file + fsync + rename): a crash mid-write leaves the
+    previous checkpoint intact, never a torn file — a restart file that
+    can be torn is worthless as a recovery target.
     """
     path = Path(path)
     itemsize = state.state_dtype.itemsize
@@ -60,17 +76,7 @@ def write_checkpoint(path: str | Path, mesh: AmrMesh, state: ShallowWaterState) 
         raise ValueError(f"checkpoint format supports float32/float64 state, got {state.state_dtype}")
     if state.ncells != mesh.ncells:
         raise ValueError("state and mesh cell counts differ")
-    header = _HEADER.pack(
-        _MAGIC, _VERSION, mesh.ncells, mesh.nx, mesh.ny, mesh.max_level, itemsize, mesh.coarse_size
-    )
-    with path.open("wb") as fh:
-        fh.write(header)
-        for arr in (mesh.i, mesh.j, mesh.level):
-            fh.write(np.ascontiguousarray(arr, dtype="<i4").tobytes())
-        le_state = state.state_dtype.newbyteorder("<")
-        for arr in (state.H, state.U, state.V):
-            fh.write(np.ascontiguousarray(arr, dtype=le_state).tobytes())
-    return path.stat().st_size
+    return atomic_write_bytes(path, _checkpoint_chunks(mesh, state))
 
 
 def read_checkpoint(path: str | Path) -> tuple[AmrMesh, ShallowWaterState]:

@@ -21,6 +21,14 @@ Subcommands
     persist runs as fingerprinted records, trend them with sparklines,
     diff two fingerprints, gate against a committed baseline, and export
     the ``BENCH_observatory.json`` perf trajectory.
+``resilience inject|run|campaign``
+    The resilience subsystem (see docs/resilience.md): inject seeded
+    faults without recovery to probe detectability, run a supervised
+    loop with checkpoint-rollback recovery and precision escalation, or
+    sweep fault sites × precision levels into a vulnerability report.
+
+Errors from bad arguments or missing files exit with status 2 and a
+one-line ``repro: error: ...`` message — never a traceback.
 
 The CLI is a thin veneer over the public API — every command body is a
 few calls a user could type in a REPL — so it doubles as executable
@@ -35,7 +43,21 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CLIError"]
+
+
+class CLIError(Exception):
+    """A user-facing CLI failure: printed as one line, exit status 2."""
+
+
+def _require_file(path, what: str):
+    """Resolve a path that must already exist (ledger, baseline, ...)."""
+    from pathlib import Path
+
+    p = Path(path)
+    if not p.exists():
+        raise CLIError(f"{what} not found: {p}")
+    return p
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,6 +181,77 @@ def build_parser() -> argparse.ArgumentParser:
     lexp.add_argument("--out", default="BENCH_observatory.json", metavar="FILE")
     lexp.add_argument("--window", type=int, default=10,
                       help="median window (runs per workload, default 10)")
+
+    resil = sub.add_parser(
+        "resilience", help="fault injection, numerical guards, and rollback recovery"
+    )
+    rsub = resil.add_subparsers(dest="resilience_command", required=True)
+
+    def _resil_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload", choices=("clamr", "self"))
+        p.add_argument("--nx", type=int, default=16, help="CLAMR coarse grid per side")
+        p.add_argument("--steps", type=int, default=24)
+        p.add_argument("--max-level", type=int, default=1)
+        p.add_argument("--policy", default="min", choices=("half", "min", "mixed", "full"),
+                       help="starting precision level (clamr; half/min/mixed map to "
+                            "single for self)")
+        p.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
+        p.add_argument("--elems", type=int, default=2, help="SELF elements per side")
+        p.add_argument("--order", type=int, default=3, help="SELF polynomial order")
+        p.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                       help="planned fault kind:array:step[:index[:bit]]; a trailing '!' "
+                            "on the kind makes it sticky (re-fires after rollback); "
+                            "repeatable")
+        p.add_argument("--faults", type=int, default=0, metavar="N",
+                       help="additionally draw N random faults from --seed")
+        p.add_argument("--seed", type=int, default=0,
+                       help="plan seed: resolves random element/bit choices")
+
+    rinj = rsub.add_parser(
+        "inject", help="inject faults with detectors but no recovery (probe run)"
+    )
+    _resil_workload_args(rinj)
+
+    rrun = rsub.add_parser(
+        "run", help="supervised run: checkpoint, detect, roll back, recover"
+    )
+    _resil_workload_args(rrun)
+    rrun.add_argument("--checkpoint-interval", type=int, default=8, metavar="STEPS")
+    rrun.add_argument("--detect-stride", type=int, default=1, metavar="STEPS",
+                      help="scan every Nth step between checkpoints (backs off "
+                           "exponentially while clean)")
+    rrun.add_argument("--max-detect-stride", type=int, default=8, metavar="STEPS")
+    rrun.add_argument("--ladder", default="retry,halve_dt,escalate,escalate",
+                      metavar="A,B,...",
+                      help="recovery actions, one per consecutive failed attempt "
+                           "(retry | halve_dt | escalate)")
+    rrun.add_argument("--max-rollbacks", type=int, default=12)
+    rrun.add_argument("--conservation-bound", type=float, default=1e-4, metavar="REL")
+    rrun.add_argument("--ledger", default=None, metavar="PATH",
+                      help="append the supervised run's record to this ledger")
+    rrun.add_argument("--label", default=None, help="ledger record label")
+
+    rcamp = rsub.add_parser(
+        "campaign", help="sweep fault sites × precision levels; vulnerability report"
+    )
+    rcamp.add_argument("workload", choices=("clamr", "self"))
+    rcamp.add_argument("--arrays", default=None, metavar="A,B,...",
+                       help="state arrays to target (default: all of the workload's)")
+    rcamp.add_argument("--kinds", default="bitflip,nan,inf,overflow", metavar="K,...")
+    rcamp.add_argument("--levels", default="min,mixed,full", metavar="L,...",
+                       help="precision levels to sweep")
+    rcamp.add_argument("--trials", type=int, default=1, help="cells per sweep point")
+    rcamp.add_argument("--steps", type=int, default=24)
+    rcamp.add_argument("--fault-step", type=int, default=0,
+                       help="step each fault lands on (default: mid-run)")
+    rcamp.add_argument("--seed", type=int, default=0)
+    rcamp.add_argument("--nx", type=int, default=16, help="CLAMR coarse grid per side")
+    rcamp.add_argument("--max-level", type=int, default=1)
+    rcamp.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
+    rcamp.add_argument("--elems", type=int, default=2, help="SELF elements per side")
+    rcamp.add_argument("--order", type=int, default=3, help="SELF polynomial order")
+    rcamp.add_argument("--ledger", default=None, metavar="PATH",
+                       help="append one record per completed cell to this ledger")
     return parser
 
 
@@ -442,6 +535,7 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     if args.ledger_command == "report":
         from repro.ledger import ledger_summary, trend_table
 
+        _require_file(args.ledger, "ledger")
         ledger = Ledger(args.ledger)
         if not len(ledger):
             print(f"ledger {ledger.path} is empty")
@@ -454,6 +548,7 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     if args.ledger_command == "compare":
         from repro.ledger import compare_table
 
+        _require_file(args.ledger, "ledger")
         ledger = Ledger(args.ledger)
         runs_a = ledger.by_fingerprint(args.a)
         runs_b = ledger.by_fingerprint(args.b)
@@ -467,6 +562,8 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     if args.ledger_command == "gate":
         from repro.ledger import GateConfig, gate_ledger
 
+        _require_file(args.ledger, "ledger")
+        _require_file(args.baseline, "baseline ledger")
         config = GateConfig(
             rel_floor=args.rel_floor,
             mad_z=args.mad_z,
@@ -480,6 +577,7 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     if args.ledger_command == "export-bench":
         from repro.ledger import write_bench
 
+        _require_file(args.ledger, "ledger")
         ledger = Ledger(args.ledger)
         path = write_bench(ledger, args.out, window=args.window)
         import json
@@ -489,6 +587,139 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         return 0
 
     raise ValueError(f"unknown ledger command {args.ledger_command!r}")  # pragma: no cover
+
+
+def _resil_sim_config(args: argparse.Namespace):
+    if args.workload == "clamr":
+        from repro.clamr import DamBreakConfig
+
+        return DamBreakConfig(nx=args.nx, ny=args.nx, max_level=args.max_level)
+    from repro.self_ import ThermalBubbleConfig
+
+    return ThermalBubbleConfig(
+        nex=args.elems, ney=args.elems, nez=args.elems, order=args.order
+    )
+
+
+def _resil_plan(args: argparse.Namespace, array_names) -> "object":
+    from repro.resilience import FaultPlan, FaultSpec
+
+    specs = [FaultSpec.parse(text) for text in args.fault]
+    for spec in specs:
+        if spec.array not in array_names:
+            raise CLIError(
+                f"fault targets unknown array {spec.array!r}; "
+                f"{args.workload} exposes {sorted(array_names)}"
+            )
+        if spec.step > args.steps:
+            raise CLIError(
+                f"fault step {spec.step} is beyond the run ({args.steps} steps)"
+            )
+    if args.faults > 0:
+        generated = FaultPlan.generate(
+            seed=args.seed,
+            arrays=tuple(array_names),
+            steps=(1, args.steps),
+            count=args.faults,
+        )
+        specs.extend(generated.specs)
+    return FaultPlan(specs=tuple(specs), seed=args.seed)
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.telemetry import Telemetry
+
+    if args.resilience_command == "campaign":
+        from repro.resilience import CampaignConfig, run_campaign, vulnerability_table
+
+        config = CampaignConfig(
+            workload=args.workload,
+            arrays=tuple(x.strip() for x in args.arrays.split(",")) if args.arrays else (),
+            kinds=tuple(x.strip() for x in args.kinds.split(",")),
+            levels=tuple(x.strip() for x in args.levels.split(",")),
+            steps=args.steps,
+            fault_step=args.fault_step,
+            trials=args.trials,
+            seed=args.seed,
+            nx=args.nx,
+            max_level=args.max_level,
+            scheme=args.scheme,
+            elems=args.elems,
+            order=args.order,
+        )
+        ledger = None
+        if args.ledger:
+            from repro.ledger import Ledger
+
+            ledger = Ledger(args.ledger)
+
+        def show(cell) -> None:
+            status = "aborted" if cell.aborted else (
+                "recovered" if cell.recovered else (
+                    "silent" if not cell.detected else "detected"))
+            print(f"  {cell.level:>5} {cell.array:>5} {cell.kind:<8} -> {status}")
+
+        print(f"campaign: {args.workload}, levels {','.join(config.levels)}, "
+              f"kinds {','.join(config.kinds)}")
+        result = run_campaign(config, ledger=ledger, progress=show)
+        print()
+        print(vulnerability_table(result).render())
+        if ledger is not None:
+            print(f"ledger: {ledger.path} ({len(ledger)} records)")
+        return 0
+
+    from repro.resilience import make_adapter
+
+    tel = Telemetry(
+        label=f"resilience/{args.workload}/{args.policy}", watch_stride=0
+    )
+    sim_config = _resil_sim_config(args)
+    adapter = make_adapter(
+        args.workload, sim_config, policy=args.policy, scheme=args.scheme, telemetry=tel
+    )
+    plan = _resil_plan(args, adapter.arrays().keys())
+
+    if args.resilience_command == "inject":
+        from repro.resilience import probe
+
+        report = probe(adapter, plan, args.steps)
+        print(report.summary())
+        detected = {d.step for d in report.detections}
+        undetected = [f for f in report.faults if f.step not in detected]
+        for f in undetected:
+            print(f"  UNDETECTED   : {f.describe()} (silent corruption candidate)")
+        return 0
+
+    if args.resilience_command == "run":
+        from repro.resilience import RecoveryPolicy, ResilientRunner
+        from repro.resilience.campaign import record_resilient_run
+
+        ladder = tuple(x.strip() for x in args.ladder.split(",") if x.strip())
+        policy = RecoveryPolicy(
+            checkpoint_interval=args.checkpoint_interval,
+            detect_stride=args.detect_stride,
+            max_detect_stride=args.max_detect_stride,
+            ladder=ladder,
+            max_rollbacks=args.max_rollbacks,
+            conservation_bound=args.conservation_bound,
+        )
+        runner = ResilientRunner(adapter, plan=plan, policy=policy)
+        report = runner.run(args.steps)
+        print(report.summary())
+        if args.ledger and report.result is not None:
+            from repro.ledger import Ledger
+
+            record = record_resilient_run(
+                report, runner, sim_config=sim_config, seed=args.seed,
+                label=args.label or tel.label,
+            )
+            Ledger(args.ledger).append(record)
+            print(f"  ledger       : {args.ledger} += {record.fingerprint}")
+        return 1 if report.aborted else 0
+
+    raise ValueError(  # pragma: no cover
+        f"unknown resilience command {args.resilience_command!r}"
+    )
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -512,12 +743,19 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "trace": _cmd_trace,
     "ledger": _cmd_ledger,
+    "resilience": _cmd_resilience,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (CLIError, ValueError, OSError) as exc:
+        # user-facing failures (bad arguments, missing files) get one
+        # line on stderr and status 2 — never a traceback
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

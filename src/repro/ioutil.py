@@ -1,0 +1,77 @@
+"""Durable file-write primitives shared by checkpoint and ledger I/O.
+
+Rollback recovery is only as good as the checkpoint it rolls back to: a
+process killed mid-``write()`` must never leave a torn file that a later
+restart would try to load.  The standard POSIX recipe gives that
+guarantee and is what :func:`atomic_write_bytes` implements:
+
+1. write the full payload to a temporary file *in the same directory*
+   (same filesystem, so the final rename cannot degrade to a copy);
+2. flush and ``fsync`` the temp file, so the bytes are on stable storage
+   before the name exists;
+3. ``os.replace`` onto the destination — atomic on POSIX and Windows;
+4. best-effort ``fsync`` of the containing directory, so the rename
+   itself survives a power cut.
+
+Readers therefore observe either the complete old file or the complete
+new file, never a prefix of one.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["atomic_write_bytes", "fsync_directory", "fsync_file"]
+
+
+def fsync_file(fh) -> None:
+    """Flush python buffers and fsync an open file object to disk."""
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Best-effort fsync of a directory (persists renames/creates).
+
+    Silently a no-op where directories cannot be opened for reading
+    (e.g. Windows) — the file-level fsync has already happened.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, chunks: Iterable[bytes]) -> int:
+    """Atomically and durably write ``chunks`` to ``path``.
+
+    Returns the number of bytes written.  On any failure the destination
+    is untouched (old contents, or still absent) and the temp file is
+    removed.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    total = 0
+    try:
+        with tmp.open("wb") as fh:
+            for chunk in chunks:
+                fh.write(chunk)
+                total += len(chunk)
+            fsync_file(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return total

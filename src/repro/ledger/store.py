@@ -8,17 +8,36 @@ incrementally consistent on append — queries never re-read the file.
 
 A ledger path may be a ``.jsonl`` file or a directory; a directory means
 ``<dir>/ledger.jsonl``, which is what the ``--ledger DIR`` flags pass.
+
+Durability: every append is fsynced before it is indexed, and loading
+tolerates exactly the failure fsync cannot rule out — a truncated
+*trailing* line from a crashed writer is skipped with a warning, while
+corruption anywhere else in the file still raises (that is damage, not
+an interrupted append, and silently dropping history would bias gates).
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
+
+from repro.ioutil import fsync_file
 
 from repro.ledger.record import RunRecord
 
 __all__ = ["Ledger", "resolve_ledger_path"]
 
 _DEFAULT_NAME = "ledger.jsonl"
+
+
+def _is_json(text: str) -> bool:
+    import json
+
+    try:
+        json.loads(text)
+    except ValueError:
+        return False
+    return True
 
 
 def resolve_ledger_path(path: str | Path) -> Path:
@@ -56,18 +75,30 @@ class Ledger:
         self._by_fingerprint = {}
         self._by_workload_key = {}
         if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as fh:
-                for lineno, line in enumerate(fh, start=1):
-                    line = line.strip()
-                    if not line:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+            for lineno, line in enumerate(lines, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = RunRecord.from_json(stripped)
+                except (ValueError, KeyError, TypeError) as exc:
+                    # a torn trailing line (not even valid JSON) is the one
+                    # corruption an interrupted append can legitimately
+                    # leave behind; a well-formed record that fails
+                    # validation is damage, wherever it sits
+                    if lineno == len(lines) and not _is_json(stripped):
+                        warnings.warn(
+                            f"{self.path}:{lineno}: skipping unreadable trailing "
+                            f"record (likely a truncated write): {exc}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
                         continue
-                    try:
-                        record = RunRecord.from_json(line)
-                    except (ValueError, KeyError, TypeError) as exc:
-                        raise ValueError(
-                            f"{self.path}:{lineno}: unreadable ledger record: {exc}"
-                        ) from exc
-                    self._index(record)
+                    raise ValueError(
+                        f"{self.path}:{lineno}: unreadable ledger record: {exc}"
+                    ) from exc
+                self._index(record)
         self._loaded = True
         return self
 
@@ -83,6 +114,7 @@ class Ledger:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as fh:
             fh.write(record.to_json() + "\n")
+            fsync_file(fh)
         self._index(record)
         return record
 

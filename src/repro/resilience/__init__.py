@@ -1,0 +1,85 @@
+"""Resilience subsystem: fault injection, detection, and recovery.
+
+Reduced precision shrinks every safety margin the paper's mini-apps
+rely on — dynamic-range headroom, conservation drift, physical
+invariants — so a robustness story has to answer two questions the
+precision sweeps alone cannot: *when state corrupts, do we notice?* and
+*having noticed, can we still finish the run?*  This package answers
+both experimentally:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded, step-addressed
+  injection of bit-flips, NaN/Inf, and overflow-scale values into named
+  state arrays;
+* :mod:`repro.resilience.detectors` — non-finite scans (via the
+  telemetry watchpoints), conservation-drift bounds, and physical
+  invariant checks;
+* :mod:`repro.resilience.adapters` — a uniform supervision surface over
+  the CLAMR and SELF drivers (step, snapshot/restore, escalate,
+  halve dt);
+* :mod:`repro.resilience.runner` — the checkpoint / detect / rollback /
+  retry supervisor with its recovery ladder and abort budget;
+* :mod:`repro.resilience.campaign` — sweeps of fault sites × precision
+  levels producing the vulnerability report and ledger records.
+
+CLI: ``repro resilience inject|run|campaign``.
+"""
+
+from repro.resilience.adapters import ClamrAdapter, SelfAdapter, make_adapter
+from repro.resilience.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CellOutcome,
+    record_resilient_run,
+    run_campaign,
+    run_cell,
+    vulnerability_table,
+)
+from repro.resilience.detectors import (
+    ConservationDetector,
+    Detection,
+    DetectorSuite,
+    InvariantDetector,
+    NonFiniteDetector,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.resilience.runner import (
+    RECOVERY_ACTIONS,
+    RecoveryPolicy,
+    ResilienceReport,
+    ResilientRunner,
+    probe,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "RECOVERY_ACTIONS",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "FaultInjector",
+    "Detection",
+    "NonFiniteDetector",
+    "ConservationDetector",
+    "InvariantDetector",
+    "DetectorSuite",
+    "ClamrAdapter",
+    "SelfAdapter",
+    "make_adapter",
+    "RecoveryPolicy",
+    "ResilienceReport",
+    "ResilientRunner",
+    "probe",
+    "CampaignConfig",
+    "CellOutcome",
+    "CampaignResult",
+    "run_cell",
+    "run_campaign",
+    "record_resilient_run",
+    "vulnerability_table",
+]

@@ -1,0 +1,283 @@
+"""Uniform supervision adapters over the two mini-app drivers.
+
+The :class:`repro.resilience.runner.ResilientRunner` needs five things
+from a simulation: advance one step, expose named state arrays for
+injection/scanning, snapshot/restore in memory, report a conserved
+total, and apply recovery actions (dt halving, precision escalation).
+Neither driver exposes that surface directly, so each gets an adapter:
+
+* :class:`ClamrAdapter` — CLAMR dam break.  Arrays ``H``/``U``/``V``;
+  snapshots carry (mesh, state copy, time, step count, policy, config);
+  escalation walks min → mixed → full through
+  :class:`repro.precision.policy.PrecisionPolicy`; dt halving halves the
+  Courant number.
+* :class:`SelfAdapter` — SELF thermal bubble.  Arrays are views into
+  the conserved tensor (``rho``/``rhou``/``rhov``/``rhow``/``rhoE``),
+  so injections hit the live state; escalation is single → double and
+  *rebuilds the solver* at the new dtype (the operators are typed);
+  dt halving likewise halves the Courant number.
+
+Both accumulate wall/kernel seconds and a conserved-total history
+across the chunked ``run()`` calls, and patch the final driver result so
+one coherent ``SimulationResult``/``SelfResult`` — including replayed
+work in its timings — reaches the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.precision.policy import PrecisionLevel, PrecisionPolicy, level_from_name
+
+__all__ = ["ClamrAdapter", "SelfAdapter", "make_adapter"]
+
+#: Escalation ladder of CLAMR precision levels, least to most precise.
+_CLAMR_LADDER = (
+    PrecisionLevel.HALF,
+    PrecisionLevel.MIN,
+    PrecisionLevel.MIXED,
+    PrecisionLevel.FULL,
+)
+
+
+class ClamrAdapter:
+    """Supervise a :class:`repro.clamr.ClamrSimulation`."""
+
+    workload = "clamr"
+
+    def __init__(
+        self,
+        config,
+        policy: str | PrecisionPolicy = "min",
+        scheme: str = "rusanov",
+        vectorized: bool = True,
+        telemetry=None,
+    ) -> None:
+        from repro.clamr import ClamrSimulation
+
+        if not isinstance(policy, PrecisionPolicy):
+            policy = PrecisionPolicy.from_level(level_from_name(policy))
+        self.config = config
+        self.initial_policy = policy
+        self.scheme = scheme
+        self.vectorized = vectorized
+        self.telemetry = telemetry
+        self.sim = ClamrSimulation(
+            config, policy=policy, vectorized=vectorized, scheme=scheme, telemetry=telemetry
+        )
+        self.elapsed_s = 0.0
+        self.kernel_elapsed_s = 0.0
+        self.conserved_history: list[float] = []
+        self.last_result = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def step_count(self) -> int:
+        return self.sim.step_count
+
+    @property
+    def policy_name(self) -> str:
+        return self.sim.policy.level.value
+
+    @property
+    def state_dtype(self) -> np.dtype:
+        return self.sim.state.state_dtype
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        s = self.sim.state
+        return {"H": s.H, "U": s.U, "V": s.V}
+
+    def invariant_bounds(self) -> dict[str, tuple[float | None, float | None]]:
+        # water height is strictly positive; momenta are unbounded
+        return {"H": (0.0, None)}
+
+    def conserved_total(self) -> float:
+        return self.sim.state.total_mass(self.sim.mesh.cell_area())
+
+    # -- stepping ----------------------------------------------------------
+
+    def advance(self, steps: int = 1) -> None:
+        # corrupted state may legitimately produce invalid-op warnings on
+        # the way to detection; the supervisor's scans are the report
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            result = self.sim.run(steps, record_mass=False)
+        self.elapsed_s += result.elapsed_s
+        self.kernel_elapsed_s += result.kernel_elapsed_s
+        self.last_result = result
+
+    # -- checkpoint / rollback --------------------------------------------
+
+    def snapshot(self):
+        sim = self.sim
+        return {
+            "step": sim.step_count,
+            "time": sim.time,
+            "mesh": sim.mesh,
+            "state": sim.state.copy(),
+            "policy": sim.policy,
+            "config": sim.config,
+        }
+
+    def restore(self, snap) -> None:
+        """Roll mesh/state/clock back; recovery knobs survive the rollback.
+
+        The *current* precision policy and config (possibly escalated /
+        dt-halved since the snapshot) are deliberately kept — a recovery
+        action must persist through the rollback it pairs with, or
+        escalation could never compound (min → mixed → full).  The
+        snapshot state is copied before re-wrapping so replayed kernels
+        can never scribble on the rollback target.
+        """
+        sim = self.sim
+        sim.mesh = snap["mesh"]
+        sim.state = snap["state"].copy().with_policy(sim.policy)
+        sim.time = snap["time"]
+        sim.step_count = snap["step"]
+
+    # -- recovery actions --------------------------------------------------
+
+    def escalate(self) -> bool:
+        """Promote the run one precision level; False at the ceiling."""
+        current = self.sim.policy.level
+        idx = _CLAMR_LADDER.index(current)
+        if idx + 1 >= len(_CLAMR_LADDER):
+            return False
+        new_policy = PrecisionPolicy.from_level(_CLAMR_LADDER[idx + 1])
+        self.sim.policy = new_policy
+        self.sim.state = self.sim.state.with_policy(new_policy)
+        return True
+
+    def halve_dt(self) -> None:
+        cfg = self.sim.config
+        self.sim.config = replace(cfg, courant=cfg.courant * 0.5)
+
+    # -- result assembly ---------------------------------------------------
+
+    def final_result(self, mass_history: list[float], times_total_steps: int):
+        """The last chunk's result, patched to describe the whole run."""
+        result = self.last_result
+        if result is None:
+            raise RuntimeError("no steps were run")
+        result.mass_history = list(mass_history)
+        result.steps = times_total_steps
+        result.elapsed_s = self.elapsed_s
+        result.kernel_elapsed_s = self.kernel_elapsed_s
+        return result
+
+
+class SelfAdapter:
+    """Supervise a :class:`repro.self_.SelfSimulation`."""
+
+    workload = "self"
+
+    def __init__(self, config, precision: str = "single", telemetry=None) -> None:
+        from repro.self_ import SelfSimulation
+
+        self.config = config
+        self.initial_precision = precision
+        self.telemetry = telemetry
+        self.sim = SelfSimulation(config, precision=precision, telemetry=telemetry)
+        self.elapsed_s = 0.0
+        self.kernel_elapsed_s = 0.0
+        self.conserved_history: list[float] = []
+        self.last_result = None
+
+    @property
+    def step_count(self) -> int:
+        return self.sim.step_count
+
+    @property
+    def policy_name(self) -> str:
+        return "single" if self.sim.dtype == np.float32 else "double"
+
+    @property
+    def state_dtype(self) -> np.dtype:
+        return self.sim.U.dtype
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        U = self.sim.U
+        return {
+            "rho": U[:, 0],
+            "rhou": U[:, 1],
+            "rhov": U[:, 2],
+            "rhow": U[:, 3],
+            "rhoE": U[:, 4],
+        }
+
+    def invariant_bounds(self) -> dict[str, tuple[float | None, float | None]]:
+        return {"rho": (0.0, None), "rhoE": (0.0, None)}
+
+    def conserved_total(self) -> float:
+        from repro.self_.diagnostics import total_mass
+
+        return total_mass(self.sim.solver, self.sim.U)
+
+    def advance(self, steps: int = 1) -> None:
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            result = self.sim.run(steps)
+        self.elapsed_s += result.elapsed_s
+        self.kernel_elapsed_s += result.kernel_elapsed_s
+        self.last_result = result
+
+    def snapshot(self):
+        sim = self.sim
+        return {
+            "step": sim.step_count,
+            "time": sim.time,
+            "U": sim.U.copy(),
+            "precision": self.policy_name,
+            "config": sim.config,
+        }
+
+    def restore(self, snap) -> None:
+        """Roll the tensor/clock back; precision and config survive
+        (same contract as :meth:`ClamrAdapter.restore`)."""
+        self.sim.U = snap["U"].astype(self.sim.dtype, copy=True)
+        self.sim.time = snap["time"]
+        self.sim.step_count = snap["step"]
+
+    def _rebuild(self, precision: str, config) -> None:
+        """Re-type the solver; operators and background are dtype-bound."""
+        from repro.self_ import SelfSimulation
+
+        old = self.sim
+        new = SelfSimulation(config, precision=precision, telemetry=self.telemetry)
+        new.U = old.U.astype(new.dtype, copy=True)
+        new.time = old.time
+        new.step_count = old.step_count
+        self.sim = new
+
+    def escalate(self) -> bool:
+        if self.sim.dtype == np.float64:
+            return False
+        self._rebuild("double", self.sim.config)
+        return True
+
+    def halve_dt(self) -> None:
+        cfg = self.sim.config
+        self.sim.config = replace(cfg, courant=cfg.courant * 0.5)
+
+    def final_result(self, mass_history: list[float], times_total_steps: int):
+        result = self.last_result
+        if result is None:
+            raise RuntimeError("no steps were run")
+        result.steps = times_total_steps
+        result.elapsed_s = self.elapsed_s
+        result.kernel_elapsed_s = self.kernel_elapsed_s
+        return result
+
+
+def make_adapter(workload: str, config, *, policy: str = "min", scheme: str = "rusanov",
+                 vectorized: bool = True, telemetry=None):
+    """Adapter factory keyed by workload name (the CLI entry point)."""
+    if workload == "clamr":
+        return ClamrAdapter(
+            config, policy=policy, scheme=scheme, vectorized=vectorized, telemetry=telemetry
+        )
+    if workload == "self":
+        precision = "single" if policy in ("min", "single", "half", "mixed") else "double"
+        return SelfAdapter(config, precision=precision, telemetry=telemetry)
+    raise ValueError(f"unknown workload {workload!r}; use 'clamr' or 'self'")

@@ -1,0 +1,276 @@
+"""Fault-injection campaigns: sweep fault sites × precision levels.
+
+One campaign cell = one supervised run with exactly one planned fault:
+(array × fault kind × precision level × trial).  The sweep answers the
+question the paper's precision analysis leaves open — *which* state
+arrays, under *which* precision levels, are actually vulnerable, and
+does the recovery machinery bring the run home when they are hit:
+
+* **detection rate** — did any detector fire after the injection?  An
+  undetected fault that still changed the answer is *silent data
+  corruption*, the scariest row of the report;
+* **recovery rate** — among detected faults, did rollback + the recovery
+  ladder complete the run (not abort)?
+* **post-recovery drift** — the conserved-total drift of the completed
+  run, the "did recovery actually preserve the physics" number the
+  ledger gate bands.
+
+Each cell can be recorded into the run ledger (its fault plan and
+recovery policy are hashed into the workload identity, so campaign
+records never collide with plain runs), which makes campaign fidelity
+regressions gateable like any other workload.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import asdict, dataclass, field
+
+from repro.resilience.adapters import make_adapter
+from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.resilience.runner import RecoveryPolicy, ResilienceReport, ResilientRunner
+
+__all__ = [
+    "CampaignConfig",
+    "CellOutcome",
+    "CampaignResult",
+    "run_cell",
+    "run_campaign",
+    "record_resilient_run",
+    "vulnerability_table",
+]
+
+_CLAMR_ARRAYS = ("H", "U", "V")
+_SELF_ARRAYS = ("rho", "rhou", "rhow", "rhoE")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """The sweep definition; defaults are a minutes-scale CLAMR campaign."""
+
+    workload: str = "clamr"
+    arrays: tuple[str, ...] = ()
+    kinds: tuple[str, ...] = FAULT_KINDS
+    levels: tuple[str, ...] = ("min", "mixed", "full")
+    steps: int = 24
+    fault_step: int = 0  # 0 => mid-run
+    trials: int = 1
+    seed: int = 0
+    # clamr shape
+    nx: int = 16
+    max_level: int = 1
+    scheme: str = "rusanov"
+    # self shape
+    elems: int = 2
+    order: int = 3
+
+    def resolved_arrays(self) -> tuple[str, ...]:
+        if self.arrays:
+            return self.arrays
+        return _CLAMR_ARRAYS if self.workload == "clamr" else _SELF_ARRAYS
+
+    def resolved_fault_step(self) -> int:
+        return self.fault_step if self.fault_step > 0 else max(1, self.steps // 2)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One campaign cell reduced to the report numbers."""
+
+    array: str
+    kind: str
+    level: str
+    trial: int
+    detected: bool
+    recovered: bool
+    completed: bool
+    aborted: bool
+    escalations: int
+    rollbacks: int
+    drift: float
+    wall_s: float
+
+
+@dataclass
+class CampaignResult:
+    """All cells plus the sweep config that produced them."""
+
+    config: CampaignConfig
+    cells: list[CellOutcome] = field(default_factory=list)
+
+    def rate(self, predicate) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(1 for c in self.cells if predicate(c)) / len(self.cells)
+
+
+def _build_config(config: CampaignConfig):
+    if config.workload == "clamr":
+        from repro.clamr import DamBreakConfig
+
+        return DamBreakConfig(nx=config.nx, ny=config.nx, max_level=config.max_level)
+    from repro.self_ import ThermalBubbleConfig
+
+    return ThermalBubbleConfig(
+        nex=config.elems, ney=config.elems, nez=config.elems, order=config.order
+    )
+
+
+def run_cell(
+    config: CampaignConfig,
+    array: str,
+    kind: str,
+    level: str,
+    trial: int = 0,
+    recovery: RecoveryPolicy = RecoveryPolicy(),
+    telemetry=None,
+) -> tuple[CellOutcome, ResilienceReport, ResilientRunner]:
+    """Run one supervised cell: one fault into one array at one level."""
+    sim_config = _build_config(config)
+    adapter = make_adapter(
+        config.workload, sim_config, policy=level, scheme=config.scheme, telemetry=telemetry
+    )
+    # the cell seed folds the sweep coordinates in deterministically
+    # (stable across processes, unlike hash()), so re-running the
+    # campaign with the same seed replays every cell
+    cell_seed = zlib.crc32(
+        f"{config.seed}/{array}/{kind}/{level}/{trial}".encode()
+    ) & 0x7FFFFFFF
+    plan = FaultPlan(
+        specs=(FaultSpec(kind=kind, array=array, step=config.resolved_fault_step()),),
+        seed=cell_seed,
+    )
+    runner = ResilientRunner(adapter, plan=plan, policy=recovery)
+    report = runner.run(config.steps)
+    injected_steps = {f.step for f in report.faults}
+    detected = any(d.step >= min(injected_steps, default=0) for d in report.detections)
+    outcome = CellOutcome(
+        array=array,
+        kind=kind,
+        level=level,
+        trial=trial,
+        detected=detected,
+        recovered=detected and report.completed,
+        completed=report.completed,
+        aborted=report.aborted,
+        escalations=report.escalations,
+        rollbacks=report.rollbacks,
+        drift=report.post_recovery_drift,
+        wall_s=report.wall_s,
+    )
+    return outcome, report, runner
+
+
+def run_campaign(
+    config: CampaignConfig,
+    recovery: RecoveryPolicy = RecoveryPolicy(),
+    ledger=None,
+    progress=None,
+) -> CampaignResult:
+    """Sweep arrays × kinds × levels × trials; optionally ledger each cell."""
+    result = CampaignResult(config=config)
+    for level in config.levels:
+        for array in config.resolved_arrays():
+            for kind in config.kinds:
+                for trial in range(max(1, config.trials)):
+                    from repro.telemetry import Telemetry
+
+                    tel = Telemetry(
+                        label=f"resilience/{config.workload}/{level}/{array}/{kind}/t{trial}",
+                        watch_stride=0,
+                    )
+                    outcome, report, runner = run_cell(
+                        config, array, kind, level, trial=trial,
+                        recovery=recovery, telemetry=tel,
+                    )
+                    result.cells.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+                    if ledger is not None and report.result is not None:
+                        ledger.append(
+                            record_resilient_run(
+                                report,
+                                runner,
+                                sim_config=_build_config(config),
+                                seed=config.seed,
+                                label=tel.label,
+                            )
+                        )
+    return result
+
+
+def record_resilient_run(
+    report: ResilienceReport,
+    runner: ResilientRunner,
+    sim_config,
+    seed: int = 0,
+    label: str = "",
+):
+    """Reduce one supervised run to a ledger :class:`RunRecord`.
+
+    The fault plan and recovery policy enter the hashed config (so a
+    resilience run can never share a workload key with an unsupervised
+    run of the same shape), and the resilience counters merge into the
+    record's fidelity dict — which is not part of the hash, exactly like
+    every other measured outcome.
+    """
+    from repro.ledger.record import record_from_clamr, record_from_self
+
+    if report.result is None:
+        raise ValueError("cannot record an aborted run that never completed a step")
+    adapter = runner.adapter
+    cfg = asdict(sim_config) if not isinstance(sim_config, dict) else dict(sim_config)
+    cfg["resilience"] = {
+        "plan": runner.plan.to_config(),
+        "recovery": runner.policy.to_config(),
+    }
+    tel = getattr(adapter, "telemetry", None)
+    if tel is None:
+        from repro.telemetry import Telemetry
+
+        # empty stand-in: the record builders only read spans/numerics
+        tel = Telemetry(watch_stride=0)
+    builder = record_from_clamr if report.workload == "clamr" else record_from_self
+    record = builder(report.result, tel, cfg, seed=seed, label=label)
+    record.fidelity.update(report.fidelity())
+    return record
+
+
+def vulnerability_table(result: CampaignResult):
+    """The campaign's headline artifact: rates per (level × array × kind)."""
+    from repro.harness.report import Table
+
+    cfg = result.config
+    table = Table(
+        title=(
+            f"Vulnerability report: {cfg.workload}, {cfg.steps} steps, "
+            f"fault at step {cfg.resolved_fault_step()}, {max(1, cfg.trials)} trial(s)/cell"
+        ),
+        headers=[
+            "Level", "Array", "Fault", "Detected", "Recovered", "Aborted",
+            "Escalations", "Drift",
+        ],
+    )
+    groups: dict[tuple[str, str, str], list[CellOutcome]] = {}
+    for c in result.cells:
+        groups.setdefault((c.level, c.array, c.kind), []).append(c)
+    for (level, array, kind), cells in groups.items():
+        n = len(cells)
+        table.add_row(
+            level,
+            array,
+            kind,
+            f"{sum(c.detected for c in cells)}/{n}",
+            f"{sum(c.recovered for c in cells)}/{n}",
+            f"{sum(c.aborted for c in cells)}/{n}",
+            sum(c.escalations for c in cells),
+            max(c.drift for c in cells),
+        )
+    detected = result.rate(lambda c: c.detected)
+    recovered = result.rate(lambda c: c.completed)
+    table.notes.append(
+        f"overall: {100 * detected:.0f}% of faults detected, "
+        f"{100 * recovered:.0f}% of runs completed; "
+        "undetected cells are silent-corruption candidates"
+    )
+    return table

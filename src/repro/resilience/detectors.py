@@ -1,0 +1,242 @@
+"""Corruption detectors the resilient supervisor scans with.
+
+Three complementary views of "is this state still trustworthy", in
+increasing physical specificity:
+
+* :class:`NonFiniteDetector` — NaN/Inf births and exhausted
+  dynamic-range headroom, built directly on the telemetry layer's
+  :class:`repro.telemetry.numerics.NumericsWatch` so every detection is
+  *also* a recorded numerical event (same thresholds, same ledger
+  fidelity counters, span attribution when a telemetry is wired in);
+* :class:`ConservationDetector` — drift of the double-double conserved
+  total against the run's reference value.  Catches finite-but-wrong
+  corruption (a flipped mantissa bit moves mass no isfinite scan will
+  ever see) at the cost of an O(n) reduction per scan;
+* :class:`InvariantDetector` — physical bounds per array (``H >= 0``,
+  ``rho > 0``, ``rhoE > 0``): the cheapest check and the one that fires
+  when reduced precision drives a field somewhere physically
+  meaningless before it becomes non-finite.
+
+A detector returns :class:`Detection` records; the supervisor treats any
+non-empty result as "roll back".  Detectors are deliberately pure
+observers — they never mutate state, so scanning is safe at any point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.telemetry.numerics import FATAL_KINDS, NumericsWatch
+
+__all__ = [
+    "Detection",
+    "NonFiniteDetector",
+    "ConservationDetector",
+    "InvariantDetector",
+    "DetectorSuite",
+]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One corruption finding: which detector, which array, what value."""
+
+    detector: str
+    array: str
+    step: int
+    value: float
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.detector}] {self.array} at step {self.step}: {self.message}"
+
+
+class NonFiniteDetector:
+    """NaN/Inf and overflow-headroom scans via the telemetry watchpoints.
+
+    Parameters
+    ----------
+    telemetry:
+        Optional live :class:`repro.telemetry.Telemetry`.  When given,
+        scans go through ``telemetry.scan`` so events carry span ids and
+        land in the run's fidelity counters; otherwise a private
+        stride-1 :class:`NumericsWatch` is used.
+    fail_on_overflow_risk:
+        Treat exhausted dynamic-range headroom (an ``overflow_risk``
+        watchpoint event) as a detection — catching a saturating field
+        one step *before* it becomes Inf.  Default on.
+    """
+
+    name = "non_finite"
+
+    def __init__(self, telemetry=None, fail_on_overflow_risk: bool = True) -> None:
+        self._telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        self._watch = NumericsWatch(stride=1) if self._telemetry is None else None
+        self.fail_on_overflow_risk = fail_on_overflow_risk
+
+    def check(self, arrays: Mapping[str, np.ndarray], step: int, state_dtype=None) -> list[Detection]:
+        out: list[Detection] = []
+        for name, arr in arrays.items():
+            dtype = state_dtype if state_dtype is not None else arr.dtype
+            if self._telemetry is not None:
+                events = self._telemetry.scan(name, arr, dtype=dtype, step=step)
+            else:
+                events = self._watch.scan(name, arr, dtype=dtype, step=step)
+            for e in events:
+                if e.kind in FATAL_KINDS:
+                    out.append(
+                        Detection(
+                            detector=self.name,
+                            array=name,
+                            step=step,
+                            value=e.value,
+                            message=f"{int(e.value)} {e.kind} value(s)",
+                        )
+                    )
+                elif e.kind == "overflow_risk" and self.fail_on_overflow_risk:
+                    out.append(
+                        Detection(
+                            detector=self.name,
+                            array=name,
+                            step=step,
+                            value=e.value,
+                            message=f"only {e.value:.2f} decades of overflow headroom left",
+                        )
+                    )
+        return out
+
+
+class ConservationDetector:
+    """Bound the drift of the conserved total against a reference.
+
+    ``rel_bound`` must sit above the scheme's organic drift at the
+    *least* precise level the run may visit (float32 dam breaks drift
+    ~1e-7 relative over hundreds of steps) and below the corruption
+    magnitudes worth rolling back for.  The supervisor sets the
+    reference from the verified initial state.
+    """
+
+    name = "conservation"
+
+    def __init__(self, rel_bound: float = 1e-4) -> None:
+        if rel_bound <= 0:
+            raise ValueError("rel_bound must be positive")
+        self.rel_bound = rel_bound
+        self.reference: float | None = None
+
+    def set_reference(self, value: float) -> None:
+        self.reference = float(value)
+
+    def check_total(self, total: float, step: int) -> list[Detection]:
+        if self.reference is None or self.reference == 0.0:
+            return []
+        if not math.isfinite(total):
+            return [
+                Detection(
+                    detector=self.name,
+                    array="conserved",
+                    step=step,
+                    value=float("inf"),
+                    message=f"conserved total is {total!r}",
+                )
+            ]
+        drift = abs(total - self.reference) / abs(self.reference)
+        if drift <= self.rel_bound:
+            return []
+        return [
+            Detection(
+                detector=self.name,
+                array="conserved",
+                step=step,
+                value=drift,
+                message=f"relative drift {drift:.3e} exceeds bound {self.rel_bound:.1e}",
+            )
+        ]
+
+
+class InvariantDetector:
+    """Physical bounds per array: values outside ``[lo, hi]`` are corrupt.
+
+    Bounds are inclusive; ``None`` means unbounded on that side.
+    Non-finite values are ignored here — :class:`NonFiniteDetector` owns
+    them — so each finding names exactly one failure mode.
+    """
+
+    name = "invariant"
+
+    def __init__(self, bounds: Mapping[str, tuple[float | None, float | None]]) -> None:
+        self.bounds = dict(bounds)
+
+    def check(self, arrays: Mapping[str, np.ndarray], step: int) -> list[Detection]:
+        out: list[Detection] = []
+        for name, (lo, hi) in self.bounds.items():
+            arr = arrays.get(name)
+            if arr is None:
+                continue
+            finite = arr[np.isfinite(arr)]
+            if finite.size == 0:
+                continue
+            bad = 0
+            worst = 0.0
+            if lo is not None:
+                below = finite < lo
+                n = int(np.count_nonzero(below))
+                if n:
+                    bad += n
+                    worst = float(finite[below].min())
+            if hi is not None:
+                above = finite > hi
+                n = int(np.count_nonzero(above))
+                if n:
+                    bad += n
+                    worst = float(finite[above].max())
+            if bad:
+                out.append(
+                    Detection(
+                        detector=self.name,
+                        array=name,
+                        step=step,
+                        value=float(bad),
+                        message=f"{bad} value(s) outside [{lo}, {hi}] (worst {worst:g})",
+                    )
+                )
+        return out
+
+
+class DetectorSuite:
+    """The supervisor's composite scan: all detectors, one call.
+
+    ``scan`` takes the adapter (for arrays / conserved total / state
+    dtype) so each detector sees a consistent snapshot of one step.
+    """
+
+    def __init__(
+        self,
+        non_finite: NonFiniteDetector | None = None,
+        conservation: ConservationDetector | None = None,
+        invariants: InvariantDetector | None = None,
+    ) -> None:
+        self.non_finite = non_finite
+        self.conservation = conservation
+        self.invariants = invariants
+        self.scans = 0
+
+    def set_reference(self, conserved: float) -> None:
+        if self.conservation is not None:
+            self.conservation.set_reference(conserved)
+
+    def scan(self, adapter, step: int) -> list[Detection]:
+        self.scans += 1
+        arrays = adapter.arrays()
+        found: list[Detection] = []
+        if self.non_finite is not None:
+            found.extend(self.non_finite.check(arrays, step, state_dtype=adapter.state_dtype))
+        if self.invariants is not None:
+            found.extend(self.invariants.check(arrays, step))
+        if self.conservation is not None and self.conservation.reference is not None:
+            found.extend(self.conservation.check_total(adapter.conserved_total(), step))
+        return found

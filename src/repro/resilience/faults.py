@@ -1,0 +1,265 @@
+"""Deterministic fault injection into named simulation state arrays.
+
+The fault model covers the failure classes the paper's precision risk
+analysis cares about, plus the classic transient-hardware one:
+
+``bitflip``
+    XOR one bit of one element's storage representation — the soft-error
+    model.  Depending on the bit this ranges from an undetectable
+    last-place nudge to a sign flip or an exponent explosion, which is
+    exactly why the campaign measures *detection rate* per bit position
+    class instead of assuming every flip is fatal.
+``nan`` / ``inf``
+    Overwrite one element with NaN / +Inf — the "already corrupted"
+    model, standing in for an upstream kernel bug or an uncaught
+    overflow.
+``overflow``
+    Set one element to a quarter of the active dtype's max — large
+    enough that the dynamic-range watchpoint must fire (< 1 decade of
+    headroom) and the next flux evaluation is likely to saturate, while
+    still being a finite value a naive ``isfinite`` scan would miss.
+
+Everything is seeded and step-addressed: a :class:`FaultPlan` is fully
+determined by its seed and knobs, and a :class:`FaultInjector` resolves
+the element/bit choice from a per-fault child seed, so the same plan
+replayed against the same simulation produces bit-identical injections —
+the property the recovery-determinism tests assert.
+
+Faults are **transient** by default (a fault fires once; after a
+rollback the replay passes the step cleanly, as a real soft error
+would).  ``sticky=True`` makes a fault re-fire on every pass through its
+step, modelling a persistent defect — useful for exercising the abort
+path of the retry budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "InjectedFault", "FaultInjector"]
+
+#: The supported fault kinds, in campaign sweep order.
+FAULT_KINDS = ("bitflip", "nan", "inf", "overflow")
+
+_UINT_FOR_ITEMSIZE = {2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: what, where (array), and when (step).
+
+    ``index`` and ``bit`` may be pinned explicitly; ``None`` means
+    "resolve deterministically from the plan seed at injection time" —
+    necessary because the array length can change under AMR regrids, so
+    an index chosen at plan time might not exist at fire time.
+    """
+
+    kind: str
+    array: str
+    step: int
+    index: int | None = None
+    bit: int | None = None
+    sticky: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.step < 1:
+            raise ValueError("fault step must be >= 1 (faults land after a completed step)")
+        if self.index is not None and self.index < 0:
+            raise ValueError("fault index must be non-negative")
+        if self.bit is not None and self.bit < 0:
+            raise ValueError("fault bit must be non-negative")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI syntax ``kind:array:step[:index[:bit]]``.
+
+        A trailing ``!`` on the kind marks the fault sticky
+        (``nan!:H:12``).
+        """
+        parts = text.split(":")
+        if len(parts) < 3:
+            raise ValueError(
+                f"bad fault spec {text!r}; expected kind:array:step[:index[:bit]]"
+            )
+        kind = parts[0]
+        sticky = kind.endswith("!")
+        if sticky:
+            kind = kind[:-1]
+        try:
+            step = int(parts[2])
+            index = int(parts[3]) if len(parts) > 3 else None
+            bit = int(parts[4]) if len(parts) > 4 else None
+        except ValueError:
+            raise ValueError(f"bad fault spec {text!r}: step/index/bit must be integers") from None
+        return cls(kind=kind, array=parts[1], step=step, index=index, bit=bit, sticky=sticky)
+
+    def describe(self) -> str:
+        where = f"{self.array}@step{self.step}"
+        extra = "" if self.index is None else f"[{self.index}]"
+        bit = "" if self.bit is None else f" bit {self.bit}"
+        mark = " (sticky)" if self.sticky else ""
+        return f"{self.kind} -> {where}{extra}{bit}{mark}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, seeded collection of faults — the campaign unit.
+
+    The seed does double duty: it generates random plans
+    (:meth:`generate`) and it parents the per-fault child seeds that
+    resolve unpinned element/bit choices at fire time.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        arrays: Sequence[str],
+        steps: tuple[int, int],
+        kinds: Sequence[str] = FAULT_KINDS,
+        count: int = 1,
+    ) -> "FaultPlan":
+        """Draw ``count`` faults uniformly over arrays × kinds × steps."""
+        if not arrays:
+            raise ValueError("need at least one array name")
+        lo, hi = steps
+        if lo < 1 or hi < lo:
+            raise ValueError(f"bad step range {steps}; need 1 <= lo <= hi")
+        rng = np.random.default_rng(seed)
+        specs = tuple(
+            FaultSpec(
+                kind=str(rng.choice(list(kinds))),
+                array=str(rng.choice(list(arrays))),
+                step=int(rng.integers(lo, hi + 1)),
+            )
+            for _ in range(count)
+        )
+        return cls(specs=specs, seed=seed)
+
+    def to_config(self) -> dict:
+        """JSON-safe dict for the ledger's hashed run identity."""
+        return {
+            "seed": self.seed,
+            "specs": [
+                {
+                    "kind": s.kind,
+                    "array": s.array,
+                    "step": s.step,
+                    "index": s.index,
+                    "bit": s.bit,
+                    "sticky": s.sticky,
+                }
+                for s in self.specs
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired: resolved location and value delta."""
+
+    spec_index: int
+    kind: str
+    array: str
+    step: int
+    index: int
+    bit: int | None
+    old: float
+    new: float
+
+    def describe(self) -> str:
+        bit = f" bit {self.bit}" if self.bit is not None else ""
+        return (
+            f"{self.kind} in {self.array}[{self.index}]{bit} at step {self.step}: "
+            f"{self.old:g} -> {self.new:g}"
+        )
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to live state arrays, step by step.
+
+    The supervisor calls :meth:`apply` after every completed step with
+    the *current* named arrays; due faults mutate them in place.  Fired
+    transient faults stay fired across rollbacks (soft errors do not
+    replay); sticky faults re-fire on every pass.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.injected: list[InjectedFault] = []
+        self._fired: set[int] = set()
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.injected)
+
+    def pending(self) -> list[FaultSpec]:
+        """Specs that have not fired yet (sticky specs are always pending)."""
+        return [
+            s for i, s in enumerate(self.plan.specs) if s.sticky or i not in self._fired
+        ]
+
+    def _resolve(self, spec_index: int, spec: FaultSpec, size: int, nbits: int) -> tuple[int, int]:
+        """Deterministic (index, bit) for one firing, independent of history."""
+        rng = np.random.default_rng((self.plan.seed, spec_index, spec.step))
+        index = spec.index if spec.index is not None else int(rng.integers(0, size))
+        bit = spec.bit if spec.bit is not None else int(rng.integers(0, nbits))
+        return index % size, bit % nbits
+
+    def apply(self, step: int, arrays: Mapping[str, np.ndarray]) -> list[InjectedFault]:
+        """Fire every due fault at ``step``; returns what was injected."""
+        fired: list[InjectedFault] = []
+        for i, spec in enumerate(self.plan.specs):
+            if spec.step != step or (i in self._fired and not spec.sticky):
+                continue
+            arr = arrays.get(spec.array)
+            if arr is None:
+                raise KeyError(
+                    f"fault plan names array {spec.array!r}; simulation exposes {sorted(arrays)}"
+                )
+            if arr.dtype.kind != "f":
+                raise ValueError(f"can only inject into float arrays, got {arr.dtype}")
+            nbits = arr.dtype.itemsize * 8
+            index, bit = self._resolve(i, spec, arr.size, nbits)
+            # index through the original array (reshape(-1) would copy a
+            # non-contiguous view and the injection would vanish)
+            loc = np.unravel_index(index, arr.shape)
+            old = float(arr[loc])
+            if spec.kind == "bitflip":
+                utype = _UINT_FOR_ITEMSIZE[arr.dtype.itemsize]
+                scalar = np.array(arr[loc])  # 0-d working copy of the element
+                scalar.view(utype)[...] ^= utype(1 << bit)
+                arr[loc] = scalar
+            elif spec.kind == "nan":
+                arr[loc] = np.nan
+                bit = None
+            elif spec.kind == "inf":
+                arr[loc] = np.inf
+                bit = None
+            else:  # overflow
+                info = np.finfo(arr.dtype)
+                sign = -1.0 if old < 0 else 1.0
+                arr[loc] = arr.dtype.type(sign * 0.25 * float(info.max))
+                bit = None
+            event = InjectedFault(
+                spec_index=i,
+                kind=spec.kind,
+                array=spec.array,
+                step=step,
+                index=index,
+                bit=bit,
+                old=old,
+                new=float(arr[loc]),
+            )
+            self._fired.add(i)
+            self.injected.append(event)
+            fired.append(event)
+        return fired

@@ -1,0 +1,357 @@
+"""The resilient step-loop supervisor: checkpoint, detect, roll back, retry.
+
+:class:`ResilientRunner` wraps an adapter's step loop with the full
+detect-and-recover cycle:
+
+1. **Checkpoint** — an in-memory snapshot every ``checkpoint_interval``
+   steps, taken *only* after a forced full detector scan passes, so a
+   checkpoint is by construction clean: non-finite state can never be
+   committed as a rollback target (the fuzz tests pin this invariant).
+2. **Detect** — the :class:`~repro.resilience.detectors.DetectorSuite`
+   scans on an adaptive stride: tightened to every step after an
+   incident, doubling back off (exponentially, up to
+   ``max_detect_stride``) as clean checkpoints accumulate — overhead
+   concentrates where trouble was.
+3. **Recover** — on detection: roll back to the last good checkpoint and
+   walk the recovery **ladder**, one rung per consecutive failed
+   attempt: ``retry`` (replay as-is — cures transient faults), ``halve_dt``
+   (Courant halving — cures marginal stability), ``escalate`` (promote
+   the precision level — cures precision exhaustion, the paper's central
+   risk).  A clean checkpoint past the incident step counts a recovery
+   and resets the ladder.
+4. **Abort** — when the ladder is exhausted or the total rollback budget
+   is spent, stop with the last good checkpoint restored rather than
+   running garbage forward.
+
+Everything the cycle does is counted into a :class:`ResilienceReport`,
+whose :meth:`~ResilienceReport.fidelity` dict merges into the run-ledger
+record so ``repro ledger gate`` can band recovery overhead and
+post-recovery drift.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.detectors import (
+    ConservationDetector,
+    Detection,
+    DetectorSuite,
+    InvariantDetector,
+    NonFiniteDetector,
+)
+from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
+
+__all__ = ["RecoveryPolicy", "ResilienceReport", "ResilientRunner", "probe"]
+
+#: Recovery actions a ladder may name.
+RECOVERY_ACTIONS = ("retry", "halve_dt", "escalate")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the supervision cycle; defaults suit the smoke workloads.
+
+    ``ladder`` is consumed one rung per consecutive failed attempt at
+    the same incident; an ``escalate`` rung at the precision ceiling
+    falls through to the next rung (or aborts when none remain).
+    """
+
+    checkpoint_interval: int = 8
+    detect_stride: int = 1
+    max_detect_stride: int = 8
+    ladder: tuple[str, ...] = ("retry", "halve_dt", "escalate", "escalate")
+    max_rollbacks: int = 12
+    conservation_bound: float = 1e-4
+    fail_on_overflow_risk: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.detect_stride < 1 or self.max_detect_stride < self.detect_stride:
+            raise ValueError("need 1 <= detect_stride <= max_detect_stride")
+        for rung in self.ladder:
+            if rung not in RECOVERY_ACTIONS:
+                raise ValueError(
+                    f"unknown recovery action {rung!r}; expected one of {RECOVERY_ACTIONS}"
+                )
+        if self.max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be non-negative")
+
+    def to_config(self) -> dict:
+        """JSON-safe dict for the ledger's hashed run identity."""
+        return {
+            "checkpoint_interval": self.checkpoint_interval,
+            "detect_stride": self.detect_stride,
+            "max_detect_stride": self.max_detect_stride,
+            "ladder": list(self.ladder),
+            "max_rollbacks": self.max_rollbacks,
+            "conservation_bound": self.conservation_bound,
+            "fail_on_overflow_risk": self.fail_on_overflow_risk,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """Everything one supervised run did, for reporting and the ledger."""
+
+    workload: str
+    steps_requested: int
+    steps_completed: int
+    aborted: bool
+    initial_policy: str
+    final_policy: str
+    faults: list[InjectedFault] = field(default_factory=list)
+    detections: list[Detection] = field(default_factory=list)
+    rollbacks: int = 0
+    recoveries: int = 0
+    escalations: int = 0
+    dt_halvings: int = 0
+    checkpoints: int = 0
+    scans: int = 0
+    replayed_steps: int = 0
+    wall_s: float = 0.0
+    conserved_first: float = 0.0
+    conserved_last: float = 0.0
+    result: object | None = None
+
+    @property
+    def completed(self) -> bool:
+        return not self.aborted and self.steps_completed >= self.steps_requested
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def post_recovery_drift(self) -> float:
+        if self.conserved_first == 0.0:
+            return 0.0
+        return abs(self.conserved_last - self.conserved_first) / abs(self.conserved_first)
+
+    def fidelity(self) -> dict:
+        """The resilience counters a ledger record's fidelity dict carries."""
+        return {
+            "faults_injected": len(self.faults),
+            "faults_detected": len({d.step for d in self.detections}),
+            "detections": len(self.detections),
+            "rollbacks": self.rollbacks,
+            "recoveries": self.recoveries,
+            "escalations": self.escalations,
+            "dt_halvings": self.dt_halvings,
+            "aborted": int(self.aborted),
+            "replayed_steps": self.replayed_steps,
+            "initial_policy": self.initial_policy,
+            "final_policy": self.final_policy,
+            "post_recovery_drift": self.post_recovery_drift,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"resilience: {self.workload} {self.steps_completed}/{self.steps_requested} steps "
+            + ("ABORTED" if self.aborted else "completed"),
+            f"  policy       : {self.initial_policy}"
+            + (f" -> {self.final_policy}" if self.final_policy != self.initial_policy else ""),
+            f"  faults       : {len(self.faults)} injected, "
+            f"{len({d.step for d in self.detections})} incident step(s) detected",
+            f"  recovery     : {self.rollbacks} rollback(s), {self.recoveries} recovery(ies), "
+            f"{self.escalations} escalation(s), {self.dt_halvings} dt halving(s)",
+            f"  supervision  : {self.checkpoints} checkpoint(s), {self.scans} scan(s), "
+            f"{self.replayed_steps} replayed step(s)",
+            f"  drift        : {self.post_recovery_drift:.3e} post-recovery",
+            f"  wall         : {self.wall_s:.3f}s",
+        ]
+        for f in self.faults:
+            lines.append(f"  fault        : {f.describe()}")
+        for d in self.detections[:8]:
+            lines.append(f"  detection    : {d.describe()}")
+        if len(self.detections) > 8:
+            lines.append(f"  detection    : ... {len(self.detections) - 8} more")
+        return "\n".join(lines)
+
+
+def probe(
+    adapter,
+    plan: FaultPlan,
+    steps: int,
+    conservation_bound: float = 1e-4,
+    fail_on_overflow_risk: bool = True,
+) -> ResilienceReport:
+    """Unsupervised probe: inject and scan every step, never recover.
+
+    The control experiment behind ``repro resilience inject``: it shows
+    what a fault *does* — whether the detectors would have caught it and
+    how far the conserved total ends up — without recovery masking the
+    damage.
+    """
+    if steps < 1:
+        raise ValueError("steps must be at least 1")
+    suite = DetectorSuite(
+        non_finite=NonFiniteDetector(
+            telemetry=getattr(adapter, "telemetry", None),
+            fail_on_overflow_risk=fail_on_overflow_risk,
+        ),
+        conservation=ConservationDetector(rel_bound=conservation_bound),
+        invariants=InvariantDetector(adapter.invariant_bounds()),
+    )
+    injector = FaultInjector(plan)
+    t_start = time.perf_counter()
+    conserved_first = adapter.conserved_total()
+    suite.set_reference(conserved_first)
+    report = ResilienceReport(
+        workload=adapter.workload,
+        steps_requested=steps,
+        steps_completed=0,
+        aborted=False,
+        initial_policy=adapter.policy_name,
+        final_policy=adapter.policy_name,
+        conserved_first=conserved_first,
+    )
+    start_step = adapter.step_count
+    for _ in range(steps):
+        adapter.advance(1)
+        step = adapter.step_count
+        report.faults.extend(injector.apply(step, adapter.arrays()))
+        report.detections.extend(suite.scan(adapter, step))
+    report.steps_completed = adapter.step_count - start_step
+    report.scans = suite.scans
+    report.final_policy = adapter.policy_name
+    report.conserved_last = adapter.conserved_total()
+    report.wall_s = time.perf_counter() - t_start
+    return report
+
+
+class ResilientRunner:
+    """Supervise an adapter's step loop; see the module docstring."""
+
+    def __init__(
+        self,
+        adapter,
+        plan: FaultPlan | None = None,
+        policy: RecoveryPolicy = RecoveryPolicy(),
+        suite: DetectorSuite | None = None,
+    ) -> None:
+        self.adapter = adapter
+        self.plan = plan if plan is not None else FaultPlan()
+        self.policy = policy
+        self.injector = FaultInjector(self.plan)
+        if suite is None:
+            suite = DetectorSuite(
+                non_finite=NonFiniteDetector(
+                    telemetry=getattr(adapter, "telemetry", None),
+                    fail_on_overflow_risk=policy.fail_on_overflow_risk,
+                ),
+                conservation=ConservationDetector(rel_bound=policy.conservation_bound),
+                invariants=InvariantDetector(adapter.invariant_bounds()),
+            )
+        self.suite = suite
+        self.last_snapshot = None
+
+    def run(self, steps: int) -> ResilienceReport:
+        """Advance ``steps`` supervised steps; always returns a report."""
+        if steps < 1:
+            raise ValueError("steps must be at least 1")
+        adapter = self.adapter
+        policy = self.policy
+        t_start = time.perf_counter()
+
+        conserved_first = adapter.conserved_total()
+        self.suite.set_reference(conserved_first)
+        mass_history = [conserved_first]
+
+        snap = adapter.snapshot()
+        self.last_snapshot = snap
+        report = ResilienceReport(
+            workload=adapter.workload,
+            steps_requested=steps,
+            steps_completed=0,
+            aborted=False,
+            initial_policy=adapter.policy_name,
+            final_policy=adapter.policy_name,
+            conserved_first=conserved_first,
+        )
+        report.checkpoints = 1
+
+        start_step = adapter.step_count
+        target = start_step + steps
+        stride = policy.detect_stride
+        ladder_idx = 0
+        incident_step: int | None = None
+        advanced_total = 0
+
+        while adapter.step_count < target:
+            adapter.advance(1)
+            advanced_total += 1
+            step = adapter.step_count
+            report.faults.extend(self.injector.apply(step, adapter.arrays()))
+
+            at_checkpoint = (step - snap["step"]) >= policy.checkpoint_interval or step >= target
+            detections: list[Detection] = []
+            if at_checkpoint or (step - snap["step"]) % stride == 0:
+                detections = self.suite.scan(adapter, step)
+
+            if detections:
+                report.detections.extend(detections)
+                report.rollbacks += 1
+                if incident_step is None or step != incident_step:
+                    incident_step = step
+                if report.rollbacks > policy.max_rollbacks:
+                    report.aborted = True
+                    adapter.restore(snap)
+                    break
+                adapter.restore(snap)
+                applied, ladder_idx = self._apply(ladder_idx, report)
+                if not applied:
+                    report.aborted = True
+                    break
+                stride = 1  # tighten detection around the incident
+            elif at_checkpoint:
+                snap = adapter.snapshot()
+                self.last_snapshot = snap
+                report.checkpoints += 1
+                mass_history.append(adapter.conserved_total())
+                if incident_step is not None and step > incident_step:
+                    report.recoveries += 1
+                    incident_step = None
+                    ladder_idx = 0
+                # exponential detection-stride backoff after clean progress
+                stride = min(stride * 2, policy.max_detect_stride)
+
+        report.steps_completed = adapter.step_count - start_step
+        report.replayed_steps = max(0, advanced_total - report.steps_completed)
+        report.scans = self.suite.scans
+        report.final_policy = adapter.policy_name
+        report.conserved_last = adapter.conserved_total()
+        if report.conserved_last != mass_history[-1]:
+            mass_history.append(report.conserved_last)
+        report.wall_s = time.perf_counter() - t_start
+        if adapter.last_result is not None:
+            report.result = adapter.final_result(mass_history, report.steps_completed)
+        return report
+
+    # -- recovery ladder ---------------------------------------------------
+
+    def _apply(self, ladder_idx: int, report: ResilienceReport) -> tuple[bool, int]:
+        """Apply one rung (falling through unusable ``escalate`` rungs).
+
+        Returns (applied, next ladder index); ``(False, _)`` means the
+        ladder is exhausted and the run must abort.
+        """
+        ladder = self.policy.ladder
+        idx = ladder_idx
+        while idx < len(ladder):
+            action = ladder[idx]
+            idx += 1
+            if action == "retry":
+                return True, idx
+            if action == "halve_dt":
+                self.adapter.halve_dt()
+                report.dt_halvings += 1
+                return True, idx
+            if action == "escalate":
+                if self.adapter.escalate():
+                    report.escalations += 1
+                    return True, idx
+                continue  # at the ceiling; fall through to the next rung
+        return False, idx

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.ioutil import atomic_write_bytes
 from repro.self_.mesh import HexMesh
 
 __all__ = ["write_state", "read_state", "write_anomaly", "state_nbytes"]
@@ -39,7 +40,11 @@ def state_nbytes(mesh: HexMesh, itemsize: int) -> int:
 
 
 def write_state(path: str | Path, mesh: HexMesh, U: np.ndarray) -> int:
-    """Write the conserved tensor at its own dtype; returns bytes written."""
+    """Write the conserved tensor at its own dtype; returns bytes written.
+
+    Atomic and durable (temp file + fsync + rename), like the CLAMR
+    checkpoint writer: a crash mid-write never tears a restart file.
+    """
     n = mesh.npoints
     if U.shape != (mesh.nelem, 5, n, n, n):
         raise ValueError(f"state tensor shape {U.shape} does not match the mesh")
@@ -49,10 +54,8 @@ def write_state(path: str | Path, mesh: HexMesh, U: np.ndarray) -> int:
     header = _HEADER.pack(
         _MAGIC, _VERSION, mesh.nex, mesh.ney, mesh.nez, mesh.order, itemsize, *mesh.lengths
     )
-    path = Path(path)
     le = U.dtype.newbyteorder("<")
-    path.write_bytes(header + np.ascontiguousarray(U, dtype=le).tobytes())
-    return path.stat().st_size
+    return atomic_write_bytes(path, (header, np.ascontiguousarray(U, dtype=le).tobytes()))
 
 
 def read_state(path: str | Path) -> tuple[HexMesh, np.ndarray]:
@@ -80,6 +83,4 @@ def write_anomaly(path: str | Path, anomaly: np.ndarray) -> int:
     minimal header; size is precision-blind by construction."""
     f = np.ascontiguousarray(anomaly, dtype="<f4")
     header = b"SANM" + struct.pack("<I", f.ndim) + struct.pack(f"<{f.ndim}I", *f.shape)
-    path = Path(path)
-    path.write_bytes(header + f.tobytes())
-    return path.stat().st_size
+    return atomic_write_bytes(path, (header, f.tobytes()))

@@ -106,3 +106,43 @@ class TestValidation:
         path.write_bytes(b"CL")
         with pytest.raises(ValueError, match="short"):
             read_checkpoint(path)
+
+
+class TestAtomicity:
+    """A failed write never tears an existing checkpoint."""
+
+    def test_interrupted_write_leaves_old_file_intact(self, tmp_path, monkeypatch):
+        import os
+
+        mesh, state = small_setup(FULL_PRECISION)
+        path = tmp_path / "ck.clmr"
+        write_checkpoint(path, mesh, state)
+        good = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", boom)
+        state.H[:] = 2.0
+        with pytest.raises(OSError):
+            write_checkpoint(path, mesh, state)
+        assert path.read_bytes() == good
+        # and no temp litter is left behind
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.clmr"]
+
+    def test_write_goes_through_temp_then_rename(self, tmp_path, monkeypatch):
+        import repro.ioutil as ioutil
+
+        seen = {}
+        real_replace = ioutil.os.replace
+
+        def spying_replace(src, dst):
+            seen["src"], seen["dst"] = str(src), str(dst)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(ioutil.os, "replace", spying_replace)
+        mesh, state = small_setup(MIN_PRECISION)
+        path = tmp_path / "ck.clmr"
+        write_checkpoint(path, mesh, state)
+        assert seen["dst"] == str(path) and ".tmp-" in seen["src"]
+        read_checkpoint(path)  # still a valid file

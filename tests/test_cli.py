@@ -69,9 +69,10 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mass drift" in out
 
-    def test_clamr_muscl_scalar_conflict(self):
-        with pytest.raises(ValueError):
-            main(["clamr", "--nx", "8", "--steps", "2", "--scheme", "muscl", "--scalar"])
+    def test_clamr_muscl_scalar_conflict(self, capsys):
+        # user errors exit 2 with a one-line message, never a traceback
+        assert main(["clamr", "--nx", "8", "--steps", "2", "--scheme", "muscl", "--scalar"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
 
     def test_clamr_checkpoint(self, tmp_path, capsys):
         path = tmp_path / "ck.clmr"
@@ -141,6 +142,87 @@ class TestCommands:
                      "--ledger", str(tmp_path / "obs")]) == 0
         record = Ledger(tmp_path / "obs").records()[0]
         assert record.workload == "self"
+
+
+class TestResilienceCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["resilience", "run", "clamr"])
+        assert args.checkpoint_interval == 8 and args.max_rollbacks == 12
+        assert args.ladder == "retry,halve_dt,escalate,escalate"
+        assert args.policy == "min"
+
+    def test_run_recovers_and_ledgers(self, tmp_path, capsys):
+        from repro.ledger import Ledger
+
+        ledger = tmp_path / "res.jsonl"
+        assert main(["resilience", "run", "clamr", "--nx", "12", "--steps", "16",
+                     "--policy", "min", "--fault", "nan:H:8",
+                     "--ladder", "escalate,escalate",
+                     "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "min -> mixed" in out and "1 recovery(ies)" in out
+        [record] = Ledger(ledger).records()
+        assert record.fidelity["faults_injected"] == 1
+        assert record.fidelity["recoveries"] >= 1
+        assert record.fidelity["aborted"] == 0
+        assert record.config["resilience"]["plan"]["specs"][0]["kind"] == "nan"
+
+    def test_run_abort_exits_1(self, capsys):
+        assert main(["resilience", "run", "clamr", "--nx", "12", "--steps", "16",
+                     "--fault", "nan!:H:8", "--ladder", "retry",
+                     "--max-rollbacks", "2"]) == 1
+        assert "ABORTED" in capsys.readouterr().out
+
+    def test_inject_probe(self, capsys):
+        assert main(["resilience", "inject", "clamr", "--nx", "12", "--steps", "10",
+                     "--fault", "nan:H:5"]) == 0
+        out = capsys.readouterr().out
+        assert "0 rollback(s)" in out and "detection" in out
+
+    def test_campaign(self, capsys):
+        assert main(["resilience", "campaign", "clamr", "--arrays", "H",
+                     "--kinds", "nan", "--levels", "min", "--steps", "10",
+                     "--nx", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Vulnerability report" in out
+
+
+class TestErrorHygiene:
+    """User errors exit 2 with a one-line message, no traceback."""
+
+    def _expect_error(self, capsys, argv):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "Traceback" not in err
+
+    def test_bad_fault_spec(self, capsys):
+        self._expect_error(capsys, ["resilience", "run", "clamr", "--fault", "garbage"])
+
+    def test_fault_unknown_array(self, capsys):
+        self._expect_error(capsys, ["resilience", "run", "clamr", "--fault", "nan:Q:5"])
+
+    def test_fault_beyond_run(self, capsys):
+        self._expect_error(
+            capsys, ["resilience", "run", "clamr", "--steps", "4", "--fault", "nan:H:99"])
+
+    def test_bad_ladder_action(self, capsys):
+        self._expect_error(
+            capsys, ["resilience", "run", "clamr", "--ladder", "retry,reboot"])
+
+    def test_missing_ledger_report(self, tmp_path, capsys):
+        self._expect_error(
+            capsys, ["ledger", "report", "--ledger", str(tmp_path / "nope.jsonl")])
+
+    def test_missing_gate_baseline(self, tmp_path, capsys):
+        ledger = tmp_path / "runs.jsonl"
+        ledger.write_text("")
+        self._expect_error(
+            capsys, ["ledger", "gate", "--ledger", str(ledger),
+                     "--baseline", str(tmp_path / "nope.jsonl")])
+
+    def test_missing_export_bench_ledger(self, tmp_path, capsys):
+        self._expect_error(
+            capsys, ["ledger", "export-bench", "--ledger", str(tmp_path / "nope")])
 
 
 class TestStrictTrace:

@@ -79,3 +79,35 @@ class TestAnomalyOutput:
         ndim = struct.unpack_from("<I", raw, 4)[0]
         assert ndim == 3
         assert struct.unpack_from("<3I", raw, 8) == (2, 3, 4)
+
+
+class TestAtomicity:
+    def test_interrupted_write_leaves_old_file_intact(self, tmp_path, monkeypatch):
+        import os
+
+        sim = small_run("single")
+        path = tmp_path / "state.self"
+        write_state(path, sim.mesh, sim.U)
+        good = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            write_state(path, sim.mesh, sim.U * 2)
+        assert path.read_bytes() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["state.self"]
+
+    def test_anomaly_write_is_atomic_too(self, tmp_path, monkeypatch):
+        import os
+
+        anomaly = np.linspace(0, 1, 8).reshape(2, 4)
+        path = tmp_path / "anom.bin"
+        write_anomaly(path, anomaly)
+        good = path.read_bytes()
+        monkeypatch.setattr(os, "replace",
+                            lambda s, d: (_ for _ in ()).throw(OSError("crash")))
+        with pytest.raises(OSError):
+            write_anomaly(path, anomaly * 3)
+        assert path.read_bytes() == good
