@@ -33,6 +33,8 @@ pure pressure flux plus the dissipation that cancels wall-normal momentum.
 
 from __future__ import annotations
 
+import contextlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +45,10 @@ from repro.machine.counters import KernelCounters
 
 __all__ = [
     "FaceLists",
+    "ScatterPlan",
+    "GeometryCache",
+    "geometry_cache",
+    "scatter_mode",
     "finite_diff_vectorized",
     "finite_diff_scalar",
     "compute_timestep",
@@ -55,6 +61,206 @@ __all__ = [
 FLOPS_PER_FACE = 38
 FLOPS_PER_CELL_UPDATE = 12
 FLOPS_PER_CELL_TIMESTEP = 9
+
+
+try:  # compiled CSR kernels; optional — ScatterPlan falls back to np.add.at
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+except Exception:  # pragma: no cover - exercised on scipy-less installs
+    _scipy_sparsetools = None
+
+#: compute dtypes the compiled CSR matvec is instantiated for
+_CSR_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+class ScatterPlan:
+    """A precomputed, bit-exact replacement for a pair of ``np.add.at`` calls.
+
+    The kernels scatter signed face fluxes into per-cell accumulators as
+    ``np.add.at(acc, low, -flux * fsz); np.add.at(acc, high, flux * fsz)``,
+    which accumulates into each cell in a fixed sequential order: all of the
+    cell's *low*-side contributions in face order, then all of its
+    *high*-side contributions in face order.  Floating-point addition is not
+    associative, so a faster scatter is only admissible if it replays exactly
+    that per-cell sequence.
+
+    ``np.add.reduceat`` does **not** qualify: ufunc reductions use pairwise
+    summation internally, which changes the association inside a segment
+    (``a0 + (a1 + a2)`` instead of ``(a0 + a1) + a2``) — measurably different
+    bits from segment length 3 on.  What does qualify is a CSR matrix-vector
+    product: the compiled kernel runs ``sum = y[i]; for jj in row: sum +=
+    data[jj] * x[col[jj]]`` — a strict left-to-right accumulation in stored
+    order.  The plan therefore builds a CSR matrix whose row ``c`` lists cell
+    ``c``'s faces in exactly add.at's order (stable argsort of
+    ``concat(low, high)``) with data ``∓fsz`` — the face size *and* the
+    scatter sign folded into the matrix, eliminating the six signed-flux
+    temporaries per step.  Bitwise equivalence of the folding holds because
+    IEEE-754 negation is exact and multiplication commutes exactly:
+    ``-(f · s) == (-s) · f`` and ``acc - t == acc + (-t)``.
+
+    Without scipy (or for a dtype its compiled kernels don't cover) ``apply``
+    falls back to the original ``np.add.at`` pair, which produces the same
+    bits by construction — so results never depend on which path ran.
+    """
+
+    def __init__(self, low: np.ndarray, high: np.ndarray, sizes: np.ndarray, ncells: int) -> None:
+        self.ncells = int(ncells)
+        self.nfaces = int(low.size)
+        self.low = low.astype(np.int64, copy=False)
+        self.high = high.astype(np.int64, copy=False)
+        idx = np.concatenate([self.low, self.high])
+        order = np.argsort(idx, kind="stable")
+        counts = np.bincount(idx, minlength=self.ncells)
+        indptr = np.zeros(self.ncells + 1, dtype=np.int32)
+        np.cumsum(counts, out=indptr[1:])
+        is_low = order < self.nfaces
+        cols = np.where(is_low, order, order - self.nfaces).astype(np.int32)
+        sizes64 = np.asarray(sizes, dtype=np.float64)
+        self.indptr = indptr
+        self.cols = cols
+        self.sizes64 = sizes64
+        #: ±fsz per stored entry, in per-cell add.at order (float64 master)
+        self.signed64 = np.where(is_low, -sizes64[cols], sizes64[cols])
+        self._signed_casts: dict[np.dtype, np.ndarray] = {}
+        self._size_casts: dict[np.dtype, np.ndarray] = {}
+
+    def _signed(self, cdtype: np.dtype) -> np.ndarray:
+        cast = self._signed_casts.get(cdtype)
+        if cast is None:
+            # (±fsz64).astype(c) == ±(fsz64.astype(c)): negation commutes
+            # exactly with the rounding of a dtype cast
+            cast = self.signed64.astype(cdtype)
+            self._signed_casts[cdtype] = cast
+        return cast
+
+    def _sizes(self, cdtype: np.dtype) -> np.ndarray:
+        cast = self._size_casts.get(cdtype)
+        if cast is None:
+            cast = self.sizes64.astype(cdtype)
+            self._size_casts[cdtype] = cast
+        return cast
+
+    def apply(self, acc: np.ndarray, flux: np.ndarray) -> None:
+        """``acc[low] -= flux·fsz; acc[high] += flux·fsz``, add.at-bit-exact."""
+        cdtype = acc.dtype
+        if _scipy_sparsetools is not None and cdtype in _CSR_DTYPES:
+            _scipy_sparsetools.csr_matvec(
+                self.ncells, self.nfaces, self.indptr, self.cols,
+                self._signed(cdtype), flux, acc,
+            )
+        else:
+            fsz = self._sizes(cdtype)
+            np.add.at(acc, self.low, -flux * fsz)
+            np.add.at(acc, self.high, flux * fsz)
+
+
+#: scatter implementation selector: "plan" (production) or "add_at" (the
+#: original unbuffered ufunc scatter, kept as the differential oracle for
+#: the bit-identity tests and the microbenchmark baseline)
+_SCATTER_MODE = "plan"
+
+
+@contextlib.contextmanager
+def scatter_mode(mode: str):
+    """Temporarily select the scatter implementation ("plan" | "add_at")."""
+    global _SCATTER_MODE
+    if mode not in ("plan", "add_at"):
+        raise ValueError(f"unknown scatter mode {mode!r}; use 'plan' or 'add_at'")
+    previous = _SCATTER_MODE
+    _SCATTER_MODE = mode
+    try:
+        yield
+    finally:
+        _SCATTER_MODE = previous
+
+
+class GeometryCache:
+    """Topology-generation-keyed cache of cast geometry and scratch buffers.
+
+    ``cell_size``/``cell_area`` are pure functions of the mesh topology, yet
+    the kernels used to recompute and re-cast them on every step — per-step
+    allocation and cast churn on arrays that only change on regrid.  This
+    cache keys everything on ``mesh.generation`` (unique per constructed
+    mesh, see :class:`repro.clamr.mesh.AmrMesh`), so entries are invalidated
+    exactly when a regrid produces a new mesh.  A small LRU bound keeps the
+    rollback/recovery paths (which hop between old and new meshes) from
+    growing the cache without limit.
+
+    Also hands out reusable zeroed ``(3, ncells)`` accumulator workspaces per
+    (dtype, slot); slots keep MUSCL's two Heun stages from aliasing each
+    other's live ``k1``/``k2`` arrays.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, dict] = OrderedDict()
+
+    def _entry(self, mesh: AmrMesh) -> dict:
+        gen = mesh.generation
+        entry = self._entries.get(gen)
+        if entry is None:
+            size64 = mesh.cell_size()
+            entry = {"size64": size64, "area64": size64 * size64, "casts": {}, "work": {}}
+            self._entries[gen] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(gen)
+        return entry
+
+    def geometry(self, mesh: AmrMesh, cdtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+        """(cell_size, cell_area) cast to the compute dtype, cached.
+
+        The returned arrays are shared — callers must treat them as
+        read-only (the kernels only ever gather from them).
+        """
+        entry = self._entry(mesh)
+        cast = entry["casts"].get(cdtype)
+        if cast is None:
+            if cdtype == np.float64:
+                cast = (entry["size64"], entry["area64"])
+            else:
+                cast = (entry["size64"].astype(cdtype), entry["area64"].astype(cdtype))
+            entry["casts"][cdtype] = cast
+        return cast
+
+    def workspace3(self, mesh: AmrMesh, cdtype: np.dtype, slot: str = "fd") -> np.ndarray:
+        """A zeroed ``(3, ncells)`` accumulator buffer, reused across steps."""
+        entry = self._entry(mesh)
+        key = (cdtype, slot)
+        buf = entry["work"].get(key)
+        if buf is None:
+            buf = np.zeros((3, mesh.ncells), dtype=cdtype)
+            entry["work"][key] = buf
+        else:
+            buf.fill(0)
+        return buf
+
+    def buffer(self, mesh: AmrMesh, cdtype: np.dtype, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A reusable scratch array keyed (dtype, name); contents undefined.
+
+        Unlike :meth:`workspace3` the buffer is *not* zeroed — callers must
+        overwrite every element they read back (the kernels use these for
+        gather targets and flux temporaries, which are fully written each
+        step).
+        """
+        entry = self._entry(mesh)
+        key = (cdtype, name)
+        buf = entry["work"].get(key)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=cdtype)
+            entry["work"][key] = buf
+        return buf
+
+
+#: module-default cache used when a caller does not thread one through
+_DEFAULT_GEOMETRY_CACHE = GeometryCache()
+
+
+def geometry_cache() -> GeometryCache:
+    """The process-default :class:`GeometryCache` (one per process)."""
+    return _DEFAULT_GEOMETRY_CACHE
 
 
 @dataclass(frozen=True)
@@ -120,6 +326,54 @@ class FaceLists:
         boundary = self.bnd_left.size + self.bnd_right.size + self.bnd_bottom.size + self.bnd_top.size
         return int(self.xl.size + self.yb.size + boundary)
 
+    def scatter_plans(self, ncells: int) -> tuple[ScatterPlan, ScatterPlan]:
+        """(x-plan, y-plan) for this topology, built once and memoized.
+
+        The x and y face groups keep separate plans (and separate
+        applications in the kernel) because the original code scattered all
+        x-face contributions before any y-face ones — fusing them would
+        change per-cell accumulation order and therefore bits.
+        """
+        cached = getattr(self, "_plans", None)
+        if cached is None or cached[0] != ncells:
+            plans = (
+                ScatterPlan(self.xl, self.xr, self.xsize, ncells),
+                ScatterPlan(self.yb, self.yt, self.ysize, ncells),
+            )
+            object.__setattr__(self, "_plans", (ncells, plans))
+            return plans
+        return cached[1]
+
+    def boundary_concat(self) -> tuple[np.ndarray, tuple[slice, slice, slice, slice]]:
+        """All boundary cells concatenated left|right|bottom|top, with slices.
+
+        Lets the kernel evaluate one fused Rusanov call over every wall face
+        while still *applying* the results side-by-side in the original
+        order (corner cells sit in two sides, so per-side application order
+        is part of the bit contract).
+        """
+        cached = getattr(self, "_bnd_concat", None)
+        if cached is None:
+            sides = (self.bnd_left, self.bnd_right, self.bnd_bottom, self.bnd_top)
+            offsets = np.cumsum([0] + [s.size for s in sides])
+            cells = np.concatenate(sides).astype(np.int64, copy=False)
+            slices = tuple(slice(int(offsets[k]), int(offsets[k + 1])) for k in range(4))
+            cached = (cells, slices)
+            object.__setattr__(self, "_bnd_concat", cached)
+        return cached
+
+    def sizes_as(self, cdtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+        """(xsize, ysize) cast to the compute dtype, memoized per dtype."""
+        cache = getattr(self, "_size_casts", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_size_casts", cache)
+        cast = cache.get(cdtype)
+        if cast is None:
+            cast = (self.xsize.astype(cdtype), self.ysize.astype(cdtype))
+            cache[cdtype] = cast
+        return cast
+
 
 def _rusanov_x(hL, uL, vL, hR, uR, vR, g):
     """Rusanov flux in +x for (H, U, V); works on arrays or scalars.
@@ -149,6 +403,69 @@ def _rusanov_y(hB, uB, vB, hT, uT, vT, g):
     return fh, fu, fv
 
 
+def _rusanov_into(hL, nL, tL, hR, nR, tR, g, out, tmp):
+    """Rusanov flux into preallocated buffers; bitwise == :func:`_rusanov_x`.
+
+    ``n``/``t`` are the face-*normal* and face-*tangent* momenta (for
+    x-faces that is U/V; for y-faces V/U — by symmetry the y-flux is the
+    x-flux under that swap).  ``out`` is ``(3, n)`` receiving
+    ``(f_h, f_normal, f_tangent)``; ``tmp`` is ``(6, n)`` scratch.  Every
+    operation replays :func:`_rusanov_x`'s expression sequence exactly,
+    relying only on exact IEEE-754 commutativity of ``+``/``*`` — so the
+    results are bit-identical, just without the ~14 fresh allocations per
+    call.  Inputs may alias each other (they are only read); they must not
+    alias ``out``/``tmp``.
+    """
+    half = g.dtype.type(0.5)
+    hg = half * g  # the (0.5 * g) subterm of the pressure flux
+    velL, velR, t2, t3, t4, t5 = tmp
+    fh, fn, ft = out
+
+    np.divide(nL, hL, out=velL)
+    np.divide(nR, hR, out=velR)
+    np.multiply(hL, g, out=t2)
+    np.sqrt(t2, out=t2)  # cL
+    np.multiply(hR, g, out=t3)
+    np.sqrt(t3, out=t3)  # cR
+    np.absolute(velL, out=t4)
+    np.add(t4, t2, out=t4)  # |velL| + cL
+    np.absolute(velR, out=t5)
+    np.add(t5, t3, out=t5)  # |velR| + cR
+    np.maximum(t4, t5, out=t2)  # lam
+    np.multiply(t2, half, out=t2)  # 0.5*lam, reused by all three fluxes
+
+    # f_h = 0.5*(nL + nR) - (0.5*lam)*(hR - hL)
+    np.add(nL, nR, out=fh)
+    np.multiply(fh, half, out=fh)
+    np.subtract(hR, hL, out=t3)
+    np.multiply(t3, t2, out=t3)
+    np.subtract(fh, t3, out=fh)
+
+    # f_n = 0.5*((nL*velL + hg*hL*hL) + (nR*velR + hg*hR*hR)) - (0.5*lam)*(nR - nL)
+    np.multiply(nL, velL, out=t4)
+    np.multiply(hL, hg, out=t5)
+    np.multiply(t5, hL, out=t5)
+    np.add(t4, t5, out=t4)  # momentum flux, L side
+    np.multiply(nR, velR, out=t5)
+    np.multiply(hR, hg, out=fn)
+    np.multiply(fn, hR, out=fn)
+    np.add(t5, fn, out=t5)  # momentum flux, R side
+    np.add(t4, t5, out=fn)
+    np.multiply(fn, half, out=fn)
+    np.subtract(nR, nL, out=t4)
+    np.multiply(t4, t2, out=t4)
+    np.subtract(fn, t4, out=fn)
+
+    # f_t = 0.5*(tL*velL + tR*velR) - (0.5*lam)*(tR - tL)
+    np.multiply(tL, velL, out=t4)
+    np.multiply(tR, velR, out=t5)
+    np.add(t4, t5, out=ft)
+    np.multiply(ft, half, out=ft)
+    np.subtract(tR, tL, out=t4)
+    np.multiply(t4, t2, out=t4)
+    np.subtract(ft, t4, out=ft)
+
+
 def _count_work(
     counters: KernelCounters | None,
     mesh: AmrMesh,
@@ -168,12 +485,44 @@ def _count_work(
     counters.add(flops=flops, state_bytes=state_bytes, compute_bytes=compute_bytes)
 
 
+def _scatter_group(
+    plan: ScatterPlan,
+    dH: np.ndarray,
+    dU: np.ndarray,
+    dV: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    fh: np.ndarray,
+    fu: np.ndarray,
+    fv: np.ndarray,
+    fsz: np.ndarray,
+) -> None:
+    """Scatter one face group's fluxes into the accumulators.
+
+    Mode "plan" uses the precomputed :class:`ScatterPlan`; mode "add_at"
+    replays the original six unbuffered ``np.add.at`` calls.  Both produce
+    bit-identical accumulators (asserted by the bit-identity test suite).
+    """
+    if _SCATTER_MODE == "plan":
+        plan.apply(dH, fh)
+        plan.apply(dU, fu)
+        plan.apply(dV, fv)
+    else:
+        np.add.at(dH, low, -fh * fsz)
+        np.add.at(dH, high, fh * fsz)
+        np.add.at(dU, low, -fu * fsz)
+        np.add.at(dU, high, fu * fsz)
+        np.add.at(dV, low, -fv * fsz)
+        np.add.at(dV, high, fv * fsz)
+
+
 def finite_diff_vectorized(
     mesh: AmrMesh,
     state: ShallowWaterState,
     dt: float,
     faces: FaceLists | None = None,
     counters: KernelCounters | None = None,
+    geom: GeometryCache | None = None,
 ) -> None:
     """One conservative timestep, NumPy-vectorized; updates state in place.
 
@@ -190,9 +539,138 @@ def finite_diff_vectorized(
         topology to skip the rebuild (the simulation driver does).
     counters:
         Optional :class:`KernelCounters` receiving this step's work tally.
+    geom:
+        Geometry/workspace cache; defaults to the process-wide one.
     """
     if faces is None:
         faces = FaceLists.from_mesh(mesh)
+    if geom is None:
+        geom = _DEFAULT_GEOMETRY_CACHE
+    if _SCATTER_MODE != "plan":
+        _finite_diff_vectorized_legacy(mesh, state, dt, faces, counters)
+        return
+    cdtype = state.policy.compute_dtype
+    g = cdtype.type(GRAVITY)
+    dt_c = cdtype.type(dt)
+
+    H, U, V = state.promoted()
+    size, area = geom.geometry(mesh, cdtype)
+    xplan, yplan = faces.scatter_plans(mesh.ncells)
+    dH, dU, dV = geom.workspace3(mesh, cdtype, slot="fd")
+
+    xl, xr, yb, yt = faces.xl, faces.xr, faces.yb, faces.yt
+    nxf = xl.size
+    nf = nxf + yb.size
+    if nf:
+        # one fused Rusanov evaluation over ALL interior faces: y-faces ride
+        # along with normal/tangent momenta swapped (the y-flux is the
+        # x-flux under that swap, see _rusanov_y); gathers land directly in
+        # cached scratch rows, so the hot loop allocates nothing per step
+        fbuf = geom.buffer(mesh, cdtype, "fd_faces", (15, nf))
+        hL, nL, tL, hR, nR, tR = fbuf[:6]
+        out = fbuf[6:9]
+        tmp = fbuf[9:15]
+        np.take(H, xl, out=hL[:nxf], mode="clip")
+        np.take(H, yb, out=hL[nxf:], mode="clip")
+        np.take(U, xl, out=nL[:nxf], mode="clip")
+        np.take(V, yb, out=nL[nxf:], mode="clip")
+        np.take(V, xl, out=tL[:nxf], mode="clip")
+        np.take(U, yb, out=tL[nxf:], mode="clip")
+        np.take(H, xr, out=hR[:nxf], mode="clip")
+        np.take(H, yt, out=hR[nxf:], mode="clip")
+        np.take(U, xr, out=nR[:nxf], mode="clip")
+        np.take(V, yt, out=nR[nxf:], mode="clip")
+        np.take(V, xr, out=tR[:nxf], mode="clip")
+        np.take(U, yt, out=tR[nxf:], mode="clip")
+        _rusanov_into(hL, nL, tL, hR, nR, tR, g, out, tmp)
+        fh, fn, ft = out
+        # x-group scatter strictly before y-group: each apply() continues
+        # exactly where the previous one left the accumulator, preserving
+        # the original kernel's per-cell accumulation order
+        if nxf:
+            xplan.apply(dH, fh[:nxf])
+            xplan.apply(dU, fn[:nxf])
+            xplan.apply(dV, ft[:nxf])
+        if nf > nxf:
+            yplan.apply(dH, fh[nxf:])
+            yplan.apply(dU, ft[nxf:])  # y tangent momentum is U
+            yplan.apply(dV, fn[nxf:])  # y normal momentum is V
+
+    # reflective boundaries: one fused flux against the mirror state for
+    # all four walls, applied side-by-side in the original order (corner
+    # cells sit in two sides; per-side application order is part of the
+    # bit contract)
+    bcells, (sl_l, sl_r, sl_b, sl_t) = faces.boundary_concat()
+    nb = bcells.size
+    if nb:
+        bbuf = geom.buffer(mesh, cdtype, "fd_bnd", (14, nb))
+        h, nL, nR, t, fsz = bbuf[:5]
+        out = bbuf[5:8]
+        tmp = bbuf[8:14]
+        np.take(H, bcells, out=h, mode="clip")
+        np.take(size, bcells, out=fsz, mode="clip")
+        # interior-side wall-normal momentum, negated on the low
+        # (left/bottom) walls; the mirror operand is its exact negation
+        np.take(U, bcells[sl_l], out=nL[sl_l], mode="clip")
+        np.negative(nL[sl_l], out=nL[sl_l])
+        np.take(U, bcells[sl_r], out=nL[sl_r], mode="clip")
+        np.take(V, bcells[sl_b], out=nL[sl_b], mode="clip")
+        np.negative(nL[sl_b], out=nL[sl_b])
+        np.take(V, bcells[sl_t], out=nL[sl_t], mode="clip")
+        np.negative(nL, out=nR)
+        np.take(V, bcells[sl_l], out=t[sl_l], mode="clip")
+        np.take(V, bcells[sl_r], out=t[sl_r], mode="clip")
+        np.take(U, bcells[sl_b], out=t[sl_b], mode="clip")
+        np.take(U, bcells[sl_t], out=t[sl_t], mode="clip")
+        _rusanov_into(h, nL, t, h, nR, t, g, out, tmp)
+        fh, fn, ft = out
+        for sl, positive, is_x in (
+            (sl_l, True, True),
+            (sl_r, False, True),
+            (sl_b, True, False),
+            (sl_t, False, False),
+        ):
+            if sl.stop == sl.start:
+                continue
+            c = bcells[sl]
+            fs = fsz[sl]
+            dn, dt_ = (dU, dV) if is_x else (dV, dU)
+            if positive:
+                dH[c] += fh[sl] * fs
+                dn[c] += fn[sl] * fs
+                dt_[c] += ft[sl] * fs
+            else:
+                dH[c] -= fh[sl] * fs
+                dn[c] -= fn[sl] * fs
+                dt_[c] -= ft[sl] * fs
+
+    # in-place H + dH*scale (addition commutes exactly, so accumulating
+    # into the workspace matches the original out-of-place expression)
+    scale = dt_c / area
+    np.multiply(dH, scale, out=dH)
+    np.add(dH, H, out=dH)
+    np.multiply(dU, scale, out=dU)
+    np.add(dU, U, out=dU)
+    np.multiply(dV, scale, out=dV)
+    np.add(dV, V, out=dV)
+    state.store(dH, dU, dV)
+    _count_work(counters, mesh, state, faces)
+
+
+def _finite_diff_vectorized_legacy(
+    mesh: AmrMesh,
+    state: ShallowWaterState,
+    dt: float,
+    faces: FaceLists,
+    counters: KernelCounters | None = None,
+) -> None:
+    """The original (pre-ScatterPlan) kernel body, preserved verbatim.
+
+    This is the differential oracle for the bit-identity tests and the
+    baseline for the scatter microbenchmark: six unbuffered ``np.add.at``
+    calls per face group, per-step geometry casts, and freshly allocated
+    accumulators.  Selected via ``scatter_mode("add_at")``.
+    """
     cdtype = state.policy.compute_dtype
     g = cdtype.type(GRAVITY)
     dt_c = cdtype.type(dt)
@@ -276,6 +754,7 @@ def finite_diff_scalar(
     dt: float,
     faces: FaceLists | None = None,
     counters: KernelCounters | None = None,
+    geom: GeometryCache | None = None,
 ) -> None:
     """The same timestep as :func:`finite_diff_vectorized`, one face at a time.
 
@@ -287,14 +766,15 @@ def finite_diff_scalar(
     """
     if faces is None:
         faces = FaceLists.from_mesh(mesh)
+    if geom is None:
+        geom = _DEFAULT_GEOMETRY_CACHE
     cdtype = state.policy.compute_dtype
     ftype = cdtype.type
     g = ftype(GRAVITY)
     dt_c = ftype(dt)
 
     H, U, V = (a.astype(cdtype) for a in (state.H, state.U, state.V))
-    area = mesh.cell_area().astype(cdtype)
-    size = mesh.cell_size().astype(cdtype)
+    size, area = geom.geometry(mesh, cdtype)
 
     dH = np.zeros(mesh.ncells, dtype=cdtype)
     dU = np.zeros(mesh.ncells, dtype=cdtype)
@@ -349,6 +829,7 @@ def compute_timestep(
     state: ShallowWaterState,
     courant: float = 0.25,
     counters: KernelCounters | None = None,
+    geom: GeometryCache | None = None,
 ) -> float:
     """Courant-limited timestep over all cells.
 
@@ -359,12 +840,14 @@ def compute_timestep(
     """
     if not 0.0 < courant < 1.0:
         raise ValueError("courant must be in (0, 1)")
+    if geom is None:
+        geom = _DEFAULT_GEOMETRY_CACHE
     cdtype = state.policy.compute_dtype
     H, U, V = state.promoted()
     h = np.maximum(H, cdtype.type(1e-12))
     vel = np.maximum(np.abs(U), np.abs(V)) / h
     wave = vel + np.sqrt(cdtype.type(GRAVITY) * h)
-    size = mesh.cell_size().astype(cdtype)
+    size, _ = geom.geometry(mesh, cdtype)
     local_dt = size / wave
     dt = float(local_dt.min()) * courant
     if counters is not None:

@@ -62,7 +62,15 @@ class AmrMesh:
     level: np.ndarray
     coarse_size: float = 1.0
 
+    #: process-wide topology-generation counter; every constructed mesh gets
+    #: a unique ``generation``, so caches keyed on it (FaceLists, geometry
+    #: casts, scratch buffers) are invalidated exactly when a regrid hands
+    #: back a new mesh object and never sooner
+    _generation_counter = 0
+
     def __post_init__(self) -> None:
+        AmrMesh._generation_counter += 1
+        self.generation = AmrMesh._generation_counter
         if self.nx < 1 or self.ny < 1:
             raise ValueError("nx and ny must be at least 1")
         if self.max_level < 0:

@@ -35,8 +35,11 @@ from repro.clamr.kernels import (
     FLOPS_PER_CELL_UPDATE,
     FLOPS_PER_FACE,
     FaceLists,
+    GeometryCache,
     _rusanov_x,
     _rusanov_y,
+    _scatter_group,
+    geometry_cache,
 )
 from repro.clamr.mesh import AmrMesh
 from repro.clamr.state import GRAVITY, ShallowWaterState
@@ -90,24 +93,31 @@ def muscl_rhs(
     V: np.ndarray,
     faces: FaceLists,
     cdtype: np.dtype,
+    geom: GeometryCache | None = None,
+    slot: str = "muscl",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Spatial operator: face-integrated MUSCL fluxes per unit area.
 
     Inputs are compute-dtype arrays; the return is (dH, dU, dV) *rate of
     change times area* — the caller divides by cell area and scales by dt.
+    The accumulators live in the geometry cache's workspace for ``slot``;
+    Heun's two stages must pass distinct slots so the predictor's result
+    survives the corrector evaluation.
     """
+    if geom is None:
+        geom = geometry_cache()
     g = cdtype.type(GRAVITY)
     half = cdtype.type(0.5)
-    size = mesh.cell_size().astype(cdtype)
+    size, _ = geom.geometry(mesh, cdtype)
+    xplan, yplan = faces.scatter_plans(mesh.ncells)
+    xsize_c, ysize_c = faces.sizes_as(cdtype)
 
     sx = {}
     sy = {}
     for name, q in (("H", H), ("U", U), ("V", V)):
         sx[name], sy[name] = limited_slopes(mesh, q, size)
 
-    dH = np.zeros(mesh.ncells, dtype=cdtype)
-    dU = np.zeros(mesh.ncells, dtype=cdtype)
-    dV = np.zeros(mesh.ncells, dtype=cdtype)
+    dH, dU, dV = geom.workspace3(mesh, cdtype, slot=slot)
 
     # interior x-faces: reconstruct each side to the face plane
     if faces.xl.size:
@@ -131,13 +141,7 @@ def muscl_rhs(
             uR = np.where(bad, U[R], uR)
             vR = np.where(bad, V[R], vR)
         fh, fu, fv = _rusanov_x(hL, uL, vL, hR, uR, vR, g)
-        fsz = faces.xsize.astype(cdtype)
-        np.add.at(dH, L, -fh * fsz)
-        np.add.at(dH, R, fh * fsz)
-        np.add.at(dU, L, -fu * fsz)
-        np.add.at(dU, R, fu * fsz)
-        np.add.at(dV, L, -fv * fsz)
-        np.add.at(dV, R, fv * fsz)
+        _scatter_group(xplan, dH, dU, dV, L, R, fh, fu, fv, xsize_c)
 
     # interior y-faces
     if faces.yb.size:
@@ -159,13 +163,7 @@ def muscl_rhs(
             uT = np.where(bad, U[T], uT)
             vT = np.where(bad, V[T], vT)
         fh, fu, fv = _rusanov_y(hB, uB, vB, hT, uT, vT, g)
-        fsz = faces.ysize.astype(cdtype)
-        np.add.at(dH, B, -fh * fsz)
-        np.add.at(dH, T, fh * fsz)
-        np.add.at(dU, B, -fu * fsz)
-        np.add.at(dU, T, fu * fsz)
-        np.add.at(dV, B, -fv * fsz)
-        np.add.at(dV, T, fv * fsz)
+        _scatter_group(yplan, dH, dU, dV, B, T, fh, fu, fv, ysize_c)
 
     # reflective walls: first-order mirror flux (slopes clip to zero at
     # the wall anyway, by the self-link convention in limited_slopes)
@@ -209,6 +207,7 @@ def finite_diff_muscl(
     dt: float,
     faces: FaceLists | None = None,
     counters: KernelCounters | None = None,
+    geom: GeometryCache | None = None,
 ) -> None:
     """One second-order step (MUSCL space × Heun time); updates in place.
 
@@ -218,18 +217,21 @@ def finite_diff_muscl(
     """
     if faces is None:
         faces = FaceLists.from_mesh(mesh)
+    if geom is None:
+        geom = geometry_cache()
     cdtype = state.policy.compute_dtype
     dt_c = cdtype.type(dt)
     half = cdtype.type(0.5)
-    area = mesh.cell_area().astype(cdtype)
+    _, area = geom.geometry(mesh, cdtype)
     scale = dt_c / area
 
     H0, U0, V0 = state.promoted()
-    k1 = muscl_rhs(mesh, H0, U0, V0, faces, cdtype)
+    # distinct workspace slots: k1 must survive the k2 evaluation
+    k1 = muscl_rhs(mesh, H0, U0, V0, faces, cdtype, geom=geom, slot="muscl_k1")
     H1 = H0 + k1[0] * scale
     U1 = U0 + k1[1] * scale
     V1 = V0 + k1[2] * scale
-    k2 = muscl_rhs(mesh, H1, U1, V1, faces, cdtype)
+    k2 = muscl_rhs(mesh, H1, U1, V1, faces, cdtype, geom=geom, slot="muscl_k2")
     state.store(
         H0 + half * (k1[0] + k2[0]) * scale,
         U0 + half * (k1[1] + k2[1]) * scale,

@@ -113,6 +113,16 @@ class ShallowWaterState:
         """Re-store this state under another policy (rounding if narrower)."""
         return ShallowWaterState(H=self.H, U=self.U, V=self.V, policy=policy)
 
+    def mass_contributions(self, cell_area: np.ndarray) -> np.ndarray:
+        """Per-cell H·area at float64 — the dd_sum input.
+
+        The single source of the conservation diagnostic's summands: both
+        :meth:`total_mass` and the telemetry-instrumented mass measurement
+        (which additionally feeds the cancellation watchpoint) consume this
+        array, so the two paths cannot drift apart.
+        """
+        return self.H.astype(np.float64) * np.asarray(cell_area, dtype=np.float64)
+
     def total_mass(self, cell_area: np.ndarray) -> float:
         """∑ H·area via a double-double sum — the conservation diagnostic.
 
@@ -120,8 +130,7 @@ class ShallowWaterState:
         by accumulation error at reduced precision (paper §III-C: promote
         the global sums, demote the rest).
         """
-        contributions = self.H.astype(np.float64) * np.asarray(cell_area, dtype=np.float64)
-        return float(dd_sum(contributions))
+        return float(dd_sum(self.mass_contributions(cell_area)))
 
     def total_momentum(self, cell_area: np.ndarray) -> tuple[float, float]:
         """(∑ U·area, ∑ V·area) via double-double sums."""

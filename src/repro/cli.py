@@ -92,10 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=range(1, 8))
     table.add_argument("--scale", default="quick", choices=("quick", "bench"))
+    table.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the underlying runs (clamped "
+                            "to the sweep size; results are order- and "
+                            "bit-identical to --jobs 1)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=range(1, 6))
     figure.add_argument("--scale", default="quick", choices=("quick", "bench"))
+    figure.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the underlying runs")
 
     compare = sub.add_parser("compare", help="fidelity comparison of two precision levels")
     compare.add_argument("--nx", type=int, default=48)
@@ -252,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     rcamp.add_argument("--order", type=int, default=3, help="SELF polynomial order")
     rcamp.add_argument("--ledger", default=None, metavar="PATH",
                        help="append one record per completed cell to this ledger")
+    rcamp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (clamped to the cell "
+                            "count; outcomes and ledger records are identical to "
+                            "--jobs 1 up to wall-clock fields)")
     return parser
 
 
@@ -347,7 +357,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     s = _SCALES[args.scale]
     n = args.number
     if n in (1, 2):
-        runs = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"])
+        runs = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"], jobs=args.jobs)
         fn = ex.table1_clamr_architectures if n == 1 else ex.table2_clamr_energy
         out = fn(runs, nx=s["nx"], steps=s["steps"])
     elif n == 3:
@@ -355,12 +365,16 @@ def _cmd_table(args: argparse.Namespace) -> int:
     elif n == 4:
         out = ex.table4_compilers(elems=s["elems"], order=s["order"], steps=s["sst"] // 2)
     elif n in (5, 6):
-        runs = ex.run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])
+        runs = ex.run_self_precisions(
+            elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs
+        )
         fn = ex.table5_self_architectures if n == 5 else ex.table6_self_energy
         out = fn(runs, elems=s["elems"], order=s["order"], steps=s["sst"])
     else:
-        clamr = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"])
-        selfr = ex.run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])
+        clamr = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"], jobs=args.jobs)
+        selfr = ex.run_self_precisions(
+            elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs
+        )
         out = ex.table7_cost(
             clamr, selfr, nx=s["nx"], steps=s["steps"],
             self_elems=s["elems"], self_order=s["order"], self_steps=s["sst"],
@@ -375,13 +389,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     s = _SCALES[args.scale]
     n = args.number
     if n in (1, 2):
-        runs = ex.run_clamr_levels(nx=s["fig_nx"], steps=s["fig_steps"])
+        runs = ex.run_clamr_levels(nx=s["fig_nx"], steps=s["fig_steps"], jobs=args.jobs)
         fn = ex.fig1_clamr_slices if n == 1 else ex.fig2_clamr_asymmetry
         out = fn(runs)
     elif n == 3:
         out = ex.fig3_precision_resolution(nx_lo=s["fig_nx"] // 2, steps_hint=s["fig_steps"] // 3)
     else:
-        runs = ex.run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])
+        runs = ex.run_self_precisions(
+            elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs
+        )
         out = ex.fig4_self_slices(runs) if n == 4 else ex.fig5_self_asymmetry(runs)
     print(out.render())
     return 0
@@ -661,7 +677,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
 
         print(f"campaign: {args.workload}, levels {','.join(config.levels)}, "
               f"kinds {','.join(config.kinds)}")
-        result = run_campaign(config, ledger=ledger, progress=show)
+        result = run_campaign(config, ledger=ledger, progress=show, jobs=args.jobs)
         print()
         print(vulnerability_table(result).render())
         if ledger is not None:

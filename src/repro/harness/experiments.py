@@ -131,16 +131,62 @@ def _persist_telemetry(telemetry_dir, tel) -> None:
     write_jsonl(tel, out / f"{stem}.jsonl")
 
 
-def _append_to_ledger(ledger, workload: str, result, tel, cfg) -> None:
-    """Append one fingerprinted run record when a ledger is requested."""
-    if ledger is None:
+def _append_record(ledger, record) -> None:
+    """Append an already-built run record when a ledger is requested."""
+    if ledger is None or record is None:
         return
-    from repro.ledger import Ledger, record_from_clamr, record_from_self
+    from repro.ledger import Ledger
 
     if not isinstance(ledger, Ledger):
         ledger = Ledger(ledger)
-    build = record_from_clamr if workload == "clamr" else record_from_self
-    ledger.append(build(result, tel, cfg, label=tel.label))
+    ledger.append(record)
+
+
+def _clamr_level_task(cfg, level, steps, vectorized, label, tel_dir, want_record):
+    """Worker body for one precision level of :func:`run_clamr_levels`.
+
+    Module-level (picklable) so :class:`SweepExecutor` can ship it to a
+    worker process.  Telemetry is persisted worker-side into ``tel_dir``
+    (a staging directory when parallel); the run record is *built* here
+    but *appended* by the parent, which owns the ledger file.
+    """
+    tel = _make_telemetry(tel_dir, label, want_record or None)
+    result = ClamrSimulation(cfg, policy=level, vectorized=vectorized, telemetry=tel).run(
+        steps
+    )
+    _persist_telemetry(tel_dir, tel)
+    record = None
+    if want_record:
+        from repro.ledger import record_from_clamr
+
+        record = record_from_clamr(result, tel, cfg, label=tel.label)
+    return level, result, record
+
+
+def _self_precision_task(cfg, prec, steps, label, tel_dir, want_record):
+    """Worker body for one precision of :func:`run_self_precisions`."""
+    tel = _make_telemetry(tel_dir, label, want_record or None)
+    result = SelfSimulation(cfg, precision=prec, telemetry=tel).run(steps)
+    _persist_telemetry(tel_dir, tel)
+    record = None
+    if want_record:
+        from repro.ledger import record_from_self
+
+        record = record_from_self(result, tel, cfg, label=tel.label)
+    return prec, result, record
+
+
+def _run_sweep(tasks, jobs, ledger, telemetry_dir):
+    """Execute sweep tasks, append records in task order, merge staging."""
+    from repro.parallel.executor import SweepExecutor, merge_staged
+
+    results = {}
+    for _, (key, result, record) in SweepExecutor(jobs).stream(tasks):
+        results[key] = result
+        _append_record(ledger, record)
+    if telemetry_dir is not None and jobs > 1:
+        merge_staged(telemetry_dir)
+    return results
 
 
 def run_clamr_levels(
@@ -151,6 +197,7 @@ def run_clamr_levels(
     telemetry_dir=None,
     ledger=None,
     label: str | None = None,
+    jobs: int = 1,
 ) -> dict[str, SimulationResult]:
     """One dam-break run per CLAMR precision level.
 
@@ -160,18 +207,30 @@ def run_clamr_levels(
     additionally appends a fingerprinted run record (docs/observatory.md).
     ``label`` names the traces/records; the default includes grid *and*
     step count so different scales of the same workload never collide.
+    ``jobs`` runs the levels across worker processes (clamped to the
+    number of levels); results, traces and ledger records are collected
+    in level order, so everything but wall-clock timing is identical to
+    a serial run.
     """
+    from repro.parallel.executor import SweepTask, resolve_jobs, staged_dir
+
     cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
     label = label or f"clamr/nx{nx}s{steps}"
-    results: dict[str, SimulationResult] = {}
-    for level in CLAMR_LEVELS:
-        tel = _make_telemetry(telemetry_dir, f"{label}/{level}", ledger)
-        results[level] = ClamrSimulation(
-            cfg, policy=level, vectorized=vectorized, telemetry=tel
-        ).run(steps)
-        _persist_telemetry(telemetry_dir, tel)
-        _append_to_ledger(ledger, "clamr", results[level], tel, cfg)
-    return results
+    jobs = resolve_jobs(jobs, len(CLAMR_LEVELS))
+    tasks = []
+    for idx, level in enumerate(CLAMR_LEVELS):
+        tel_dir = telemetry_dir
+        if telemetry_dir is not None and jobs > 1:
+            tel_dir = staged_dir(telemetry_dir, idx, level)
+        tasks.append(
+            SweepTask(
+                name=f"{label}/{level}",
+                fn=_clamr_level_task,
+                args=(cfg, level, steps, vectorized, f"{label}/{level}", tel_dir,
+                      ledger is not None),
+            )
+        )
+    return _run_sweep(tasks, jobs, ledger, telemetry_dir)
 
 
 def run_self_precisions(
@@ -181,21 +240,31 @@ def run_self_precisions(
     telemetry_dir=None,
     ledger=None,
     label: str | None = None,
+    jobs: int = 1,
 ) -> dict[str, SelfResult]:
     """One thermal-bubble run per SELF precision.
 
-    ``telemetry_dir``, ``ledger`` and ``label`` behave as in
+    ``telemetry_dir``, ``ledger``, ``label`` and ``jobs`` behave as in
     :func:`run_clamr_levels`.
     """
+    from repro.parallel.executor import SweepTask, resolve_jobs, staged_dir
+
     cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
     label = label or f"self/e{elems}o{order}s{steps}"
-    results: dict[str, SelfResult] = {}
-    for prec in SELF_PRECISIONS:
-        tel = _make_telemetry(telemetry_dir, f"{label}/{prec}", ledger)
-        results[prec] = SelfSimulation(cfg, precision=prec, telemetry=tel).run(steps)
-        _persist_telemetry(telemetry_dir, tel)
-        _append_to_ledger(ledger, "self", results[prec], tel, cfg)
-    return results
+    jobs = resolve_jobs(jobs, len(SELF_PRECISIONS))
+    tasks = []
+    for idx, prec in enumerate(SELF_PRECISIONS):
+        tel_dir = telemetry_dir
+        if telemetry_dir is not None and jobs > 1:
+            tel_dir = staged_dir(telemetry_dir, idx, prec)
+        tasks.append(
+            SweepTask(
+                name=f"{label}/{prec}",
+                fn=_self_precision_task,
+                args=(cfg, prec, steps, f"{label}/{prec}", tel_dir, ledger is not None),
+            )
+        )
+    return _run_sweep(tasks, jobs, ledger, telemetry_dir)
 
 
 # ---------------------------------------------------------------------------

@@ -15,11 +15,25 @@ convergence tests.  This subpackage simulates that setting without MPI:
 The driver is sequential — ranks are just index sets — which is exactly
 what is needed to study the *numerical* consequences of decomposition in
 isolation from transport effects.
+
+Orthogonally, :mod:`repro.parallel.executor` provides *real* process
+parallelism for the repo's sweeps (experiment grids, resilience
+campaigns, tradespace enumeration) with deterministic ordering and
+seeding, so ``--jobs N`` speeds sweeps up without perturbing a single
+recorded bit.
 """
 
 from repro.parallel.decomposition import Decomposition, stripe_partition, block_partition, morton_partition
 from repro.parallel.reduction import parallel_sum, reduction_spread, ReductionStudy
 from repro.parallel.halo import DistributedClamr, reorder_faces
+from repro.parallel.executor import (
+    SweepExecutor,
+    SweepTask,
+    derive_seed,
+    merge_staged,
+    resolve_jobs,
+    staged_dir,
+)
 
 __all__ = [
     "Decomposition",
@@ -31,4 +45,10 @@ __all__ = [
     "ReductionStudy",
     "DistributedClamr",
     "reorder_faces",
+    "SweepExecutor",
+    "SweepTask",
+    "derive_seed",
+    "merge_staged",
+    "resolve_jobs",
+    "staged_dir",
 ]

@@ -1,0 +1,183 @@
+"""Process-parallel sweep execution with deterministic collection.
+
+Every sweep in the repo — the harness experiment grids, the resilience
+campaign, the tradespace enumeration — has the same shape: a list of
+independent tasks whose results are consumed *in task order* (printed
+rows, ledger appends, report tables).  :class:`SweepExecutor` runs that
+shape either inline (``jobs=1``, the default — byte-for-byte today's
+behavior) or across a :class:`concurrent.futures.ProcessPoolExecutor`
+(``jobs>1``), while keeping three invariants the rest of the repo
+depends on:
+
+**Deterministic ordering.**  ``stream()`` yields results in submission
+order regardless of which worker finishes first, so downstream ledger
+records land in the same sequence as a serial run and fingerprint
+comparisons stay meaningful.
+
+**Deterministic seeding.**  Workers must not share or race a global RNG.
+:func:`derive_seed` folds a base seed and a task's coordinates through
+CRC-32 into a stable per-task seed — the same formula (and the same
+"/"-joined string) the resilience campaign has always used for its
+cells, so parallelizing a sweep cannot change which faults fire.
+
+**Parent-side effects.**  Ledger appends, progress callbacks, and
+telemetry persistence happen in the parent as results stream back.
+Workers return plain picklable values (results and ``RunRecord``-style
+dataclasses); they never write shared files.  When worker tasks *must*
+write telemetry trees, :func:`staged_dir` gives each task a private
+staging subdirectory and :func:`merge_staged` folds them back into the
+destination in task order, so the merged directory is identical to what
+a serial run would have produced.
+
+Tasks must be module-level callables with picklable arguments (the
+usual multiprocessing constraint).  The ``fork`` start method is used
+when the platform offers it — workers inherit the imported modules and
+start in milliseconds; ``spawn`` is the automatic fallback elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "SweepTask",
+    "SweepExecutor",
+    "resolve_jobs",
+    "derive_seed",
+    "staged_dir",
+    "merge_staged",
+]
+
+
+def derive_seed(base: int, *parts: object) -> int:
+    """A stable per-task seed from a base seed and task coordinates.
+
+    CRC-32 of the "/"-joined decimal/str coordinates, masked to a
+    non-negative int31.  This is exactly the resilience campaign's
+    historical cell-seed formula (``crc32(f"{seed}/{array}/{kind}/
+    {level}/{trial}")``), promoted to a shared utility: any sweep that
+    seeds its tasks this way gets seeds that are independent of
+    execution order and worker count.
+    """
+    text = "/".join(str(p) for p in (base, *parts))
+    return zlib.crc32(text.encode()) & 0x7FFFFFFF
+
+
+def resolve_jobs(jobs: int, ntasks: int) -> int:
+    """Validate and clamp a ``--jobs`` request against a sweep's size.
+
+    ``jobs < 1`` is a user error (raises ``ValueError`` — the CLI turns
+    that into its one-line exit-2 message); ``jobs > ntasks`` silently
+    clamps, since extra workers could never receive work.
+    """
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"--jobs must be a positive integer, got {jobs}")
+    return max(1, min(jobs, ntasks))
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: a picklable callable plus its arguments.
+
+    ``name`` is a human-readable identity ("clamr/mixed", "cell 3/12")
+    used for staging directories and progress display; it must be unique
+    within one sweep when telemetry staging is in play.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+class SweepExecutor:
+    """Run sweep tasks inline or across a process pool, in order.
+
+    ``jobs=1`` executes each task inline as it is requested — no pool,
+    no pickling, no behavior change from a plain loop.  ``jobs>1``
+    submits every task to a ``ProcessPoolExecutor`` up front and yields
+    results in submission order (a result that finishes early waits for
+    its turn).  Worker exceptions propagate from ``stream()``/``map()``
+    at the failing task's position, after the pool is shut down.
+    """
+
+    def __init__(self, jobs: int = 1):
+        if int(jobs) < 1:
+            raise ValueError(f"jobs must be a positive integer, got {jobs}")
+        self.jobs = int(jobs)
+
+    def stream(self, tasks: Sequence[SweepTask]) -> Iterator[tuple[SweepTask, Any]]:
+        """Yield ``(task, result)`` pairs in task order."""
+        tasks = list(tasks)
+        jobs = min(self.jobs, max(1, len(tasks)))
+        if jobs <= 1:
+            for task in tasks:
+                yield task, task.run()
+            return
+
+        import concurrent.futures
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=ctx
+        ) as pool:
+            futures = [pool.submit(task.run) for task in tasks]
+            for task, fut in zip(tasks, futures):
+                yield task, fut.result()
+
+    def map(self, tasks: Sequence[SweepTask]) -> list[Any]:
+        """All results, in task order."""
+        return [result for _, result in self.stream(tasks)]
+
+
+# -- telemetry staging -------------------------------------------------------
+
+
+def staged_dir(base: str | os.PathLike, index: int, name: str) -> Path:
+    """A private staging subdirectory for task ``index`` under ``base``.
+
+    The ``.stage-`` prefix keeps staging areas out of glob patterns like
+    ``*.trace.json``; the zero-padded index preserves task order for
+    :func:`merge_staged` even when names sort differently.
+    """
+    safe = name.replace("/", "_")
+    path = Path(base) / f".stage-{index:03d}-{safe}"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def merge_staged(base: str | os.PathLike) -> int:
+    """Fold every staging subdirectory of ``base`` back into ``base``.
+
+    Stages merge in index order, later files overwriting earlier ones on
+    a name collision — the same last-writer-wins outcome a serial sweep
+    writing directly into ``base`` would produce.  Returns the number of
+    files moved; staging directories are removed afterwards.
+    """
+    base = Path(base)
+    moved = 0
+    for stage in sorted(base.glob(".stage-*")):
+        if not stage.is_dir():
+            continue
+        for item in sorted(stage.rglob("*")):
+            if not item.is_file():
+                continue
+            dest = base / item.relative_to(stage)
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            if dest.exists():
+                dest.unlink()
+            shutil.move(str(item), str(dest))
+            moved += 1
+        shutil.rmtree(stage)
+    return moved

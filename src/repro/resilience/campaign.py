@@ -23,9 +23,9 @@ regressions gateable like any other workload.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import asdict, dataclass, field
 
+from repro.parallel.executor import SweepExecutor, SweepTask, derive_seed, resolve_jobs
 from repro.resilience.adapters import make_adapter
 from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.resilience.runner import RecoveryPolicy, ResilienceReport, ResilientRunner
@@ -132,10 +132,9 @@ def run_cell(
     )
     # the cell seed folds the sweep coordinates in deterministically
     # (stable across processes, unlike hash()), so re-running the
-    # campaign with the same seed replays every cell
-    cell_seed = zlib.crc32(
-        f"{config.seed}/{array}/{kind}/{level}/{trial}".encode()
-    ) & 0x7FFFFFFF
+    # campaign with the same seed replays every cell — and running it
+    # under --jobs N replays the same cells regardless of worker count
+    cell_seed = derive_seed(config.seed, array, kind, level, trial)
     plan = FaultPlan(
         specs=(FaultSpec(kind=kind, array=array, step=config.resolved_fault_step()),),
         seed=cell_seed,
@@ -161,41 +160,75 @@ def run_cell(
     return outcome, report, runner
 
 
+def _campaign_cell_task(config, recovery, array, kind, level, trial, want_record):
+    """Worker body for one campaign cell: run it, reduce it to picklables.
+
+    Module-level so :class:`SweepExecutor` can ship it to a worker
+    process.  The ledger record is *built* here (it only needs the
+    report and runner, which stay worker-side) but *appended* by the
+    parent, which owns the ledger file — appends stay serialized and in
+    sweep order.
+    """
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry(
+        label=f"resilience/{config.workload}/{level}/{array}/{kind}/t{trial}",
+        watch_stride=0,
+    )
+    outcome, report, runner = run_cell(
+        config, array, kind, level, trial=trial, recovery=recovery, telemetry=tel
+    )
+    record = None
+    if want_record and report.result is not None:
+        record = record_resilient_run(
+            report,
+            runner,
+            sim_config=_build_config(config),
+            seed=config.seed,
+            label=tel.label,
+        )
+    return outcome, record
+
+
 def run_campaign(
     config: CampaignConfig,
     recovery: RecoveryPolicy = RecoveryPolicy(),
     ledger=None,
     progress=None,
+    jobs: int = 1,
 ) -> CampaignResult:
-    """Sweep arrays × kinds × levels × trials; optionally ledger each cell."""
-    result = CampaignResult(config=config)
-    for level in config.levels:
-        for array in config.resolved_arrays():
-            for kind in config.kinds:
-                for trial in range(max(1, config.trials)):
-                    from repro.telemetry import Telemetry
+    """Sweep arrays × kinds × levels × trials; optionally ledger each cell.
 
-                    tel = Telemetry(
-                        label=f"resilience/{config.workload}/{level}/{array}/{kind}/t{trial}",
-                        watch_stride=0,
-                    )
-                    outcome, report, runner = run_cell(
-                        config, array, kind, level, trial=trial,
-                        recovery=recovery, telemetry=tel,
-                    )
-                    result.cells.append(outcome)
-                    if progress is not None:
-                        progress(outcome)
-                    if ledger is not None and report.result is not None:
-                        ledger.append(
-                            record_resilient_run(
-                                report,
-                                runner,
-                                sim_config=_build_config(config),
-                                seed=config.seed,
-                                label=tel.label,
-                            )
-                        )
+    ``jobs`` spreads the cells over worker processes (clamped to the
+    sweep size).  Cell seeds are derived from sweep coordinates, so the
+    same faults fire at any worker count; outcomes, progress callbacks
+    and ledger appends happen in the parent in sweep order, making a
+    parallel campaign's artifacts identical to a serial one's up to
+    wall-clock fields.
+    """
+    coords = [
+        (array, kind, level, trial)
+        for level in config.levels
+        for array in config.resolved_arrays()
+        for kind in config.kinds
+        for trial in range(max(1, config.trials))
+    ]
+    tasks = [
+        SweepTask(
+            name=f"{level}/{array}/{kind}/t{trial}",
+            fn=_campaign_cell_task,
+            args=(config, recovery, array, kind, level, trial, ledger is not None),
+        )
+        for (array, kind, level, trial) in coords
+    ]
+    jobs = resolve_jobs(jobs, max(1, len(tasks)))
+    result = CampaignResult(config=config)
+    for _, (outcome, record) in SweepExecutor(jobs).stream(tasks):
+        result.cells.append(outcome)
+        if progress is not None:
+            progress(outcome)
+        if ledger is not None and record is not None:
+            ledger.append(record)
     return result
 
 

@@ -193,11 +193,40 @@ class TradeSpace:
             cost_usd=cost.total_usd,
         )
 
-    def enumerate(self) -> list[DesignPoint]:
-        """Every (device × level × resolution) point, evaluated."""
-        return [
-            self.evaluate(dev, level, res)
+    def enumerate(self, jobs: int = 1) -> list[DesignPoint]:
+        """Every (device × level × resolution) point, evaluated.
+
+        ``jobs`` splits the grid into contiguous chunks evaluated across
+        worker processes (clamped so no worker is idle); the returned
+        list order is identical to a serial enumeration either way —
+        evaluation is pure arithmetic on the stored profiles.
+        """
+        combos = [
+            (dev, level, res)
             for dev in self.devices
             for level in self.base_profiles
             for res in self.resolutions
         ]
+        from repro.parallel.executor import SweepExecutor, SweepTask, resolve_jobs
+
+        jobs = resolve_jobs(jobs, max(1, len(combos)))
+        if jobs <= 1:
+            return [self.evaluate(*combo) for combo in combos]
+        chunks = [combos[i::jobs] for i in range(jobs)]
+        tasks = [
+            SweepTask(name=f"chunk{i}", fn=_evaluate_chunk, args=(self, chunk))
+            for i, chunk in enumerate(chunks)
+        ]
+        evaluated: dict[tuple, DesignPoint] = {}
+        for task, points in SweepExecutor(jobs).stream(tasks):
+            evaluated.update(zip(task.args[1], points))
+        return [evaluated[combo] for combo in combos]
+
+
+def _evaluate_chunk(space: TradeSpace, combos: list) -> list[DesignPoint]:
+    """Worker body for :meth:`TradeSpace.enumerate`: evaluate a chunk.
+
+    Module-level (picklable); the space object ships whole — it is a
+    small bundle of profiles and constants.
+    """
+    return [space.evaluate(dev, level, res) for dev, level, res in combos]

@@ -1,0 +1,178 @@
+"""Bit-identity and cache behavior of the ScatterPlan fast path.
+
+The scatter optimization's entire contract is *bitwise* equivalence with
+the legacy ``np.add.at`` kernel — not closeness, identity.  These tests
+drive full simulations (all precision levels x both schemes, with and
+without AMR regrids) under both scatter modes and compare every state
+bit, plus unit-level checks of the plan structure, the geometry cache,
+and the scipy-less fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clamr import ClamrSimulation, DamBreakConfig
+from repro.clamr.kernels import (
+    FaceLists,
+    GeometryCache,
+    ScatterPlan,
+    compute_timestep,
+    finite_diff_vectorized,
+    scatter_mode,
+)
+from repro.clamr.mesh import AmrMesh
+
+
+def _run_states(policy, scheme, nx=16, steps=20, max_level=2):
+    """Final (H, U, V) under each scatter mode, same config."""
+    out = {}
+    for mode in ("plan", "add_at"):
+        cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
+        with scatter_mode(mode):
+            sim = ClamrSimulation(cfg, policy=policy, scheme=scheme)
+            sim.run(steps)
+        out[mode] = (sim.state.H.copy(), sim.state.U.copy(), sim.state.V.copy())
+    return out
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("policy", ["min", "mixed", "full"])
+    @pytest.mark.parametrize("scheme", ["rusanov", "muscl"])
+    def test_full_simulation_bit_identical(self, policy, scheme):
+        # max_level=2 dam break regrids as the wave spreads, so this
+        # exercises plan rebuilds across topology generations too
+        states = _run_states(policy, scheme)
+        for a, b in zip(states["plan"], states["add_at"]):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b), f"{policy}/{scheme}: state bits diverged"
+
+    def test_uniform_mesh_no_regrid(self):
+        # the no-AMR case keeps one topology for the whole run
+        states = _run_states("mixed", "rusanov", max_level=0, steps=30)
+        for a, b in zip(states["plan"], states["add_at"]):
+            assert np.array_equal(a, b)
+
+    def test_single_step_identity_from_developed_state(self):
+        cfg = DamBreakConfig(nx=24, ny=24, max_level=2)
+        sim = ClamrSimulation(cfg, policy="full")
+        sim.run(10)
+        faces = FaceLists.from_mesh(sim.mesh)
+        results = {}
+        for mode in ("plan", "add_at"):
+            s = sim.state.copy()
+            with scatter_mode(mode):
+                dt = compute_timestep(sim.mesh, s, cfg.courant)
+                finite_diff_vectorized(sim.mesh, s, dt, faces=faces)
+            results[mode] = s
+        assert np.array_equal(results["plan"].H, results["add_at"].H)
+        assert np.array_equal(results["plan"].U, results["add_at"].U)
+        assert np.array_equal(results["plan"].V, results["add_at"].V)
+
+
+class TestScatterPlan:
+    def _plan(self, ncells=6):
+        low = np.array([0, 1, 2, 0], dtype=np.int64)
+        high = np.array([1, 2, 3, 5], dtype=np.int64)
+        sizes = np.array([1.0, 0.5, 0.5, 0.25])
+        return ScatterPlan(low, high, sizes, ncells), low, high, sizes
+
+    def test_structure(self):
+        plan, low, high, sizes = self._plan()
+        assert plan.nfaces == 4
+        # every face contributes twice: one low entry, one high entry
+        assert plan.indptr[-1] == 2 * plan.nfaces
+        counts = np.bincount(np.concatenate([low, high]), minlength=plan.ncells)
+        assert np.array_equal(np.diff(plan.indptr), counts)
+
+    def test_apply_matches_add_at(self):
+        plan, low, high, sizes = self._plan()
+        rng = np.random.default_rng(7)
+        for dtype in (np.float32, np.float64):
+            flux = rng.standard_normal(4).astype(dtype)
+            fsz = sizes.astype(dtype)
+            a = rng.standard_normal(plan.ncells).astype(dtype)
+            b = a.copy()
+            plan.apply(a, flux)
+            np.add.at(b, low, -flux * fsz)
+            np.add.at(b, high, flux * fsz)
+            assert np.array_equal(a, b)
+
+    def test_fallback_matches_csr(self, monkeypatch):
+        # force the scipy-less branch and compare against the CSR branch
+        import repro.clamr.kernels as K
+
+        if K._scipy_sparsetools is None:
+            pytest.skip("scipy not available; only the fallback exists")
+        plan, low, high, sizes = self._plan()
+        flux = np.linspace(-1, 1, 4)
+        a = np.zeros(plan.ncells)
+        plan.apply(a, flux)
+        monkeypatch.setattr(K, "_scipy_sparsetools", None)
+        b = np.zeros(plan.ncells)
+        plan.apply(b, flux)
+        assert np.array_equal(a, b)
+
+    def test_face_lists_memoize_plans(self):
+        mesh = AmrMesh.uniform(8, 8)
+        faces = FaceLists.from_mesh(mesh)
+        p1 = faces.scatter_plans(mesh.ncells)
+        p2 = faces.scatter_plans(mesh.ncells)
+        assert p1[0] is p2[0] and p1[1] is p2[1]
+
+
+class TestGeometryCache:
+    def test_keyed_by_generation(self):
+        geom = GeometryCache()
+        m1 = AmrMesh.uniform(4, 4)
+        m2 = AmrMesh.uniform(4, 4)
+        assert m1.generation != m2.generation
+        s1, a1 = geom.geometry(m1, np.dtype(np.float64))
+        s1b, a1b = geom.geometry(m1, np.dtype(np.float64))
+        assert s1 is s1b and a1 is a1b  # cache hit on same mesh
+        s2, _ = geom.geometry(m2, np.dtype(np.float64))
+        assert s2 is not s1  # different mesh object, different entry
+
+    def test_workspace_zeroed_buffer_not(self):
+        geom = GeometryCache()
+        mesh = AmrMesh.uniform(4, 4)
+        w = geom.workspace3(mesh, np.dtype(np.float64), slot="t")
+        for arr in w:
+            arr += 1.0
+        w2 = geom.workspace3(mesh, np.dtype(np.float64), slot="t")
+        assert all(np.all(arr == 0.0) for arr in w2)  # re-zeroed each call
+        buf = geom.buffer(mesh, np.dtype(np.float64), "scratch", (2, 5))
+        assert buf.shape == (2, 5)
+        buf2 = geom.buffer(mesh, np.dtype(np.float64), "scratch", (2, 5))
+        assert buf2 is buf  # reused, contents undefined by contract
+        buf3 = geom.buffer(mesh, np.dtype(np.float64), "scratch", (3, 5))
+        assert buf3.shape == (3, 5)  # shape change rebuilds
+
+    def test_dtype_casts_distinct(self):
+        geom = GeometryCache()
+        mesh = AmrMesh.uniform(4, 4)
+        s32, _ = geom.geometry(mesh, np.dtype(np.float32))
+        s64, _ = geom.geometry(mesh, np.dtype(np.float64))
+        assert s32.dtype == np.float32 and s64.dtype == np.float64
+        assert np.array_equal(s64, mesh.cell_size())
+
+
+class TestMassContributions:
+    def test_total_mass_uses_shared_contributions(self):
+        from repro.clamr.state import ShallowWaterState
+        from repro.sums.doubledouble import dd_sum
+
+        rng = np.random.default_rng(3)
+        state = ShallowWaterState(
+            H=rng.uniform(0.5, 2.0, 32),
+            U=np.zeros(32),
+            V=np.zeros(32),
+        )
+        area = rng.uniform(0.1, 1.0, 32)
+        contrib = state.mass_contributions(area)
+        assert contrib.dtype == np.float64
+        assert state.total_mass(area) == float(dd_sum(contrib))
+
+    def test_scatter_mode_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            with scatter_mode("fancy"):
+                pass

@@ -1,0 +1,266 @@
+"""The process-parallel sweep executor: determinism is the contract.
+
+A parallel sweep must be a *pure accelerator*: same results, same order,
+same ledger records (minus wall-clock fields), same telemetry files as
+the serial run.  These tests pin that contract for the executor itself
+and for each wired consumer (harness sweeps, resilience campaign,
+tradespace enumeration), plus the CLI's --jobs argument hygiene.
+"""
+
+import dataclasses
+import json
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.machine.counters import WorkloadProfile
+from repro.parallel.executor import (
+    SweepExecutor,
+    SweepTask,
+    derive_seed,
+    merge_staged,
+    resolve_jobs,
+    staged_dir,
+)
+
+#: run-record fields that legitimately differ between serial and
+#: parallel executions of the same workload
+TIMING_FIELDS = {"wall_s", "kernel_s", "created_unix"}
+
+
+def normalized(record: dict) -> dict:
+    """A ledger record minus its wall-clock timing fields."""
+    out = {k: v for k, v in record.items() if k not in TIMING_FIELDS}
+    out["kernels"] = {
+        name: {k: v for k, v in summary.items() if k not in ("total_s", "mean_ms")}
+        for name, summary in record.get("kernels", {}).items()
+    }
+    return out
+
+
+def read_records(path) -> list[dict]:
+    return [json.loads(line) for line in Path(path).read_text().splitlines() if line.strip()]
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_inverse(i, n):
+    # later tasks finish first: completion order is the reverse of
+    # submission order, so any ordering bug would show
+    time.sleep(0.01 * (n - i))
+    return i
+
+
+def _boom(i):
+    if i == 2:
+        raise RuntimeError("task 2 exploded")
+    return i
+
+
+class TestExecutor:
+    def test_inline_matches_pool(self):
+        tasks = [SweepTask(name=f"t{i}", fn=_square, args=(i,)) for i in range(9)]
+        assert SweepExecutor(1).map(tasks) == SweepExecutor(4).map(tasks)
+
+    def test_results_in_submission_order(self):
+        n = 6
+        tasks = [SweepTask(name=f"t{i}", fn=_slow_inverse, args=(i, n)) for i in range(n)]
+        assert SweepExecutor(n).map(tasks) == list(range(n))
+
+    def test_stream_pairs_tasks_with_results(self):
+        tasks = [SweepTask(name=f"t{i}", fn=_square, args=(i,)) for i in range(4)]
+        for jobs in (1, 2):
+            for task, result in SweepExecutor(jobs).stream(tasks):
+                assert result == task.args[0] ** 2
+
+    def test_worker_exception_propagates(self):
+        tasks = [SweepTask(name=f"t{i}", fn=_boom, args=(i,)) for i in range(4)]
+        for jobs in (1, 3):
+            with pytest.raises(RuntimeError, match="task 2 exploded"):
+                SweepExecutor(jobs).map(tasks)
+
+    def test_jobs_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(0)
+        with pytest.raises(ValueError):
+            SweepExecutor(-2)
+
+    def test_empty_task_list(self):
+        assert SweepExecutor(4).map([]) == []
+
+
+class TestResolveJobs:
+    def test_clamps_silently_to_sweep_size(self):
+        assert resolve_jobs(16, 3) == 3
+        assert resolve_jobs(2, 3) == 2
+
+    def test_rejects_nonpositive(self):
+        for bad in (0, -1, -99):
+            with pytest.raises(ValueError):
+                resolve_jobs(bad, 10)
+
+
+class TestDeriveSeed:
+    def test_matches_campaign_formula(self):
+        # the historical inline formula the campaign used; parallel runs
+        # must reproduce it exactly or re-runs replay different faults
+        for seed, coords in [(0, ("H", "nan", "min", 1)), (42, ("U", "bitflip", "full", 0))]:
+            text = "/".join(str(p) for p in (seed, *coords))
+            assert derive_seed(seed, *coords) == zlib.crc32(text.encode()) & 0x7FFFFFFF
+
+    def test_stable_and_distinct(self):
+        a = derive_seed(7, "x", 1)
+        assert a == derive_seed(7, "x", 1)
+        assert a != derive_seed(7, "x", 2)
+        assert 0 <= a <= 0x7FFFFFFF
+
+
+class TestStaging:
+    def test_merge_preserves_task_order(self, tmp_path):
+        s0 = staged_dir(tmp_path, 0, "first")
+        s1 = staged_dir(tmp_path, 1, "second/nested")
+        (s0 / "shared.json").write_text("from-0")
+        (s1 / "shared.json").write_text("from-1")
+        (s0 / "only0.jsonl").write_text("zero")
+        moved = merge_staged(tmp_path)
+        assert moved == 3
+        # last writer (higher task index) wins, like a serial sweep
+        assert (tmp_path / "shared.json").read_text() == "from-1"
+        assert (tmp_path / "only0.jsonl").read_text() == "zero"
+        assert not list(tmp_path.glob(".stage-*"))
+
+    def test_merge_empty_base(self, tmp_path):
+        assert merge_staged(tmp_path) == 0
+
+
+class TestHarnessSweeps:
+    def test_clamr_levels_parallel_parity(self, tmp_path):
+        from repro.harness.experiments import run_clamr_levels
+
+        serial = run_clamr_levels(
+            nx=12, steps=12, max_level=1,
+            ledger=tmp_path / "serial.jsonl", telemetry_dir=tmp_path / "tel_s",
+        )
+        parallel = run_clamr_levels(
+            nx=12, steps=12, max_level=1,
+            ledger=tmp_path / "par.jsonl", telemetry_dir=tmp_path / "tel_p",
+            jobs=3,
+        )
+        assert list(serial) == list(parallel)
+        for level in serial:
+            assert serial[level].mass_drift == parallel[level].mass_drift
+            assert np.array_equal(serial[level].slice_precise, parallel[level].slice_precise)
+        a = read_records(tmp_path / "serial.jsonl")
+        b = read_records(tmp_path / "par.jsonl")
+        assert [r["fingerprint"] for r in a] == [r["fingerprint"] for r in b]
+        assert [normalized(r) for r in a] == [normalized(r) for r in b]
+        # telemetry trees identical, staging dirs cleaned up
+        names_s = sorted(p.name for p in (tmp_path / "tel_s").iterdir())
+        names_p = sorted(p.name for p in (tmp_path / "tel_p").iterdir())
+        assert names_s == names_p
+        assert not [n for n in names_p if n.startswith(".stage-")]
+
+    def test_self_precisions_parallel_parity(self, tmp_path):
+        from repro.harness.experiments import run_self_precisions
+
+        serial = run_self_precisions(elems=2, order=2, steps=8, ledger=tmp_path / "s.jsonl")
+        parallel = run_self_precisions(
+            elems=2, order=2, steps=8, ledger=tmp_path / "p.jsonl", jobs=2
+        )
+        for prec in serial:
+            assert serial[prec].max_vertical_velocity == parallel[prec].max_vertical_velocity
+        a = read_records(tmp_path / "s.jsonl")
+        b = read_records(tmp_path / "p.jsonl")
+        assert [normalized(r) for r in a] == [normalized(r) for r in b]
+
+    def test_jobs_zero_raises(self):
+        from repro.harness.experiments import run_clamr_levels
+
+        with pytest.raises(ValueError):
+            run_clamr_levels(nx=8, steps=2, jobs=0)
+
+
+class TestCampaignParallel:
+    def _config(self):
+        from repro.resilience import CampaignConfig
+
+        return CampaignConfig(
+            workload="clamr", steps=10, nx=8, max_level=1,
+            kinds=("nan", "bitflip"), levels=("min",), trials=1,
+        )
+
+    def test_outcomes_and_records_match_serial(self, tmp_path):
+        from repro.ledger import Ledger
+        from repro.resilience import run_campaign
+
+        cfg = self._config()
+        serial = run_campaign(cfg, ledger=Ledger(tmp_path / "s.jsonl"))
+        parallel = run_campaign(cfg, ledger=Ledger(tmp_path / "p.jsonl"), jobs=2)
+        assert len(serial.cells) == len(parallel.cells)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert dataclasses.replace(a, wall_s=0.0) == dataclasses.replace(b, wall_s=0.0)
+        ra = read_records(tmp_path / "s.jsonl")
+        rb = read_records(tmp_path / "p.jsonl")
+        assert [normalized(r) for r in ra] == [normalized(r) for r in rb]
+
+    def test_progress_called_in_sweep_order(self):
+        from repro.resilience import run_campaign
+
+        seen = []
+        run_campaign(self._config(), progress=lambda c: seen.append((c.array, c.kind)), jobs=2)
+        serial_seen = []
+        run_campaign(self._config(), progress=lambda c: serial_seen.append((c.array, c.kind)))
+        assert seen == serial_seen
+
+
+class TestTradespaceParallel:
+    def _space(self):
+        from repro.tradespace import TradeSpace
+
+        profile = WorkloadProfile(
+            name="t", flops=5 * 10**11, state_bytes=10**11,
+            state_itemsize=4, compute_itemsize=8, resident_state_bytes=10**8,
+        )
+        return TradeSpace({"mixed": profile}, devices=("haswell", "titanx"),
+                          resolutions=(0.5, 1.0, 2.0))
+
+    def test_enumerate_parallel_parity(self):
+        space = self._space()
+        assert space.enumerate() == space.enumerate(jobs=3)
+
+    def test_enumerate_jobs_zero_raises(self):
+        with pytest.raises(ValueError):
+            self._space().enumerate(jobs=0)
+
+
+class TestCliJobsHygiene:
+    def test_jobs_zero_exits_2_one_line(self, capsys):
+        from repro.cli import main
+
+        code = main(["table", "1", "--jobs", "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.strip().startswith("repro: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_campaign_jobs_negative_exits_2(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "resilience", "campaign", "clamr", "--steps", "4", "--nx", "8",
+            "--levels", "min", "--kinds", "nan", "--jobs", "-3",
+        ])
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_jobs_above_sweep_size_clamps_silently(self, capsys):
+        from repro.cli import main
+
+        # 3 precision levels, --jobs 99: clamps, runs, exits 0
+        code = main(["table", "1", "--jobs", "99"])
+        assert code == 0
