@@ -14,6 +14,7 @@ history, work profile for the machine model, checkpoint size).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -29,7 +30,7 @@ from repro.clamr.kernels import (
     finite_diff_vectorized,
 )
 from repro.clamr.mesh import AmrMesh
-from repro.clamr.state import ShallowWaterState
+from repro.clamr.state import GRAVITY, ShallowWaterState
 from repro.machine.counters import CountedWorkload, WorkloadProfile
 from repro.precision.analysis import line_out
 from repro.precision.policy import PrecisionPolicy, level_from_name
@@ -206,6 +207,10 @@ class ClamrSimulation:
         # its overhead) and are invalidated exactly on regrid
         self._geom = GeometryCache()
         self._faces: tuple[int, FaceLists] | None = None
+        # last cancellation-digit measurement from the mass sum; NaN until
+        # the first instrumented measurement.  The flight recorder samples
+        # this between regrids (the sum only runs at regrid boundaries).
+        self._last_cancellation = math.nan
 
     def _faces_for(self, mesh: AmrMesh) -> FaceLists:
         """Face lists for ``mesh``, rebuilt only when the topology changed."""
@@ -253,8 +258,47 @@ class ClamrSimulation:
             mass = float(dd_sum(contrib))
             abs_sum = float(np.sum(np.abs(contrib)))
             tel.check_cancellation("mass", abs_sum, mass, step=self.step_count)
+            if abs_sum > 0.0 and mass != 0.0 and abs_sum / abs(mass) > 1.0:
+                self._last_cancellation = math.log10(abs_sum / abs(mass))
+            else:
+                self._last_cancellation = 0.0
             sp.set(mass=mass)
         return mass
+
+    def _flight_sample(self, flight, dt: float, drift: float) -> None:
+        """Record one flight sample from the current state (no wall-clock).
+
+        The realized CFL is recomputed from the same promoted-state wave
+        speeds :func:`~repro.clamr.kernels.compute_timestep` uses — it
+        equals the configured Courant number while dt is CFL-derived, and
+        deviates when something external (e.g. resilience ``halve_dt``)
+        modified the step.
+        """
+        from repro.telemetry.flight import field_signals
+
+        cdtype = self.policy.compute_dtype
+        H, U, V = self.state.promoted()
+        h = np.maximum(H, cdtype.type(1e-12))
+        vel = np.maximum(np.abs(U), np.abs(V)) / h
+        wave = vel + np.sqrt(cdtype.type(GRAVITY) * h)
+        size, _ = self._geom.geometry(self.mesh, cdtype)
+        with np.errstate(invalid="ignore", over="ignore"):
+            cfl = float(dt) * float(np.max(wave / size))
+        signals = field_signals(
+            {"H": self.state.H, "U": self.state.U, "V": self.state.V},
+            self.state.state_dtype,
+        )
+        flight.record(
+            self.step_count,
+            dt=float(dt),
+            cfl=cfl,
+            ncells=float(self.mesh.ncells),
+            state_bits=float(self.policy.state_dtype.itemsize * 8),
+            compute_bits=float(self.policy.compute_dtype.itemsize * 8),
+            cancellation_digits=self._last_cancellation,
+            conservation_drift=drift,
+            **signals,
+        )
 
     def run(self, steps: int, record_mass: bool = True) -> SimulationResult:
         """Advance ``steps`` timesteps and package the results."""
@@ -278,6 +322,8 @@ class ClamrSimulation:
 
         tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         recording = tel.enabled
+        flight = getattr(tel, "flight", None) if recording else None
+        drift = 0.0 if record_mass else math.nan
         kernel_span_name = f"clamr/{kernel.__name__}"
 
         times: list[float] = []
@@ -374,12 +420,16 @@ class ClamrSimulation:
                             )
                         if record_mass:
                             mass_history.append(self._measured_mass(area, tel))
-                            if recording and mass_history[0] != 0.0:
-                                tel.metrics.gauge("clamr.mass_drift").set(
+                            if mass_history[0] != 0.0:
+                                drift = (
                                     abs(mass_history[-1] - mass_history[0])
                                     / abs(mass_history[0])
                                 )
+                                if recording:
+                                    tel.metrics.gauge("clamr.mass_drift").set(drift)
                         ncells_history.append(self.mesh.ncells)
+                    if flight is not None and flight.should_sample(self.step_count):
+                        self._flight_sample(flight, dt, drift)
         elapsed = time.perf_counter() - t_start
         if record_mass:
             mass_history.append(self._measured_mass(area, tel))

@@ -16,6 +16,11 @@ Subcommands
     Run a mini-app under full telemetry and print the span tree, the
     per-kernel summary, and the numerical-event report; optionally dump
     Chrome-trace / JSONL files for Perfetto or post-mortem analysis.
+``flight report|digest|compare|export``
+    The numerics flight recorder (see docs/flightrecorder.md): render a
+    run's per-signal timeline as unicode sparklines, reduce a flight file
+    to its digest, compare two flights (or digests) step-aligned, and
+    export the signals as Chrome-trace counter tracks.
 ``ledger record|report|compare|gate|export-bench``
     The run ledger & regression observatory (see docs/observatory.md):
     persist runs as fingerprinted records, trend them with sparklines,
@@ -77,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     clamr.add_argument("--checkpoint", default=None, help="write a checkpoint here")
     clamr.add_argument("--ledger", default=None, metavar="PATH",
                        help="trace the run and append a run record to this ledger")
+    clamr.add_argument("--flight", default=None, metavar="FILE",
+                       help="record the numerics flight timeline and write it here "
+                            "(.jsonl; see 'repro flight report')")
+    clamr.add_argument("--flight-stride", type=int, default=4, metavar="N",
+                       help="flight sampling stride in steps (default 4)")
 
     selfp = sub.add_parser("self", help="run the SELF thermal bubble")
     selfp.add_argument("--elems", type=int, default=4)
@@ -86,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
     selfp.add_argument("--viscosity", type=float, default=0.0)
     selfp.add_argument("--ledger", default=None, metavar="PATH",
                        help="trace the run and append a run record to this ledger")
+    selfp.add_argument("--flight", default=None, metavar="FILE",
+                       help="record the numerics flight timeline and write it here "
+                            "(.jsonl; see 'repro flight report')")
+    selfp.add_argument("--flight-stride", type=int, default=4, metavar="N",
+                       help="flight sampling stride in steps (default 4)")
 
     sub.add_parser("devices", help="list the simulated architectures")
 
@@ -96,12 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the underlying runs (clamped "
                             "to the sweep size; results are order- and "
                             "bit-identical to --jobs 1)")
+    table.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="merge the sweep's per-run telemetry into one Chrome "
+                            "trace, one pid lane per run (tables 1/2/5/6 only)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=range(1, 6))
     figure.add_argument("--scale", default="quick", choices=("quick", "bench"))
     figure.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the underlying runs")
+    figure.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="merge the sweep's per-run telemetry into one Chrome "
+                             "trace (figures 1/2/4/5 only)")
 
     compare = sub.add_parser("compare", help="fidelity comparison of two precision levels")
     compare.add_argument("--nx", type=int, default=48)
@@ -132,6 +153,43 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--strict-headroom-bits", type=float, default=2.0, metavar="N",
                        help="with --strict, overflow_risk events with less than N bits "
                             "of dynamic-range headroom left are fatal (default 2)")
+    trace.add_argument("--flight", default=None, metavar="FILE",
+                       help="record the numerics flight timeline and write it here "
+                            "(.jsonl; see 'repro flight report')")
+    trace.add_argument("--flight-stride", type=int, default=4, metavar="N",
+                       help="flight sampling stride in steps (default 4)")
+
+    flight = sub.add_parser(
+        "flight", help="flight-recorder timelines: report, digest, compare, export"
+    )
+    fsub = flight.add_subparsers(dest="flight_command", required=True)
+
+    frep = fsub.add_parser(
+        "report", help="per-signal sparkline timelines from a flight.jsonl"
+    )
+    frep.add_argument("file", metavar="FLIGHT_JSONL")
+    frep.add_argument("--width", type=int, default=40,
+                      help="sparkline width in cells (default 40)")
+
+    fdig = fsub.add_parser("digest", help="reduce a flight.jsonl to its digest JSON")
+    fdig.add_argument("file", metavar="FLIGHT_JSONL")
+    fdig.add_argument("--out", default=None, metavar="FILE",
+                      help="also write the digest JSON here")
+
+    fcmp = fsub.add_parser(
+        "compare", help="step-aligned comparison of two flights (exit 1 on mismatch)"
+    )
+    fcmp.add_argument("a", metavar="A", help="flight.jsonl or digest JSON")
+    fcmp.add_argument("b", metavar="B", help="flight.jsonl or digest JSON")
+    fcmp.add_argument("--rtol", type=float, default=0.0,
+                      help="relative tolerance per value (default 0: exact)")
+
+    fexp = fsub.add_parser(
+        "export", help="export flight signals as Chrome-trace counter tracks"
+    )
+    fexp.add_argument("file", metavar="FLIGHT_JSONL")
+    fexp.add_argument("--out", required=True, metavar="FILE",
+                      help="Chrome-trace JSON to write (x axis = step number)")
 
     ledger = sub.add_parser(
         "ledger", help="persistent cross-run telemetry and regression gating"
@@ -145,6 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
     lrec.add_argument("--runs", type=int, default=1, help="record this many repeat runs")
     lrec.add_argument("--seed", type=int, default=0, help="workload seed (fingerprint input)")
     lrec.add_argument("--stride", type=int, default=4, help="numerics watchpoint stride")
+    lrec.add_argument("--flight-stride", type=int, default=0, metavar="N",
+                      help="attach a flight recorder sampling every N steps (0 "
+                           "disables); its digest lands in the record's fidelity")
     lrec.add_argument("--trace-dir", default=None, metavar="DIR",
                       help="also persist Chrome-trace + JSONL telemetry per run")
     lrec.add_argument("--nx", type=int, default=24, help="CLAMR coarse grid per side")
@@ -262,17 +323,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (clamped to the cell "
                             "count; outcomes and ledger records are identical to "
                             "--jobs 1 up to wall-clock fields)")
+    rcamp.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="merge every cell's telemetry into one Chrome trace, "
+                            "one pid lane per cell in sweep order")
     return parser
+
+
+def _make_flight(args: argparse.Namespace, label: str):
+    """A FlightRecorder from ``--flight``/``--flight-stride``, or ``None``."""
+    if not getattr(args, "flight", None):
+        return None
+    from repro.telemetry.flight import FlightRecorder
+
+    return FlightRecorder(stride=args.flight_stride, label=label)
+
+
+def _write_flight_file(args: argparse.Namespace, tel, indent: str = "  ") -> None:
+    """Persist ``tel.flight`` to the ``--flight`` path and say where."""
+    flight = getattr(tel, "flight", None)
+    if flight is None or not getattr(args, "flight", None):
+        return
+    from repro.telemetry.flight import write_flight
+
+    path = write_flight(flight, args.flight)
+    print(f"{indent}flight       : {path} ({flight.nsamples} samples, "
+          f"stride {flight.stride})")
 
 
 def _cmd_clamr(args: argparse.Namespace) -> int:
     from repro.clamr import ClamrSimulation, DamBreakConfig, write_checkpoint
 
     tel = None
-    if args.ledger:
+    if args.ledger or args.flight:
         from repro.telemetry import Telemetry
 
-        tel = Telemetry(label=f"clamr/nx{args.nx}s{args.steps}/{args.policy}")
+        label = f"clamr/nx{args.nx}s{args.steps}/{args.policy}"
+        tel = Telemetry(label=label, flight=_make_flight(args, label))
     cfg = DamBreakConfig(nx=args.nx, ny=args.nx, max_level=args.max_level)
     sim = ClamrSimulation(cfg, policy=args.policy, vectorized=not args.scalar,
                           scheme=args.scheme, telemetry=tel)
@@ -290,7 +376,8 @@ def _cmd_clamr(args: argparse.Namespace) -> int:
     if args.checkpoint:
         nbytes = write_checkpoint(args.checkpoint, sim.mesh, sim.state)
         print(f"  checkpoint   : {args.checkpoint} ({nbytes / 1e6:.2f} MB)")
-    if tel is not None:
+    _write_flight_file(args, tel)
+    if tel is not None and args.ledger:
         from repro.ledger import Ledger, record_from_clamr
 
         record = Ledger(args.ledger).append(record_from_clamr(res, tel, cfg, label=tel.label))
@@ -302,10 +389,11 @@ def _cmd_self(args: argparse.Namespace) -> int:
     from repro.self_ import SelfSimulation, ThermalBubbleConfig
 
     tel = None
-    if args.ledger:
+    if args.ledger or args.flight:
         from repro.telemetry import Telemetry
 
-        tel = Telemetry(label=f"self/e{args.elems}o{args.order}s{args.steps}/{args.precision}")
+        label = f"self/e{args.elems}o{args.order}s{args.steps}/{args.precision}"
+        tel = Telemetry(label=label, flight=_make_flight(args, label))
     cfg = ThermalBubbleConfig(
         nex=args.elems, ney=args.elems, nez=args.elems, order=args.order,
         viscosity=args.viscosity,
@@ -320,7 +408,8 @@ def _cmd_self(args: argparse.Namespace) -> int:
     print(f"  state memory : {res.state_nbytes / 1e6:.2f} MB")
     print(f"  w_max        : {res.max_vertical_velocity:.4f} m/s")
     print(f"  anomaly scale: {res.anomaly_scale:.3e}")
-    if tel is not None:
+    _write_flight_file(args, tel)
+    if tel is not None and args.ledger:
         from repro.ledger import Ledger, record_from_self
 
         record = Ledger(args.ledger).append(record_from_self(res, tel, cfg, label=tel.label))
@@ -356,8 +445,14 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
     s = _SCALES[args.scale]
     n = args.number
+    if args.trace_out and n not in (1, 2, 5, 6):
+        raise CLIError(
+            f"table {n} does not run a single sweep; --trace-out supports tables 1, 2, 5, 6"
+        )
     if n in (1, 2):
-        runs = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"], jobs=args.jobs)
+        runs = ex.run_clamr_levels(
+            nx=s["nx"], steps=s["steps"], jobs=args.jobs, trace_out=args.trace_out
+        )
         fn = ex.table1_clamr_architectures if n == 1 else ex.table2_clamr_energy
         out = fn(runs, nx=s["nx"], steps=s["steps"])
     elif n == 3:
@@ -366,7 +461,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         out = ex.table4_compilers(elems=s["elems"], order=s["order"], steps=s["sst"] // 2)
     elif n in (5, 6):
         runs = ex.run_self_precisions(
-            elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs
+            elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs,
+            trace_out=args.trace_out,
         )
         fn = ex.table5_self_architectures if n == 5 else ex.table6_self_energy
         out = fn(runs, elems=s["elems"], order=s["order"], steps=s["sst"])
@@ -380,6 +476,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
             self_elems=s["elems"], self_order=s["order"], self_steps=s["sst"],
         )
     print(out.render())
+    if args.trace_out:
+        print(f"merged trace: {args.trace_out}")
     return 0
 
 
@@ -388,18 +486,25 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
     s = _SCALES[args.scale]
     n = args.number
+    if args.trace_out and n == 3:
+        raise CLIError("figure 3 does not run a sweep; --trace-out supports figures 1, 2, 4, 5")
     if n in (1, 2):
-        runs = ex.run_clamr_levels(nx=s["fig_nx"], steps=s["fig_steps"], jobs=args.jobs)
+        runs = ex.run_clamr_levels(
+            nx=s["fig_nx"], steps=s["fig_steps"], jobs=args.jobs, trace_out=args.trace_out
+        )
         fn = ex.fig1_clamr_slices if n == 1 else ex.fig2_clamr_asymmetry
         out = fn(runs)
     elif n == 3:
         out = ex.fig3_precision_resolution(nx_lo=s["fig_nx"] // 2, steps_hint=s["fig_steps"] // 3)
     else:
         runs = ex.run_self_precisions(
-            elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs
+            elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs,
+            trace_out=args.trace_out,
         )
         out = ex.fig4_self_slices(runs) if n == 4 else ex.fig5_self_asymmetry(runs)
     print(out.render())
+    if args.trace_out:
+        print(f"merged trace: {args.trace_out}")
     return 0
 
 
@@ -455,8 +560,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.workload == "clamr":
         from repro.clamr import ClamrSimulation, DamBreakConfig
 
+        label = f"clamr/dam_break/{args.policy}"
         tel = Telemetry(
-            label=f"clamr/dam_break/{args.policy}", watch_stride=args.stride
+            label=label, watch_stride=args.stride, flight=_make_flight(args, label)
         )
         cfg = DamBreakConfig(nx=args.nx, ny=args.nx, max_level=args.max_level)
         sim = ClamrSimulation(cfg, policy=args.policy, scheme=args.scheme, telemetry=tel)
@@ -468,8 +574,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         from repro.self_ import SelfSimulation, ThermalBubbleConfig
 
+        label = f"self/thermal_bubble/{args.precision}"
         tel = Telemetry(
-            label=f"self/thermal_bubble/{args.precision}", watch_stride=args.stride
+            label=label, watch_stride=args.stride, flight=_make_flight(args, label)
         )
         cfg = ThermalBubbleConfig(
             nex=args.elems, ney=args.elems, nez=args.elems, order=args.order
@@ -492,6 +599,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.jsonl:
         path = write_jsonl(tel, args.jsonl)
         print(f"jsonl trace  : {path}")
+    _write_flight_file(args, tel, indent="")
     if args.strict:
         fatal, exhausted = _strict_failures(tel, args.strict_headroom_bits)
         if fatal:
@@ -507,6 +615,99 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_flight_or_digest(path):
+    """A :class:`FlightRecorder` from a flight.jsonl, or a digest dict.
+
+    ``repro flight compare`` accepts either form on either side; the
+    first line decides (a flight.jsonl always opens with its
+    ``flight_meta`` record, a digest file is one indented JSON object).
+    """
+    import json
+
+    from repro.telemetry.flight import read_flight
+
+    p = _require_file(path, "flight file")
+    with p.open(encoding="utf-8") as fh:
+        first = fh.readline()
+    if '"flight_meta"' in first:
+        return read_flight(p)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CLIError(f"{p} is neither a flight.jsonl nor a digest JSON ({exc})")
+    if not isinstance(doc, dict) or "signals" not in doc:
+        raise CLIError(f"{p}: JSON object is not a flight digest (no 'signals' key)")
+    return doc
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry.flight import (
+        compare_digests,
+        flight_counter_trace,
+        flight_digest,
+        flight_report,
+        read_flight,
+    )
+
+    if args.flight_command == "report":
+        flight = read_flight(_require_file(args.file, "flight file"))
+        print(flight_report(flight, width=args.width))
+        return 0
+
+    if args.flight_command == "digest":
+        loaded = _load_flight_or_digest(args.file)
+        digest = loaded if isinstance(loaded, dict) else flight_digest(loaded)
+        text = json.dumps(digest, indent=2, sort_keys=True)
+        print(text)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text + "\n", encoding="utf-8")
+            print(f"wrote {args.out}")
+        return 0
+
+    if args.flight_command == "compare":
+        from repro.telemetry.flight import flight_compare
+
+        a = _load_flight_or_digest(args.a)
+        b = _load_flight_or_digest(args.b)
+        if isinstance(a, dict) or isinstance(b, dict):
+            # at least one side is already a digest: compare digests
+            da = a if isinstance(a, dict) else flight_digest(a)
+            db = b if isinstance(b, dict) else flight_digest(b)
+            problems = compare_digests(da, db, rtol=args.rtol)
+            if not problems:
+                print(f"flight digests match ({da.get('hash')})"
+                      + (f" within rtol {args.rtol:g}" if args.rtol else ""))
+                return 0
+            for line in problems:
+                print(f"  {line}")
+            print(f"flight digests differ: {len(problems)} field(s)")
+            return 1
+        table, mismatches = flight_compare(a, b, rtol=args.rtol)
+        print(table.render())
+        if mismatches:
+            print(f"flights differ: {mismatches} mismatched value(s)")
+            return 1
+        return 0
+
+    if args.flight_command == "export":
+        flight = read_flight(_require_file(args.file, "flight file"))
+        trace = flight_counter_trace(flight)
+        from pathlib import Path
+
+        with Path(args.out).open("w", encoding="utf-8") as fh:
+            json.dump(trace, fh)
+        counters = sum(1 for e in trace["traceEvents"] if e.get("ph") == "C")
+        print(f"wrote {args.out}: {counters} counter samples, "
+              f"{len(flight.signal_names)} signals")
+        return 0
+
+    raise ValueError(f"unknown flight command {args.flight_command!r}")  # pragma: no cover
+
+
 def _cmd_ledger(args: argparse.Namespace) -> int:
     from repro.ledger import Ledger
 
@@ -519,6 +720,7 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
                 args.workload,
                 seed=args.seed,
                 watch_stride=args.stride,
+                flight_stride=args.flight_stride,
                 nx=args.nx,
                 steps=args.steps,
                 max_level=args.max_level,
@@ -677,11 +879,16 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
 
         print(f"campaign: {args.workload}, levels {','.join(config.levels)}, "
               f"kinds {','.join(config.kinds)}")
-        result = run_campaign(config, ledger=ledger, progress=show, jobs=args.jobs)
+        result = run_campaign(
+            config, ledger=ledger, progress=show, jobs=args.jobs,
+            trace_out=args.trace_out,
+        )
         print()
         print(vulnerability_table(result).render())
         if ledger is not None:
             print(f"ledger: {ledger.path} ({len(ledger)} records)")
+        if args.trace_out:
+            print(f"merged trace: {args.trace_out}")
         return 0
 
     from repro.resilience import make_adapter
@@ -758,6 +965,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "validate": _cmd_validate,
     "trace": _cmd_trace,
+    "flight": _cmd_flight,
     "ledger": _cmd_ledger,
     "resilience": _cmd_resilience,
 }

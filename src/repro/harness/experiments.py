@@ -104,20 +104,11 @@ def self_paper_scale_factor(cfg: ThermalBubbleConfig, steps: int) -> float:
 # ---------------------------------------------------------------------------
 
 
-def _make_telemetry(telemetry_dir, label: str, ledger=None):
-    """A fresh :class:`~repro.telemetry.Telemetry` when tracing or ledger
-    recording is requested, else ``None`` (the simulations then take their
-    zero-overhead path)."""
-    if telemetry_dir is None and ledger is None:
-        return None
-    from repro.telemetry import Telemetry
-
-    return Telemetry(label=label)
-
-
 def _persist_telemetry(telemetry_dir, tel) -> None:
     """Write ``<label>.trace.json`` (Perfetto) and ``<label>.jsonl`` next to
-    the benchmark output."""
+    the benchmark output.  ``tel`` may be a live Telemetry or a worker's
+    :class:`~repro.telemetry.bundle.TelemetryBundle` — the exporters
+    duck-type both."""
     if tel is None or telemetry_dir is None:
         return
     from pathlib import Path
@@ -142,50 +133,56 @@ def _append_record(ledger, record) -> None:
     ledger.append(record)
 
 
-def _clamr_level_task(cfg, level, steps, vectorized, label, tel_dir, want_record):
+def _clamr_level_task(cfg, level, steps, vectorized, telemetry=None):
     """Worker body for one precision level of :func:`run_clamr_levels`.
 
     Module-level (picklable) so :class:`SweepExecutor` can ship it to a
-    worker process.  Telemetry is persisted worker-side into ``tel_dir``
-    (a staging directory when parallel); the run record is *built* here
-    but *appended* by the parent, which owns the ledger file.
+    worker process.  When the task carries a ``TelemetrySpec``, the
+    executor builds ``telemetry`` in the worker and ships the frozen
+    bundle back; records, trace files, and merged traces are all produced
+    by the parent from that bundle.
     """
-    tel = _make_telemetry(tel_dir, label, want_record or None)
-    result = ClamrSimulation(cfg, policy=level, vectorized=vectorized, telemetry=tel).run(
-        steps
-    )
-    _persist_telemetry(tel_dir, tel)
-    record = None
-    if want_record:
-        from repro.ledger import record_from_clamr
-
-        record = record_from_clamr(result, tel, cfg, label=tel.label)
-    return level, result, record
+    result = ClamrSimulation(
+        cfg, policy=level, vectorized=vectorized, telemetry=telemetry
+    ).run(steps)
+    return level, result
 
 
-def _self_precision_task(cfg, prec, steps, label, tel_dir, want_record):
+def _self_precision_task(cfg, prec, steps, telemetry=None):
     """Worker body for one precision of :func:`run_self_precisions`."""
-    tel = _make_telemetry(tel_dir, label, want_record or None)
-    result = SelfSimulation(cfg, precision=prec, telemetry=tel).run(steps)
-    _persist_telemetry(tel_dir, tel)
-    record = None
-    if want_record:
-        from repro.ledger import record_from_self
-
-        record = record_from_self(result, tel, cfg, label=tel.label)
-    return prec, result, record
+    result = SelfSimulation(cfg, precision=prec, telemetry=telemetry).run(steps)
+    return prec, result
 
 
-def _run_sweep(tasks, jobs, ledger, telemetry_dir):
-    """Execute sweep tasks, append records in task order, merge staging."""
-    from repro.parallel.executor import SweepExecutor, merge_staged
+def _run_sweep(tasks, jobs, ledger, telemetry_dir, trace_out=None, build_record=None):
+    """Execute sweep tasks; all side effects happen parent-side, in order.
+
+    Traced tasks come back as :class:`TracedResult`; the parent unwraps
+    each, persists per-task telemetry into ``telemetry_dir``, builds and
+    appends the ledger record (``build_record(result, bundle)``), and —
+    with ``trace_out`` set — merges every bundle into one Chrome trace
+    with one pid lane per task in submission order.
+    """
+    from repro.parallel.executor import SweepExecutor, TracedResult
 
     results = {}
-    for _, (key, result, record) in SweepExecutor(jobs).stream(tasks):
+    bundles = []
+    for _, outcome in SweepExecutor(jobs).stream(tasks):
+        bundle = None
+        if isinstance(outcome, TracedResult):
+            bundle = outcome.bundle
+            outcome = outcome.value
+        key, result = outcome
         results[key] = result
-        _append_record(ledger, record)
-    if telemetry_dir is not None and jobs > 1:
-        merge_staged(telemetry_dir)
+        if bundle is not None:
+            bundles.append(bundle)
+            _persist_telemetry(telemetry_dir, bundle)
+            if build_record is not None:
+                _append_record(ledger, build_record(result, bundle))
+    if trace_out is not None and bundles:
+        from repro.telemetry.bundle import write_merged_chrome_trace
+
+        write_merged_chrome_trace(bundles, trace_out)
     return results
 
 
@@ -198,6 +195,8 @@ def run_clamr_levels(
     ledger=None,
     label: str | None = None,
     jobs: int = 1,
+    trace_out=None,
+    flight_stride: int = 0,
 ) -> dict[str, SimulationResult]:
     """One dam-break run per CLAMR precision level.
 
@@ -208,29 +207,45 @@ def run_clamr_levels(
     ``label`` names the traces/records; the default includes grid *and*
     step count so different scales of the same workload never collide.
     ``jobs`` runs the levels across worker processes (clamped to the
-    number of levels); results, traces and ledger records are collected
-    in level order, so everything but wall-clock timing is identical to
-    a serial run.
+    number of levels); each worker carries its own telemetry and ships a
+    frozen bundle back, so results, traces, and ledger records are
+    identical to a serial run minus wall-clock fields.  ``trace_out``
+    merges all per-level bundles into one Chrome trace with one pid lane
+    per level; ``flight_stride > 0`` attaches a flight recorder to every
+    run (digest lands in each ledger record's fidelity).
     """
-    from repro.parallel.executor import SweepTask, resolve_jobs, staged_dir
+    from repro.parallel.executor import SweepTask, TelemetrySpec, resolve_jobs
 
     cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
     label = label or f"clamr/nx{nx}s{steps}"
     jobs = resolve_jobs(jobs, len(CLAMR_LEVELS))
-    tasks = []
-    for idx, level in enumerate(CLAMR_LEVELS):
-        tel_dir = telemetry_dir
-        if telemetry_dir is not None and jobs > 1:
-            tel_dir = staged_dir(telemetry_dir, idx, level)
-        tasks.append(
-            SweepTask(
-                name=f"{label}/{level}",
-                fn=_clamr_level_task,
-                args=(cfg, level, steps, vectorized, f"{label}/{level}", tel_dir,
-                      ledger is not None),
-            )
+    traced = (
+        telemetry_dir is not None
+        or ledger is not None
+        or trace_out is not None
+        or flight_stride > 0
+    )
+    tasks = [
+        SweepTask(
+            name=f"{label}/{level}",
+            fn=_clamr_level_task,
+            args=(cfg, level, steps, vectorized),
+            telemetry=(
+                TelemetrySpec(label=f"{label}/{level}", flight_stride=flight_stride)
+                if traced
+                else None
+            ),
         )
-    return _run_sweep(tasks, jobs, ledger, telemetry_dir)
+        for level in CLAMR_LEVELS
+    ]
+    build_record = None
+    if ledger is not None:
+        from repro.ledger import record_from_clamr
+
+        def build_record(result, bundle):
+            return record_from_clamr(result, bundle, cfg, label=bundle.label)
+
+    return _run_sweep(tasks, jobs, ledger, telemetry_dir, trace_out, build_record)
 
 
 def run_self_precisions(
@@ -241,30 +256,46 @@ def run_self_precisions(
     ledger=None,
     label: str | None = None,
     jobs: int = 1,
+    trace_out=None,
+    flight_stride: int = 0,
 ) -> dict[str, SelfResult]:
     """One thermal-bubble run per SELF precision.
 
-    ``telemetry_dir``, ``ledger``, ``label`` and ``jobs`` behave as in
-    :func:`run_clamr_levels`.
+    ``telemetry_dir``, ``ledger``, ``label``, ``jobs``, ``trace_out`` and
+    ``flight_stride`` behave as in :func:`run_clamr_levels`.
     """
-    from repro.parallel.executor import SweepTask, resolve_jobs, staged_dir
+    from repro.parallel.executor import SweepTask, TelemetrySpec, resolve_jobs
 
     cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
     label = label or f"self/e{elems}o{order}s{steps}"
     jobs = resolve_jobs(jobs, len(SELF_PRECISIONS))
-    tasks = []
-    for idx, prec in enumerate(SELF_PRECISIONS):
-        tel_dir = telemetry_dir
-        if telemetry_dir is not None and jobs > 1:
-            tel_dir = staged_dir(telemetry_dir, idx, prec)
-        tasks.append(
-            SweepTask(
-                name=f"{label}/{prec}",
-                fn=_self_precision_task,
-                args=(cfg, prec, steps, f"{label}/{prec}", tel_dir, ledger is not None),
-            )
+    traced = (
+        telemetry_dir is not None
+        or ledger is not None
+        or trace_out is not None
+        or flight_stride > 0
+    )
+    tasks = [
+        SweepTask(
+            name=f"{label}/{prec}",
+            fn=_self_precision_task,
+            args=(cfg, prec, steps),
+            telemetry=(
+                TelemetrySpec(label=f"{label}/{prec}", flight_stride=flight_stride)
+                if traced
+                else None
+            ),
         )
-    return _run_sweep(tasks, jobs, ledger, telemetry_dir)
+        for prec in SELF_PRECISIONS
+    ]
+    build_record = None
+    if ledger is not None:
+        from repro.ledger import record_from_self
+
+        def build_record(result, bundle):
+            return record_from_self(result, bundle, cfg, label=bundle.label)
+
+    return _run_sweep(tasks, jobs, ledger, telemetry_dir, trace_out, build_record)
 
 
 # ---------------------------------------------------------------------------

@@ -247,6 +247,27 @@ def _fidelity_base(tel) -> dict:
     }
 
 
+def _attach_flight(cfg: dict, fidelity: dict, tel) -> None:
+    """Fold an enabled flight recorder into run identity and fidelity.
+
+    The recorder's *configuration* (base stride, capacity) joins the
+    ``run`` sub-dict — sampling cadence changes what the run observes —
+    and its digest joins the fidelity section.  Runs without a flight
+    recorder are untouched, so every pre-flight baseline fingerprint
+    stays valid.
+    """
+    flight = getattr(tel, "flight", None)
+    if flight is None or not getattr(flight, "nsamples", 0):
+        return
+    cfg["run"]["flight"] = {
+        "stride": int(flight.base_stride),
+        "capacity": int(flight.capacity),
+    }
+    from repro.telemetry.flight import flight_digest
+
+    fidelity["flight"] = flight_digest(flight)
+
+
 def _build(
     workload: str,
     config: dict,
@@ -309,6 +330,7 @@ def record_from_clamr(result, tel, config, seed: int = 0, label: str = "") -> Ru
         "asymmetry_relative": sig.relative_max,
         "solution_scale": sig.relative_to,
     }
+    _attach_flight(cfg, fidelity, tel)
     return _build(
         workload="clamr",
         config=cfg,
@@ -352,6 +374,7 @@ def record_from_self(result, tel, config, seed: int = 0, label: str = "") -> Run
         "solution_scale": sig.relative_to,
         "max_vertical_velocity": float(result.max_vertical_velocity),
     }
+    _attach_flight(cfg, fidelity, tel)
     return _build(
         workload="self",
         config=cfg,

@@ -18,6 +18,8 @@ def run_workload(
     *,
     seed: int = 0,
     watch_stride: int = 4,
+    flight_stride: int = 0,
+    flight_capacity: int = 512,
     label: str = "",
     # clamr knobs
     nx: int = 24,
@@ -34,17 +36,30 @@ def run_workload(
 
     Defaults are the ledger smoke workload: a few seconds end to end, big
     enough that the hot kernels clear the gate's ``min_kernel_s`` floor.
+    ``flight_stride > 0`` attaches a flight recorder (sampling every that
+    many steps), which folds its digest into the record's fidelity.
     """
     from repro.telemetry import Telemetry
+
+    def _flight(run_label: str):
+        if flight_stride <= 0:
+            return None
+        from repro.telemetry.flight import FlightRecorder
+
+        return FlightRecorder(
+            stride=flight_stride, capacity=flight_capacity, label=run_label
+        )
 
     if workload == "clamr":
         from repro.clamr import ClamrSimulation, DamBreakConfig
 
         cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
         variant = "" if scheme == "rusanov" else f"/{scheme}"
+        run_label = label or f"clamr/nx{nx}s{steps}/{policy}{variant}"
         tel = Telemetry(
-            label=label or f"clamr/nx{nx}s{steps}/{policy}{variant}",
+            label=run_label,
             watch_stride=watch_stride,
+            flight=_flight(run_label),
         )
         result = ClamrSimulation(cfg, policy=policy, scheme=scheme, telemetry=tel).run(steps)
         record = record_from_clamr(result, tel, cfg, seed=seed, label=tel.label)
@@ -52,9 +67,11 @@ def run_workload(
         from repro.self_ import SelfSimulation, ThermalBubbleConfig
 
         cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
+        run_label = label or f"self/e{elems}o{order}s{steps}/{precision}"
         tel = Telemetry(
-            label=label or f"self/e{elems}o{order}s{steps}/{precision}",
+            label=run_label,
             watch_stride=watch_stride,
+            flight=_flight(run_label),
         )
         result = SelfSimulation(cfg, precision=precision, telemetry=tel).run(steps)
         record = record_from_self(result, tel, cfg, seed=seed, label=tel.label)

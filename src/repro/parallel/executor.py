@@ -29,6 +29,17 @@ staging subdirectory and :func:`merge_staged` folds them back into the
 destination in task order, so the merged directory is identical to what
 a serial run would have produced.
 
+**Worker telemetry.**  A task carrying a :class:`TelemetrySpec` builds
+its own :class:`~repro.telemetry.Telemetry` (tracer, metrics registry,
+numerics watch, optional flight recorder) inside the worker, passes it to
+the task function as the ``telemetry=`` keyword, and returns a
+:class:`TracedResult` — the value plus a frozen, picklable
+:class:`~repro.telemetry.bundle.TelemetryBundle`.  The parent can build
+ledger records from the bundle, persist per-task trace files, or merge
+all bundles into one Chrome trace with per-worker lanes
+(:func:`~repro.telemetry.bundle.merged_chrome_trace`) — so ``--jobs N``
+sweeps are exactly as observable as serial ones.
+
 Tasks must be module-level callables with picklable arguments (the
 usual multiprocessing constraint).  The ``fork`` start method is used
 when the platform offers it — workers inherit the imported modules and
@@ -47,6 +58,8 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 __all__ = [
     "SweepTask",
     "SweepExecutor",
+    "TelemetrySpec",
+    "TracedResult",
     "resolve_jobs",
     "derive_seed",
     "staged_dir",
@@ -82,21 +95,74 @@ def resolve_jobs(jobs: int, ntasks: int) -> int:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """A recipe for the telemetry a worker should build for its task.
+
+    A live Telemetry cannot cross a process boundary (open-span stacks,
+    live metric objects), but this frozen spec can: the worker calls
+    :meth:`build` after the fork/spawn, runs the task under the fresh
+    telemetry, and ships the frozen bundle back.  ``flight_stride=0``
+    (default) disables the flight recorder; ``watch_stride=0`` disables
+    the numerics watchpoints while keeping spans and metrics.
+    """
+
+    label: str = ""
+    watch_stride: int = 8
+    flight_stride: int = 0
+    flight_capacity: int = 512
+
+    def build(self):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.flight import FlightRecorder
+
+        flight = None
+        if self.flight_stride > 0:
+            flight = FlightRecorder(
+                stride=self.flight_stride,
+                capacity=self.flight_capacity,
+                label=self.label,
+            )
+        return Telemetry(
+            label=self.label, watch_stride=self.watch_stride, flight=flight
+        )
+
+
+@dataclass(frozen=True)
+class TracedResult:
+    """A traced task's return: the value plus the worker's telemetry bundle."""
+
+    value: Any
+    bundle: Any  # TelemetryBundle; typed loosely to keep this module import-light
+
+
+@dataclass(frozen=True)
 class SweepTask:
     """One unit of sweep work: a picklable callable plus its arguments.
 
     ``name`` is a human-readable identity ("clamr/mixed", "cell 3/12")
     used for staging directories and progress display; it must be unique
     within one sweep when telemetry staging is in play.
+
+    With ``telemetry`` set (a :class:`TelemetrySpec`), :meth:`run` builds
+    a fresh Telemetry in the executing process, passes it to ``fn`` as
+    the ``telemetry=`` keyword, and wraps the return in a
+    :class:`TracedResult` carrying the frozen bundle.
     """
 
     name: str
     fn: Callable[..., Any]
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
+    telemetry: TelemetrySpec | None = None
 
     def run(self) -> Any:
-        return self.fn(*self.args, **self.kwargs)
+        if self.telemetry is None:
+            return self.fn(*self.args, **self.kwargs)
+        from repro.telemetry.bundle import TelemetryBundle
+
+        tel = self.telemetry.build()
+        value = self.fn(*self.args, telemetry=tel, **self.kwargs)
+        return TracedResult(value=value, bundle=TelemetryBundle.of(tel))
 
 
 class SweepExecutor:

@@ -25,7 +25,13 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
-from repro.parallel.executor import SweepExecutor, SweepTask, derive_seed, resolve_jobs
+from repro.parallel.executor import (
+    SweepExecutor,
+    SweepTask,
+    TelemetrySpec,
+    derive_seed,
+    resolve_jobs,
+)
 from repro.resilience.adapters import make_adapter
 from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.resilience.runner import RecoveryPolicy, ResilienceReport, ResilientRunner
@@ -160,23 +166,20 @@ def run_cell(
     return outcome, report, runner
 
 
-def _campaign_cell_task(config, recovery, array, kind, level, trial, want_record):
+def _campaign_cell_task(config, recovery, array, kind, level, trial, want_record,
+                        telemetry=None):
     """Worker body for one campaign cell: run it, reduce it to picklables.
 
     Module-level so :class:`SweepExecutor` can ship it to a worker
-    process.  The ledger record is *built* here (it only needs the
-    report and runner, which stay worker-side) but *appended* by the
-    parent, which owns the ledger file — appends stay serialized and in
-    sweep order.
+    process.  The telemetry arrives from the task's
+    :class:`TelemetrySpec` (built worker-side, shipped back as a frozen
+    bundle the parent can merge into one campaign trace).  The ledger
+    record is *built* here (it only needs the report and runner, which
+    stay worker-side) but *appended* by the parent, which owns the
+    ledger file — appends stay serialized and in sweep order.
     """
-    from repro.telemetry import Telemetry
-
-    tel = Telemetry(
-        label=f"resilience/{config.workload}/{level}/{array}/{kind}/t{trial}",
-        watch_stride=0,
-    )
     outcome, report, runner = run_cell(
-        config, array, kind, level, trial=trial, recovery=recovery, telemetry=tel
+        config, array, kind, level, trial=trial, recovery=recovery, telemetry=telemetry
     )
     record = None
     if want_record and report.result is not None:
@@ -185,7 +188,7 @@ def _campaign_cell_task(config, recovery, array, kind, level, trial, want_record
             runner,
             sim_config=_build_config(config),
             seed=config.seed,
-            label=tel.label,
+            label=getattr(telemetry, "label", ""),
         )
     return outcome, record
 
@@ -196,6 +199,7 @@ def run_campaign(
     ledger=None,
     progress=None,
     jobs: int = 1,
+    trace_out=None,
 ) -> CampaignResult:
     """Sweep arrays × kinds × levels × trials; optionally ledger each cell.
 
@@ -204,7 +208,8 @@ def run_campaign(
     same faults fire at any worker count; outcomes, progress callbacks
     and ledger appends happen in the parent in sweep order, making a
     parallel campaign's artifacts identical to a serial one's up to
-    wall-clock fields.
+    wall-clock fields.  ``trace_out`` merges every cell's telemetry
+    bundle into one Chrome trace, one pid lane per cell in sweep order.
     """
     coords = [
         (array, kind, level, trial)
@@ -218,17 +223,28 @@ def run_campaign(
             name=f"{level}/{array}/{kind}/t{trial}",
             fn=_campaign_cell_task,
             args=(config, recovery, array, kind, level, trial, ledger is not None),
+            telemetry=TelemetrySpec(
+                label=f"resilience/{config.workload}/{level}/{array}/{kind}/t{trial}",
+                watch_stride=0,
+            ),
         )
         for (array, kind, level, trial) in coords
     ]
     jobs = resolve_jobs(jobs, max(1, len(tasks)))
     result = CampaignResult(config=config)
-    for _, (outcome, record) in SweepExecutor(jobs).stream(tasks):
+    bundles = []
+    for _, traced in SweepExecutor(jobs).stream(tasks):
+        outcome, record = traced.value
+        bundles.append(traced.bundle)
         result.cells.append(outcome)
         if progress is not None:
             progress(outcome)
         if ledger is not None and record is not None:
             ledger.append(record)
+    if trace_out is not None and bundles:
+        from repro.telemetry.bundle import write_merged_chrome_trace
+
+        write_merged_chrome_trace(bundles, trace_out)
     return result
 
 

@@ -29,6 +29,7 @@ re-base through the machine model).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
@@ -206,6 +207,56 @@ class SelfSimulation:
         self._stepper = LowStorageRK3(rhs=rhs)
         self.time = 0.0
         self.step_count = 0
+        # conserved-mass baseline for the flight recorder's drift signal;
+        # captured at the first flight sample (SELF has no running mass
+        # history the way CLAMR does)
+        self._flight_mass0: float | None = None
+
+    def _flight_sample(self, flight, dt: float) -> None:
+        """Record one flight sample from the conserved state.
+
+        SELF's dt is always CFL-derived, so the realized Courant number is
+        the configured target; the interesting signals are the field
+        health of ρ/momentum/energy and the total-mass drift against the
+        first sample (double-double reduced, like CLAMR's mass history).
+        """
+        from repro.sums.doubledouble import dd_sum
+        from repro.telemetry.flight import field_signals
+
+        signals = field_signals(
+            {
+                "rho": self.U[:, RHO],
+                "momentum": self.U[:, 1:4],
+                "energy": self.U[:, 4],
+            },
+            self.dtype,
+        )
+        contrib = self.U[:, RHO].astype(np.float64).ravel()
+        mass = float(dd_sum(contrib))
+        abs_sum = float(np.sum(np.abs(contrib)))
+        if abs_sum > 0.0 and mass != 0.0 and abs_sum / abs(mass) > 1.0:
+            cancellation = math.log10(abs_sum / abs(mass))
+        else:
+            cancellation = 0.0
+        if self._flight_mass0 is None:
+            self._flight_mass0 = mass
+        drift = (
+            abs(mass - self._flight_mass0) / abs(self._flight_mass0)
+            if self._flight_mass0 != 0.0
+            else math.nan
+        )
+        bits = float(self.dtype.itemsize * 8)
+        flight.record(
+            self.step_count,
+            dt=float(dt),
+            cfl=float(self.config.courant),
+            ncells=float(self.mesh.nelem),
+            state_bits=bits,
+            compute_bits=bits,
+            cancellation_digits=cancellation,
+            conservation_drift=drift,
+            **signals,
+        )
 
     # -- initial condition ------------------------------------------------
 
@@ -248,6 +299,7 @@ class SelfSimulation:
         cfg = self.config
         tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         recording = tel.enabled
+        flight = getattr(tel, "flight", None) if recording else None
         flops = 0
         kernel_elapsed = 0.0
         t_start = time.perf_counter()
@@ -283,6 +335,8 @@ class SelfSimulation:
                             tel.scan("rho", self.U[:, RHO], step=self.step_count)
                             tel.scan("momentum", self.U[:, 1:4], step=self.step_count)
                             tel.scan("energy", self.U[:, 4], step=self.step_count)
+                    if flight is not None and flight.should_sample(self.step_count):
+                        self._flight_sample(flight, dt)
         elapsed = time.perf_counter() - t_start
 
         anomaly = (self.U[:, RHO].astype(np.float64) - self.solver.rho_bar.astype(np.float64))

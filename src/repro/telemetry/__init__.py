@@ -70,6 +70,18 @@ __all__ = [
     "span_tree",
     "span_summary",
     "event_report",
+    # flight recorder (repro.telemetry.flight) and cross-process bundles
+    # (repro.telemetry.bundle)
+    "FlightRecorder",
+    "write_flight",
+    "read_flight",
+    "flight_digest",
+    "flight_report",
+    "flight_compare",
+    "flight_counter_trace",
+    "TelemetryBundle",
+    "merged_chrome_trace",
+    "write_merged_chrome_trace",
 ]
 
 
@@ -84,15 +96,23 @@ class Telemetry:
     watch_stride:
         Step stride for numerical watchpoint scans (0 disables scanning
         while keeping spans and metrics).
+    flight:
+        Optional :class:`~repro.telemetry.flight.FlightRecorder`.  When
+        set, the simulations record their per-timestep numerics time
+        series into it (see docs/flightrecorder.md); ``None`` (default)
+        skips flight sampling entirely.
     """
 
     enabled = True
 
-    def __init__(self, label: str = "", watch_stride: int = 8) -> None:
+    def __init__(
+        self, label: str = "", watch_stride: int = 8, flight=None
+    ) -> None:
         self.label = label
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.numerics = NumericsWatch(stride=watch_stride)
+        self.flight = flight
 
     # -- spans ------------------------------------------------------------
 
@@ -138,6 +158,7 @@ class NullTelemetry:
     tracer = None  # sentinel: there is deliberately no span storage
     metrics = NullRegistry()
     numerics = NullNumericsWatch()
+    flight = None
 
     __slots__ = ()
 
@@ -164,4 +185,18 @@ from repro.telemetry.export import (  # noqa: E402
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.telemetry.flight import (  # noqa: E402
+    FlightRecorder,
+    flight_compare,
+    flight_counter_trace,
+    flight_digest,
+    flight_report,
+    read_flight,
+    write_flight,
+)
+from repro.telemetry.bundle import (  # noqa: E402
+    TelemetryBundle,
+    merged_chrome_trace,
+    write_merged_chrome_trace,
 )

@@ -1,0 +1,145 @@
+"""Picklable telemetry bundles and the cross-process trace merge.
+
+A live :class:`~repro.telemetry.Telemetry` is process-local — its tracer
+holds an open-span stack, its metrics registry hands out live objects.
+When a :class:`~repro.parallel.executor.SweepExecutor` worker runs a
+traced task, what crosses the process boundary is a
+:class:`TelemetryBundle`: the frozen spans, numerical events, metrics
+snapshot, watch stride, and (when enabled) the flight recorder.
+
+The bundle deliberately duck-types the surfaces the exporters and the
+ledger consume — ``.spans`` / ``.events`` / ``.metrics`` (a plain dict) /
+``.label`` / ``.watch_stride`` / ``.flight`` — so
+:func:`~repro.telemetry.export.to_chrome_trace`,
+:func:`~repro.telemetry.export.write_jsonl`,
+:func:`~repro.ledger.record.kernel_summaries` and the record builders all
+work on a bundle unchanged.  A ``--jobs N`` sweep therefore produces the
+*same* ledger records and telemetry files as a serial one, minus only
+wall-clock fields.
+
+:func:`merged_chrome_trace` folds many bundles into one Chrome trace with
+one pid lane per worker in submission order: lane numbers, event order
+and sort indices depend only on the task list, never on which worker
+finished first.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.telemetry.export import _clean
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.numerics import NumericalEvent
+from repro.telemetry.spans import Span
+
+__all__ = ["TelemetryBundle", "merged_chrome_trace", "write_merged_chrome_trace"]
+
+
+@dataclass
+class TelemetryBundle:
+    """One worker's telemetry, frozen into plain picklable data."""
+
+    label: str = ""
+    watch_stride: int = 0
+    spans: list[Span] = field(default_factory=list)
+    events: list[NumericalEvent] = field(default_factory=list)
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+    flight: FlightRecorder | None = None
+
+    @classmethod
+    def of(cls, tel) -> "TelemetryBundle":
+        """Freeze a live telemetry (or pass through anything bundle-shaped)."""
+        if isinstance(tel, cls):
+            return tel
+        tracer = getattr(tel, "tracer", None)
+        numerics = getattr(tel, "numerics", None)
+        metrics = getattr(tel, "metrics", None)
+        return cls(
+            label=getattr(tel, "label", ""),
+            watch_stride=int(getattr(numerics, "stride", 0) or 0),
+            spans=list(tracer.spans) if tracer is not None else [],
+            events=list(numerics.events) if numerics is not None else [],
+            metrics=metrics.snapshot() if hasattr(metrics, "snapshot") else dict(metrics or {}),
+            flight=getattr(tel, "flight", None),
+        )
+
+
+def merged_chrome_trace(bundles: Sequence[TelemetryBundle]) -> dict:
+    """Merge worker bundles into one Chrome trace, one pid lane per worker.
+
+    Workers appear in submission order: bundle ``i`` gets ``pid = i + 1``
+    and ``process_sort_index = i``, and its events are appended as a
+    contiguous block — so the merged event list is a deterministic
+    function of the bundle sequence alone.  Each lane's timestamps are
+    rebased to its own first span (perf_counter epochs differ between
+    processes; within-lane timing is what the trace shows).
+    """
+    trace_events: list[dict] = []
+    metrics: dict[str, dict] = {}
+    labels: list[str] = []
+    for i, bundle in enumerate(bundles):
+        pid = i + 1
+        tid = 1
+        label = bundle.label or f"worker-{i}"
+        labels.append(label)
+        trace_events.append(
+            {"ph": "M", "pid": pid, "name": "process_name", "args": {"name": label}}
+        )
+        trace_events.append(
+            {"ph": "M", "pid": pid, "name": "process_sort_index", "args": {"sort_index": i}}
+        )
+        trace_events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name", "args": {"name": "solver"}}
+        )
+        t0 = min((s.start_s for s in bundle.spans), default=0.0)
+        span_start = {s.span_id: s.start_s for s in bundle.spans}
+        for s in bundle.spans:
+            trace_events.append(
+                {
+                    "name": s.name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": (s.start_s - t0) * 1e6,
+                    "dur": s.duration_s * 1e6,
+                    "args": {k: _clean(v) for k, v in s.counters.items()},
+                }
+            )
+        for e in bundle.events:
+            ts = (span_start.get(e.span_id, t0) - t0) * 1e6 if e.span_id is not None else 0.0
+            trace_events.append(
+                {
+                    "name": f"{e.kind}:{e.array}",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": ts,
+                    "args": {
+                        "step": e.step,
+                        "value": _clean(e.value),
+                        "severity": e.severity,
+                        **{k: _clean(v) for k, v in e.detail.items()},
+                    },
+                }
+            )
+        if bundle.metrics:
+            metrics[label] = {
+                name: {k: _clean(v) for k, v in snap.items()}
+                for name, snap in bundle.metrics.items()
+            }
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"workers": labels, "metrics": metrics},
+    }
+
+
+def write_merged_chrome_trace(bundles: Sequence[TelemetryBundle], path: str | Path) -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(merged_chrome_trace(bundles), fh)
+    return path

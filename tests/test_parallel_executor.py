@@ -20,6 +20,8 @@ from repro.machine.counters import WorkloadProfile
 from repro.parallel.executor import (
     SweepExecutor,
     SweepTask,
+    TelemetrySpec,
+    TracedResult,
     derive_seed,
     merge_staged,
     resolve_jobs,
@@ -138,6 +140,88 @@ class TestStaging:
         assert merge_staged(tmp_path) == 0
 
 
+def _traced_clamr(cfg, steps, telemetry=None):
+    from repro.clamr import ClamrSimulation
+
+    result = ClamrSimulation(cfg, policy="mixed", telemetry=telemetry).run(steps)
+    return result.mass_drift
+
+
+def _strip_clock(trace: dict) -> dict:
+    """A merged Chrome trace minus its wall-clock fields (ts/dur).
+
+    pid/tid/name/args and event order are submission-order-deterministic;
+    only the timestamps depend on which worker ran when.
+    """
+    events = []
+    for e in trace["traceEvents"]:
+        events.append({k: v for k, v in e.items() if k not in ("ts", "dur")})
+    return {**trace, "traceEvents": events}
+
+
+class TestTracedTasks:
+    def _tasks(self):
+        from repro.clamr import DamBreakConfig
+
+        cfg = DamBreakConfig(nx=10, ny=10, max_level=1)
+        return [
+            SweepTask(
+                name=f"t{i}",
+                fn=_traced_clamr,
+                args=(cfg, 6),
+                telemetry=TelemetrySpec(label=f"lane/{i}", flight_stride=2),
+            )
+            for i in range(3)
+        ]
+
+    def test_workers_ship_bundles(self):
+        for jobs in (1, 3):
+            results = SweepExecutor(jobs).map(self._tasks())
+            assert all(isinstance(r, TracedResult) for r in results)
+            for i, r in enumerate(results):
+                assert r.bundle.label == f"lane/{i}"
+                assert r.bundle.spans, "worker spans must come home"
+                assert r.bundle.flight is not None and r.bundle.flight.nsamples == 3
+
+    def test_parallel_bundles_match_serial(self):
+        from repro.telemetry.flight import flight_digest
+
+        serial = SweepExecutor(1).map(self._tasks())
+        parallel = SweepExecutor(3).map(self._tasks())
+        for a, b in zip(serial, parallel):
+            assert a.value == b.value
+            assert [s.name for s in a.bundle.spans] == [s.name for s in b.bundle.spans]
+            assert a.bundle.metrics == b.bundle.metrics
+            assert flight_digest(a.bundle.flight) == flight_digest(b.bundle.flight)
+
+    def test_merged_trace_serial_equals_parallel_modulo_clock(self):
+        from repro.telemetry.bundle import merged_chrome_trace
+
+        serial = merged_chrome_trace([r.bundle for r in SweepExecutor(1).map(self._tasks())])
+        parallel = merged_chrome_trace([r.bundle for r in SweepExecutor(3).map(self._tasks())])
+        assert _strip_clock(serial) == _strip_clock(parallel)
+
+    def test_merged_trace_lanes_are_submission_ordered(self, tmp_path):
+        from repro.telemetry.bundle import write_merged_chrome_trace
+
+        bundles = [r.bundle for r in SweepExecutor(2).map(self._tasks())]
+        path = write_merged_chrome_trace(bundles, tmp_path / "m.trace.json")
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {1: "lane/0", 2: "lane/1", 3: "lane/2"}
+        # every lane carries spans, and lane blocks appear in pid order
+        span_pids = [e["pid"] for e in events if e["ph"] == "X"]
+        assert sorted(set(span_pids)) == [1, 2, 3]
+        assert span_pids == sorted(span_pids)
+        assert doc["otherData"]["workers"] == ["lane/0", "lane/1", "lane/2"]
+
+    def test_untraced_task_unchanged(self):
+        task = SweepTask(name="plain", fn=_square, args=(3,))
+        assert task.run() == 9
+
+
 class TestHarnessSweeps:
     def test_clamr_levels_parallel_parity(self, tmp_path):
         from repro.harness.experiments import run_clamr_levels
@@ -184,6 +268,37 @@ class TestHarnessSweeps:
         with pytest.raises(ValueError):
             run_clamr_levels(nx=8, steps=2, jobs=0)
 
+    def test_flight_digests_identical_across_jobs(self, tmp_path):
+        from repro.harness.experiments import run_clamr_levels
+
+        run_clamr_levels(
+            nx=12, steps=12, max_level=1, ledger=tmp_path / "s.jsonl",
+            flight_stride=2,
+        )
+        run_clamr_levels(
+            nx=12, steps=12, max_level=1, ledger=tmp_path / "p.jsonl",
+            flight_stride=2, jobs=3,
+        )
+        a = read_records(tmp_path / "s.jsonl")
+        b = read_records(tmp_path / "p.jsonl")
+        assert [normalized(r) for r in a] == [normalized(r) for r in b]
+        for r in a:
+            assert r["fidelity"]["flight"]["hash"]
+            assert r["config"]["run"]["flight"] == {"stride": 2, "capacity": 512}
+
+    def test_sweep_trace_out_merges_every_lane(self, tmp_path):
+        from repro.harness.experiments import run_clamr_levels
+
+        out_s = tmp_path / "serial.trace.json"
+        out_p = tmp_path / "par.trace.json"
+        run_clamr_levels(nx=12, steps=8, max_level=1, trace_out=out_s)
+        run_clamr_levels(nx=12, steps=8, max_level=1, trace_out=out_p, jobs=2)
+        serial = json.loads(out_s.read_text())
+        parallel = json.loads(out_p.read_text())
+        assert _strip_clock(serial) == _strip_clock(parallel)
+        pids = {e["pid"] for e in parallel["traceEvents"] if e["ph"] == "X"}
+        assert pids == {1, 2, 3}  # one lane per precision level
+
 
 class TestCampaignParallel:
     def _config(self):
@@ -216,6 +331,16 @@ class TestCampaignParallel:
         serial_seen = []
         run_campaign(self._config(), progress=lambda c: serial_seen.append((c.array, c.kind)))
         assert seen == serial_seen
+
+    def test_campaign_trace_out_has_one_lane_per_cell(self, tmp_path):
+        from repro.resilience import run_campaign
+
+        out = tmp_path / "campaign.trace.json"
+        result = run_campaign(self._config(), jobs=2, trace_out=out)
+        doc = json.loads(out.read_text())
+        labels = doc["otherData"]["workers"]
+        assert len(labels) == len(result.cells)
+        assert all(label.startswith("resilience/clamr/") for label in labels)
 
 
 class TestTradespaceParallel:
