@@ -5,7 +5,8 @@ precision and 86 MB at minimum/mixed — a ratio of exactly 2/3, because a
 checkpoint is three float state arrays (8 → 4 bytes each) plus three int32
 mesh arrays (unchanged): per cell, ``3·8+3·4 = 36`` bytes becomes
 ``3·4+3·4 = 24``.  This module writes that exact layout, so measured file
-sizes reproduce the ratio without any tuning.
+sizes reproduce the ratio without any tuning (the header is a constant
+that cancels out of the ratio at scale).
 
 Format (little-endian, self-describing):
 
@@ -13,18 +14,26 @@ Format (little-endian, self-describing):
 offset field                    contents
 ====== ======================== =====================================
 0      magic                    ``b"CLMR"``
-4      version                  uint32 = 1
+4      version                  uint32 = 2
 8      ncells                   uint64
 16     nx, ny, max_level        3 × uint32
 28     state_itemsize           uint32 (4 or 8)
 32     coarse_size              float64
-40     i, j, level              3 × int32[ncells]
+40     content_hash             sha256 of the payload (32 bytes)
+72     i, j, level              3 × int32[ncells]
 ...    H, U, V                  3 × state_dtype[ncells]
 ====== ======================== =====================================
+
+Version 2 added the content hash: ``read_checkpoint`` verifies the
+payload against it, so a resume (``repro diverge replay``, resilience
+rollback) *proves* it starts from bit-identical state instead of
+assuming the filesystem was honest.  Version-1 files (no hash field)
+remain readable, without verification.
 """
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from pathlib import Path
 
@@ -38,22 +47,26 @@ from repro.precision.policy import PrecisionPolicy, MIN_PRECISION, FULL_PRECISIO
 __all__ = ["write_checkpoint", "read_checkpoint", "checkpoint_nbytes"]
 
 _MAGIC = b"CLMR"
-_VERSION = 1
-_HEADER = struct.Struct("<4sIQIIIId")
+_VERSION = 2
+#: magic + version prefix, parsed first so a bad magic is reported as
+#: such even on files shorter than the full header
+_PREFIX = struct.Struct("<4sI")
+_HEADER = struct.Struct("<4sIQIIIId32s")
+_HEADER_V1 = struct.Struct("<4sIQIIIId")
 
 
 def checkpoint_nbytes(ncells: int, policy: PrecisionPolicy) -> int:
     """Predicted checkpoint size in bytes for a mesh of ``ncells`` cells."""
     if ncells < 0:
         raise ValueError("ncells must be non-negative")
-    return _HEADER.size + ncells * (3 * 4 + 3 * policy.state_bytes_per_value())
+    return _HEADER.size + _payload_nbytes(ncells, policy.state_bytes_per_value())
 
 
-def _checkpoint_chunks(mesh: AmrMesh, state: ShallowWaterState):
-    itemsize = state.state_dtype.itemsize
-    yield _HEADER.pack(
-        _MAGIC, _VERSION, mesh.ncells, mesh.nx, mesh.ny, mesh.max_level, itemsize, mesh.coarse_size
-    )
+def _payload_nbytes(ncells: int, itemsize: int) -> int:
+    return ncells * (3 * 4 + 3 * itemsize)
+
+
+def _payload_chunks(mesh: AmrMesh, state: ShallowWaterState):
     for arr in (mesh.i, mesh.j, mesh.level):
         yield np.ascontiguousarray(arr, dtype="<i4").tobytes()
     le_state = state.state_dtype.newbyteorder("<")
@@ -68,7 +81,8 @@ def write_checkpoint(path: str | Path, mesh: AmrMesh, state: ShallowWaterState) 
     whole point of the storage comparison.  The write is atomic and
     durable (temp file + fsync + rename): a crash mid-write leaves the
     previous checkpoint intact, never a torn file — a restart file that
-    can be torn is worthless as a recovery target.
+    can be torn is worthless as a recovery target.  The header embeds a
+    sha256 of the payload that :func:`read_checkpoint` verifies.
     """
     path = Path(path)
     itemsize = state.state_dtype.itemsize
@@ -76,29 +90,61 @@ def write_checkpoint(path: str | Path, mesh: AmrMesh, state: ShallowWaterState) 
         raise ValueError(f"checkpoint format supports float32/float64 state, got {state.state_dtype}")
     if state.ncells != mesh.ncells:
         raise ValueError("state and mesh cell counts differ")
-    return atomic_write_bytes(path, _checkpoint_chunks(mesh, state))
+    digest = hashlib.sha256()
+    payload = []
+    for chunk in _payload_chunks(mesh, state):
+        digest.update(chunk)
+        payload.append(chunk)
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, mesh.ncells, mesh.nx, mesh.ny, mesh.max_level,
+        itemsize, mesh.coarse_size, digest.digest(),
+    )
+    return atomic_write_bytes(path, [header] + payload)
 
 
 def read_checkpoint(path: str | Path) -> tuple[AmrMesh, ShallowWaterState]:
     """Read a checkpoint back into a mesh and state.
 
-    The returned state's policy is inferred from the stored itemsize
-    (float32 → minimum precision, float64 → full); callers wanting mixed
-    semantics re-wrap with :meth:`ShallowWaterState.with_policy`.
+    The payload is verified against the header's content hash (v2
+    files); any mismatch — bit rot, a truncating copy, a hand-edited
+    file — raises :class:`ValueError` rather than resuming from silently
+    corrupted state.  The returned state's policy is inferred from the
+    stored itemsize (float32 → minimum precision, float64 → full);
+    callers wanting mixed semantics re-wrap with
+    :meth:`ShallowWaterState.with_policy`.
     """
     path = Path(path)
     raw = path.read_bytes()
-    if len(raw) < _HEADER.size:
+    if len(raw) < _PREFIX.size:
         raise ValueError(f"{path}: file too short for a checkpoint header")
-    magic, version, ncells, nx, ny, max_level, itemsize, coarse_size = _HEADER.unpack_from(raw)
+    magic, version = _PREFIX.unpack_from(raw)
     if magic != _MAGIC:
         raise ValueError(f"{path}: bad magic {magic!r}")
-    if version != _VERSION:
+    if version == _VERSION:
+        header = _HEADER
+    elif version == 1:
+        header = _HEADER_V1
+    else:
         raise ValueError(f"{path}: unsupported version {version}")
-    expected = checkpoint_nbytes(ncells, FULL_PRECISION if itemsize == 8 else MIN_PRECISION)
+    if len(raw) < header.size:
+        raise ValueError(f"{path}: file too short for a checkpoint header")
+    stored_hash = b""
+    if version == _VERSION:
+        (magic, version, ncells, nx, ny, max_level, itemsize, coarse_size,
+         stored_hash) = header.unpack_from(raw)
+    else:
+        magic, version, ncells, nx, ny, max_level, itemsize, coarse_size = header.unpack_from(raw)
+    expected = header.size + _payload_nbytes(ncells, itemsize)
     if len(raw) != expected:
         raise ValueError(f"{path}: size {len(raw)} != expected {expected}")
-    offset = _HEADER.size
+    if stored_hash:
+        actual = hashlib.sha256(raw[header.size:]).digest()
+        if actual != stored_hash:
+            raise ValueError(
+                f"{path}: content hash mismatch — checkpoint payload is corrupted "
+                f"(stored {stored_hash.hex()[:16]}, computed {actual.hex()[:16]})"
+            )
+    offset = header.size
     ints = []
     for _ in range(3):
         arr = np.frombuffer(raw, dtype="<i4", count=ncells, offset=offset).copy()

@@ -323,6 +323,7 @@ class ClamrSimulation:
         tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         recording = tel.enabled
         flight = getattr(tel, "flight", None) if recording else None
+        ladder = getattr(tel, "ladder", None) if recording else None
         drift = 0.0 if record_mass else math.nan
         kernel_span_name = f"clamr/{kernel.__name__}"
 
@@ -340,12 +341,17 @@ class ClamrSimulation:
         with tel.span("clamr/run", steps=steps, ncells=self.mesh.ncells):
             for _ in range(steps):
                 with tel.span("clamr/step", step=self.step_count):
+                    # the step being computed (step_count increments mid-loop)
+                    step_no = self.step_count + 1
+                    hashing = ladder is not None and ladder.should_hash(step_no)
                     if recording:
                         f0, b0 = counters.flops, counters.state_bytes
                     with tel.span("clamr/compute_timestep") as sp:
                         dt = compute_timestep(
                             self.mesh, self.state, cfg.courant, counters=counters, geom=self._geom
                         )
+                    if hashing:
+                        ladder.record_site(step_no, "clamr/compute_timestep", {"dt": dt})
                     if recording:
                         sp.set(
                             flops=counters.flops - f0,
@@ -365,6 +371,11 @@ class ClamrSimulation:
                             faces=faces, counters=counters, geom=self._geom,
                         )
                     kernel_elapsed += time.perf_counter() - t0
+                    if hashing:
+                        ladder.record_site(
+                            step_no, kernel_span_name,
+                            {"H": self.state.H, "U": self.state.U, "V": self.state.V},
+                        )
                     if recording:
                         dflops = counters.flops - f0
                         dbytes = counters.state_bytes - b0
@@ -410,6 +421,18 @@ class ClamrSimulation:
                             fixed_bytes=8 * self.mesh.nxf * self.mesh.nyf
                             + 4 * 8 * self.mesh.ncells
                         )
+                        if hashing:
+                            # regrid replaces mesh+state, so hash the new
+                            # layout (level map included) inline
+                            ladder.record_site(
+                                step_no, "clamr/regrid",
+                                {
+                                    "H": self.state.H,
+                                    "U": self.state.U,
+                                    "V": self.state.V,
+                                    "level": self.mesh.level,
+                                },
+                            )
                         if recording:
                             sp.set(
                                 ncells_before=ncells_before,

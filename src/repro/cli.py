@@ -31,6 +31,13 @@ Subcommands
     faults without recovery to probe detectability, run a supervised
     loop with checkpoint-rollback recovery and precision escalation, or
     sweep fault sites × precision levels into a vulnerability report.
+``diverge record|compare|replay|report``
+    The divergence microscope (see docs/divergence.md): record a run's
+    hierarchical state-hash ladder (step → kernel site → field → chunk)
+    to ``hashes.jsonl``, bisect two recordings to the first divergent
+    chunk (exit 1 on divergence), re-run a divergence window from the
+    nearest checkpoints at full hash resolution with ULP statistics,
+    and chart the ULP divergence-onset curve of a precision pair.
 
 Errors from bad arguments or missing files exit with status 2 and a
 one-line ``repro: error: ...`` message — never a traceback.
@@ -114,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--trace-out", default=None, metavar="FILE",
                        help="merge the sweep's per-run telemetry into one Chrome "
                             "trace, one pid lane per run (tables 1/2/5/6 only)")
+    table.add_argument("--hash-dir", default=None, metavar="DIR",
+                       help="write each run's state-hash stream there as "
+                            "<label>.hashes.jsonl for 'repro diverge compare' "
+                            "(tables 1/2/5/6 only)")
+    table.add_argument("--hash-stride", type=int, default=0, metavar="N",
+                       help="hash every Nth step (default: every step when "
+                            "--hash-dir is set)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=range(1, 6))
@@ -123,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--trace-out", default=None, metavar="FILE",
                         help="merge the sweep's per-run telemetry into one Chrome "
                              "trace (figures 1/2/4/5 only)")
+    figure.add_argument("--hash-dir", default=None, metavar="DIR",
+                        help="write each run's state-hash stream there as "
+                             "<label>.hashes.jsonl (figures 1/2/4/5 only)")
+    figure.add_argument("--hash-stride", type=int, default=0, metavar="N",
+                        help="hash every Nth step (default: every step when "
+                             "--hash-dir is set)")
 
     compare = sub.add_parser("compare", help="fidelity comparison of two precision levels")
     compare.add_argument("--nx", type=int, default=48)
@@ -278,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
         "inject", help="inject faults with detectors but no recovery (probe run)"
     )
     _resil_workload_args(rinj)
+    rinj.add_argument("--footprint", action="store_true",
+                      help="also run a clean twin and report each fault's "
+                           "corruption footprint via the state-hash ladder "
+                           "(first divergent step/site/field, detection latency)")
 
     rrun = rsub.add_parser(
         "run", help="supervised run: checkpoint, detect, roll back, recover"
@@ -326,6 +350,87 @@ def build_parser() -> argparse.ArgumentParser:
     rcamp.add_argument("--trace-out", default=None, metavar="FILE",
                        help="merge every cell's telemetry into one Chrome trace, "
                             "one pid lane per cell in sweep order")
+
+    diverge = sub.add_parser(
+        "diverge", help="state-hash ladders and first-divergence bisection"
+    )
+    dsub = diverge.add_subparsers(dest="diverge_command", required=True)
+
+    drec = dsub.add_parser(
+        "record", help="run a workload and record its state-hash ladder"
+    )
+    drec.add_argument("out", metavar="DIR",
+                      help="run directory to create (hashes.jsonl, run.json, "
+                           "checkpoints)")
+    drec.add_argument("--workload", default="clamr", choices=("clamr", "self"))
+    drec.add_argument("--steps", type=int, default=24)
+    drec.add_argument("--nx", type=int, default=16, help="CLAMR coarse grid per side")
+    drec.add_argument("--max-level", type=int, default=1)
+    drec.add_argument("--policy", default="mixed",
+                      choices=("half", "min", "mixed", "full"),
+                      help="clamr precision level (half/min/mixed map to single "
+                           "for self)")
+    drec.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
+    drec.add_argument("--scalar", action="store_true",
+                      help="use the unvectorized clamr kernel")
+    drec.add_argument("--scatter", default="plan", choices=("plan", "add_at"),
+                      help="clamr scatter implementation (plan = CSR)")
+    drec.add_argument("--elems", type=int, default=3, help="SELF elements per side")
+    drec.add_argument("--order", type=int, default=3, help="SELF polynomial order")
+    drec.add_argument("--precision", default="double", choices=("single", "double"))
+    drec.add_argument("--seed", type=int, default=0,
+                      help="fault-plan seed (resolves random element/bit choices)")
+    drec.add_argument("--hash-stride", type=int, default=1, metavar="N",
+                      help="hash every Nth step (default 1: every step)")
+    drec.add_argument("--hash-chunk", type=int, default=4096, metavar="ELEMS",
+                      help="chunk size in array elements (default 4096)")
+    drec.add_argument("--checkpoint-interval", type=int, default=0, metavar="STEPS",
+                      help="write a checkpoint every N steps (enables "
+                           "'diverge replay'; 0 disables)")
+    drec.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                      help="inject kind:array:step[:index[:bit]] after that step "
+                           "completes; trailing '!' on the kind = sticky; "
+                           "repeatable")
+    drec.add_argument("--label", default="", help="label stored in the hash stream")
+
+    dcmp = dsub.add_parser(
+        "compare",
+        help="bisect two recordings to the first divergent step/site/field/chunk "
+             "(exit 1 on divergence)",
+    )
+    dcmp.add_argument("a", metavar="A", help="run directory or hashes.jsonl")
+    dcmp.add_argument("b", metavar="B", help="run directory or hashes.jsonl")
+    dcmp.add_argument("--json", default=None, metavar="FILE",
+                      help="also write the full divergence report as JSON")
+
+    drep = dsub.add_parser(
+        "replay",
+        help="re-run a coarse divergence window from the nearest checkpoints "
+             "with stride-1 hashing and ULP statistics (exit 1 on divergence)",
+    )
+    drep.add_argument("a", metavar="DIR_A", help="run directory (needs checkpoints)")
+    drep.add_argument("b", metavar="DIR_B", help="run directory (needs checkpoints)")
+    drep.add_argument("--pad", type=int, default=2, metavar="STEPS",
+                      help="extra steps replayed past the divergence (default 2)")
+    drep.add_argument("--json", default=None, metavar="FILE",
+                      help="also write the replay report (ULP curve) as JSON")
+
+    dons = dsub.add_parser(
+        "report",
+        help="ULP divergence-onset curve for a precision pair (tolerance mode)",
+    )
+    dons.add_argument("--workload", default="clamr", choices=("clamr", "self"))
+    dons.add_argument("--pair", default=None, metavar="A,B",
+                      help="precision pair (default: min,full for clamr; "
+                           "single,double for self)")
+    dons.add_argument("--steps", type=int, default=24)
+    dons.add_argument("--nx", type=int, default=16, help="CLAMR coarse grid per side")
+    dons.add_argument("--max-level", type=int, default=1)
+    dons.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
+    dons.add_argument("--elems", type=int, default=3, help="SELF elements per side")
+    dons.add_argument("--order", type=int, default=3, help="SELF polynomial order")
+    dons.add_argument("--json", default=None, metavar="FILE",
+                      help="also write the onset report as JSON")
     return parser
 
 
@@ -449,9 +554,14 @@ def _cmd_table(args: argparse.Namespace) -> int:
         raise CLIError(
             f"table {n} does not run a single sweep; --trace-out supports tables 1, 2, 5, 6"
         )
+    if args.hash_dir and n not in (1, 2, 5, 6):
+        raise CLIError(
+            f"table {n} does not run a single sweep; --hash-dir supports tables 1, 2, 5, 6"
+        )
     if n in (1, 2):
         runs = ex.run_clamr_levels(
-            nx=s["nx"], steps=s["steps"], jobs=args.jobs, trace_out=args.trace_out
+            nx=s["nx"], steps=s["steps"], jobs=args.jobs, trace_out=args.trace_out,
+            hash_stride=args.hash_stride, hash_dir=args.hash_dir,
         )
         fn = ex.table1_clamr_architectures if n == 1 else ex.table2_clamr_energy
         out = fn(runs, nx=s["nx"], steps=s["steps"])
@@ -463,6 +573,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         runs = ex.run_self_precisions(
             elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs,
             trace_out=args.trace_out,
+            hash_stride=args.hash_stride, hash_dir=args.hash_dir,
         )
         fn = ex.table5_self_architectures if n == 5 else ex.table6_self_energy
         out = fn(runs, elems=s["elems"], order=s["order"], steps=s["sst"])
@@ -478,6 +589,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     print(out.render())
     if args.trace_out:
         print(f"merged trace: {args.trace_out}")
+    if args.hash_dir:
+        print(f"hash streams: {args.hash_dir}")
     return 0
 
 
@@ -488,9 +601,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     n = args.number
     if args.trace_out and n == 3:
         raise CLIError("figure 3 does not run a sweep; --trace-out supports figures 1, 2, 4, 5")
+    if args.hash_dir and n == 3:
+        raise CLIError("figure 3 does not run a sweep; --hash-dir supports figures 1, 2, 4, 5")
     if n in (1, 2):
         runs = ex.run_clamr_levels(
-            nx=s["fig_nx"], steps=s["fig_steps"], jobs=args.jobs, trace_out=args.trace_out
+            nx=s["fig_nx"], steps=s["fig_steps"], jobs=args.jobs, trace_out=args.trace_out,
+            hash_stride=args.hash_stride, hash_dir=args.hash_dir,
         )
         fn = ex.fig1_clamr_slices if n == 1 else ex.fig2_clamr_asymmetry
         out = fn(runs)
@@ -500,11 +616,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         runs = ex.run_self_precisions(
             elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs,
             trace_out=args.trace_out,
+            hash_stride=args.hash_stride, hash_dir=args.hash_dir,
         )
         out = ex.fig4_self_slices(runs) if n == 4 else ex.fig5_self_asymmetry(runs)
     print(out.render())
     if args.trace_out:
         print(f"merged trace: {args.trace_out}")
+    if args.hash_dir:
+        print(f"hash streams: {args.hash_dir}")
     return 0
 
 
@@ -911,6 +1030,31 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         undetected = [f for f in report.faults if f.step not in detected]
         for f in undetected:
             print(f"  UNDETECTED   : {f.describe()} (silent corruption candidate)")
+        if args.footprint:
+            if not plan.specs:
+                raise CLIError("--footprint needs at least one --fault/--faults")
+            from repro.diverge import fault_footprint
+
+            fp = fault_footprint(
+                plan,
+                workload=args.workload,
+                steps=args.steps,
+                nx=args.nx,
+                max_level=args.max_level,
+                policy=args.policy,
+                scheme=args.scheme,
+                elems=args.elems,
+                order=args.order,
+            )
+            print(f"  footprint    : {fp['summary']}")
+            if fp["diverged"]:
+                match = "at the injection site" if fp["site_match"] else \
+                    "away from the injection site"
+                print(f"  localization : {match}, "
+                      f"latency {fp['latency_steps']} step(s)")
+            else:
+                print("  localization : fault left no bit-level trace "
+                      "(masked or overwritten)")
         return 0
 
     if args.resilience_command == "run":
@@ -945,6 +1089,141 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     )
 
 
+_DIVERGE_ARRAYS = {
+    "clamr": ("H", "U", "V"),
+    "self": ("rho", "rhou", "rhov", "rhow", "rhoE"),
+}
+
+
+def _diverge_plan(args: argparse.Namespace):
+    """A FaultPlan from repeated ``--fault`` specs, or ``None``."""
+    if not args.fault:
+        return None
+    from repro.resilience import FaultPlan, FaultSpec
+
+    known = _DIVERGE_ARRAYS[args.workload]
+    specs = [FaultSpec.parse(text) for text in args.fault]
+    for spec in specs:
+        if spec.array not in known:
+            raise CLIError(
+                f"fault targets unknown array {spec.array!r}; "
+                f"{args.workload} exposes {sorted(known)}"
+            )
+        if spec.step > args.steps:
+            raise CLIError(
+                f"fault step {spec.step} is beyond the run ({args.steps} steps)"
+            )
+    return FaultPlan(specs=tuple(specs), seed=args.seed)
+
+
+def _write_json_report(path, text: str) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(text + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+
+
+def _cmd_diverge(args: argparse.Namespace) -> int:
+    if args.diverge_command == "record":
+        from repro.diverge import record_run
+
+        run = record_run(
+            args.out,
+            workload=args.workload,
+            steps=args.steps,
+            nx=args.nx,
+            max_level=args.max_level,
+            policy=args.policy,
+            scheme=args.scheme,
+            vectorized=not args.scalar,
+            elems=args.elems,
+            order=args.order,
+            precision=args.precision,
+            scatter=args.scatter,
+            seed=args.seed,
+            hash_stride=args.hash_stride,
+            hash_chunk=args.hash_chunk,
+            checkpoint_interval=args.checkpoint_interval,
+            plan=_diverge_plan(args),
+            label=args.label,
+        )
+        print(f"recorded {args.workload}: {run.steps} steps, "
+              f"{run.ladder.nsteps} hashed (stride {run.ladder.stride}), "
+              f"root {run.root}")
+        for ev in run.injected:
+            print(f"  injected     : {ev.describe()}")
+        if run.checkpoint_steps:
+            print(f"  checkpoints  : steps {run.checkpoint_steps}")
+        print(f"  run dir      : {run.out}")
+        return 0
+
+    if args.diverge_command == "compare":
+        from repro.diverge import compare_paths
+
+        report = compare_paths(
+            _require_file(args.a, "hash stream"),
+            _require_file(args.b, "hash stream"),
+        )
+        print(report.summary())
+        for line in report.meta_mismatch:
+            print(f"  meta         : {line}")
+        if args.json:
+            _write_json_report(args.json, report.to_json())
+        return 1 if report.diverged else 0
+
+    if args.diverge_command == "replay":
+        from repro.diverge import replay
+
+        report = replay(
+            _require_file(args.a, "run directory"),
+            _require_file(args.b, "run directory"),
+            pad=args.pad,
+        )
+        print(report.summary())
+        if report.diverged and report.ulp_curve:
+            print(f"  window       : steps {report.start_step}..{report.stop_step} "
+                  f"(ckpt {report.ckpt_a or 'start'} / {report.ckpt_b or 'start'})")
+            for point in report.ulp_curve:
+                print(f"  step {point['step']:>5}  max {point['max_ulp']:.3g} ULP")
+            if report.offending:
+                off = report.offending
+                st = off.get("stats", {})
+                print(f"  offending    : {off['field']} ({st.get('dtype', '?')}), "
+                      f"{st.get('count_diff', 0)}/{st.get('n', 0)} values differ, "
+                      f"max {st.get('max_ulp', 0):.3g} / mean {st.get('mean_ulp', 0):.3g} ULP")
+        if args.json:
+            _write_json_report(args.json, report.to_json())
+        return 1 if report.diverged else 0
+
+    if args.diverge_command == "report":
+        from repro.diverge import onset_curve
+
+        pair = args.pair or ("min,full" if args.workload == "clamr" else "single,double")
+        parts = tuple(x.strip() for x in pair.split(","))
+        if len(parts) != 2:
+            raise CLIError(f"--pair expects exactly two comma-separated names, got {pair!r}")
+        report = onset_curve(
+            workload=args.workload,
+            pair=parts,
+            steps=args.steps,
+            nx=args.nx,
+            max_level=args.max_level,
+            elems=args.elems,
+            order=args.order,
+            scheme=args.scheme,
+        )
+        print(report.summary())
+        for point in report.curve:
+            worst = max(point["fields"], key=lambda f: point["fields"][f]["max_ulp"])
+            print(f"  step {point['step']:>5}  max {point['max_ulp']:.3g} ULP "
+                  f"(worst field: {worst})")
+        if args.json:
+            _write_json_report(args.json, report.to_json())
+        return 0
+
+    raise ValueError(f"unknown diverge command {args.diverge_command!r}")  # pragma: no cover
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.harness.validate import validate_reproduction
 
@@ -968,6 +1247,7 @@ _COMMANDS = {
     "flight": _cmd_flight,
     "ledger": _cmd_ledger,
     "resilience": _cmd_resilience,
+    "diverge": _cmd_diverge,
 }
 
 

@@ -1,0 +1,81 @@
+"""Divergence microscope: localize *where* two runs stop agreeing.
+
+The ledger detects that two runs diverge (one fingerprint per run);
+this package says where and by how much:
+
+* :mod:`repro.diverge.ladder` — hierarchical state-hash ladder
+  (chunk → field → kernel site → step → run root) recorded by both
+  simulations, persisted as a schema-versioned ``hashes.jsonl``;
+* :mod:`repro.diverge.compare` — aligns two hash streams and bisects
+  down the ladder to the first divergent step/site/field/chunk;
+* :mod:`repro.diverge.record` — the ``repro diverge record`` driver:
+  run a workload with the ladder, optional fault injection and on-disk
+  checkpoints, into a self-contained run directory;
+* :mod:`repro.diverge.replay` — resume from the nearest checkpoint and
+  re-run the divergence window at stride 1 with ULP-distance stats;
+* :mod:`repro.diverge.onset` — per-step ULP divergence-onset curves
+  for expectedly-inexact pairs (min vs full precision);
+* :mod:`repro.diverge.ulp` — ULP-distance primitives.
+
+See ``docs/divergence.md`` for the schema and worked examples.
+"""
+
+from repro.diverge.compare import (
+    Divergence,
+    DivergenceReport,
+    compare_ladders,
+    compare_paths,
+)
+from repro.diverge.ladder import (
+    HASH_SCHEMA_VERSION,
+    FieldHash,
+    SiteHash,
+    StateHashLadder,
+    StepHash,
+    hash_array,
+    ladder_digest,
+    read_hashes,
+    write_hashes,
+)
+from repro.diverge.onset import DEFAULT_THRESHOLDS, OnsetReport, onset_curve
+from repro.diverge.record import (
+    RUN_SCHEMA_VERSION,
+    STATE_SITE,
+    RecordedRun,
+    fault_footprint,
+    load_run_doc,
+    record_run,
+)
+from repro.diverge.replay import ReplayReport, replay
+from repro.diverge.ulp import coarser_dtype, fields_ulp_stats, ulp_distance, ulp_stats
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "Divergence",
+    "DivergenceReport",
+    "FieldHash",
+    "HASH_SCHEMA_VERSION",
+    "OnsetReport",
+    "RUN_SCHEMA_VERSION",
+    "RecordedRun",
+    "ReplayReport",
+    "STATE_SITE",
+    "SiteHash",
+    "StateHashLadder",
+    "StepHash",
+    "coarser_dtype",
+    "compare_ladders",
+    "compare_paths",
+    "fault_footprint",
+    "fields_ulp_stats",
+    "hash_array",
+    "ladder_digest",
+    "load_run_doc",
+    "onset_curve",
+    "read_hashes",
+    "record_run",
+    "replay",
+    "ulp_distance",
+    "ulp_stats",
+    "write_hashes",
+]

@@ -1,0 +1,249 @@
+"""Bisection comparator for two state-hash ladders.
+
+Given two hash streams (``hashes.jsonl`` files or live
+:class:`~repro.diverge.ladder.StateHashLadder` objects) the comparator
+aligns them on their common steps and walks the ladder down at the
+first step whose step-hash differs:
+
+    step → site (kernel launch / driver probe) → field → chunk
+
+yielding the tightest localization the recorded resolution supports.
+With ``hash_stride > 1`` the first divergent *hashed* step brackets the
+true onset to the window ``(last_clean_step, first_divergent_step]`` —
+``repro diverge replay`` then re-runs that window at stride 1 from the
+nearest checkpoint to pin the exact step.
+
+Exit-code contract (used by the CLI and CI): bit-identical streams
+compare clean; any hash mismatch is a divergence.  Streams that share
+*no* steps (disjoint strides, empty runs) cannot be compared and raise
+:class:`ValueError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.diverge.ladder import StateHashLadder, StepHash, read_hashes
+
+__all__ = ["Divergence", "DivergenceReport", "compare_ladders", "compare_paths"]
+
+
+@dataclass
+class Divergence:
+    """First point where the two ladders disagree, ladder-level by level."""
+
+    step: int
+    site: str
+    field: str
+    chunk: int | None
+    #: (last step whose hashes matched, first step whose hashes differ];
+    #: with stride 1 this collapses to (step - 1, step].
+    window: tuple[int, int]
+    #: hashes on each side at the deepest localized level
+    hash_a: str = ""
+    hash_b: str = ""
+    #: why the bisection stopped where it did (e.g. a site or field that
+    #: exists on only one side, or a chunk-count mismatch)
+    note: str = ""
+
+    def to_doc(self) -> dict:
+        return {
+            "step": self.step,
+            "site": self.site,
+            "field": self.field,
+            "chunk": self.chunk,
+            "window": list(self.window),
+            "hash_a": self.hash_a,
+            "hash_b": self.hash_b,
+            "note": self.note,
+        }
+
+
+@dataclass
+class DivergenceReport:
+    """Full comparison outcome: localization plus stream alignment facts."""
+
+    diverged: bool
+    divergence: Divergence | None
+    steps_compared: int
+    steps_matched: int
+    only_in_a: list[int] = field(default_factory=list)
+    only_in_b: list[int] = field(default_factory=list)
+    root_a: str = ""
+    root_b: str = ""
+    label_a: str = ""
+    label_b: str = ""
+    stride: int = 1
+    meta_mismatch: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """The one-line localization the CLI prints."""
+        if not self.diverged:
+            tail = ""
+            if self.only_in_a or self.only_in_b:
+                tail = (
+                    f" (lengths differ: +{len(self.only_in_a)} steps only in A, "
+                    f"+{len(self.only_in_b)} only in B)"
+                )
+            return (
+                f"no divergence: {self.steps_matched} common steps bit-identical"
+                f"{tail}"
+            )
+        d = self.divergence
+        assert d is not None
+        chunk = "?" if d.chunk is None else str(d.chunk)
+        lo, hi = d.window
+        window = f"step {hi}" if hi - lo <= 1 else f"steps ({lo}, {hi}]"
+        return (
+            f"first divergence at step {d.step}, site {d.site}, "
+            f"field {d.field}, chunk {chunk} — window {window}"
+        )
+
+    def to_doc(self) -> dict:
+        return {
+            "diverged": self.diverged,
+            "divergence": None if self.divergence is None else self.divergence.to_doc(),
+            "steps_compared": self.steps_compared,
+            "steps_matched": self.steps_matched,
+            "only_in_a": list(self.only_in_a),
+            "only_in_b": list(self.only_in_b),
+            "root_a": self.root_a,
+            "root_b": self.root_b,
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "stride": self.stride,
+            "meta_mismatch": dict(self.meta_mismatch),
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_doc(), indent=indent, sort_keys=True)
+
+
+def _bisect_step(step_a: StepHash, step_b: StepHash, lo: int) -> Divergence:
+    """Walk one divergent step down: site → field → chunk."""
+    window = (lo, step_a.step)
+    sites_b = {s.name: s for s in step_b.sites}
+    for site_a in step_a.sites:
+        site_b = sites_b.get(site_a.name)
+        if site_b is None:
+            return Divergence(
+                step=step_a.step, site=site_a.name, field="?", chunk=None,
+                window=window, hash_a=site_a.hash, hash_b="",
+                note=f"site {site_a.name!r} recorded only in A",
+            )
+        if site_a.hash == site_b.hash:
+            continue
+        fields_b = {f.name: f for f in site_b.fields}
+        for field_a in site_a.fields:
+            field_b = fields_b.get(field_a.name)
+            if field_b is None:
+                return Divergence(
+                    step=step_a.step, site=site_a.name, field=field_a.name,
+                    chunk=None, window=window, hash_a=field_a.hash, hash_b="",
+                    note=f"field {field_a.name!r} recorded only in A",
+                )
+            if field_a.hash == field_b.hash:
+                continue
+            note = ""
+            if field_a.dtype != field_b.dtype or field_a.shape != field_b.shape:
+                note = (
+                    f"layout differs: {field_a.dtype}{list(field_a.shape)} vs "
+                    f"{field_b.dtype}{list(field_b.shape)}"
+                )
+            chunk_index = None
+            for idx, (ca, cb) in enumerate(zip(field_a.chunks, field_b.chunks)):
+                if ca != cb:
+                    chunk_index = idx
+                    break
+            if chunk_index is None and len(field_a.chunks) != len(field_b.chunks):
+                chunk_index = min(len(field_a.chunks), len(field_b.chunks))
+                note = note or "chunk counts differ"
+            return Divergence(
+                step=step_a.step, site=site_a.name, field=field_a.name,
+                chunk=chunk_index, window=window,
+                hash_a=field_a.hash, hash_b=field_b.hash, note=note,
+            )
+        # site hashes differ but every A-field matched: B has extra fields
+        extra = [name for name in fields_b if name not in
+                 {f.name for f in site_a.fields}]
+        return Divergence(
+            step=step_a.step, site=site_a.name, field=extra[0] if extra else "?",
+            chunk=None, window=window, hash_a=site_a.hash, hash_b=site_b.hash,
+            note="field recorded only in B" if extra else "site composition differs",
+        )
+    # step hashes differ but every A-site matched: B has extra sites
+    extra = [name for name in sites_b if name not in
+             {s.name for s in step_a.sites}]
+    return Divergence(
+        step=step_a.step, site=extra[0] if extra else "?", field="?", chunk=None,
+        window=window, hash_a=step_a.hash, hash_b=step_b.hash,
+        note="site recorded only in B" if extra else "step composition differs",
+    )
+
+
+def compare_ladders(
+    a: StateHashLadder, b: StateHashLadder
+) -> DivergenceReport:
+    """Align two ladders on common steps and localize the first mismatch."""
+    steps_a = {entry.step: entry for entry in a.steps}
+    steps_b = {entry.step: entry for entry in b.steps}
+    common = sorted(set(steps_a) & set(steps_b))
+    if not common:
+        raise ValueError(
+            "hash streams share no steps — check strides "
+            f"(A: {sorted(steps_a)[:5]}..., B: {sorted(steps_b)[:5]}...)"
+            if steps_a and steps_b
+            else "hash streams share no steps (one stream is empty)"
+        )
+    meta_mismatch: dict = {}
+    for knob in ("stride", "chunk"):
+        va, vb = getattr(a, knob), getattr(b, knob)
+        if va != vb:
+            meta_mismatch[knob] = [va, vb]
+    for key in ("workload", "steps", "policy", "precision", "scheme"):
+        va = a.meta.get(key)
+        vb = b.meta.get(key)
+        if va is not None and vb is not None and va != vb:
+            meta_mismatch[key] = [va, vb]
+
+    report = DivergenceReport(
+        diverged=False,
+        divergence=None,
+        steps_compared=len(common),
+        steps_matched=0,
+        only_in_a=sorted(set(steps_a) - set(steps_b)),
+        only_in_b=sorted(set(steps_b) - set(steps_a)),
+        root_a=a.root(),
+        root_b=b.root(),
+        label_a=a.label,
+        label_b=b.label,
+        stride=max(a.stride, b.stride),
+        meta_mismatch=meta_mismatch,
+    )
+    last_clean = 0
+    for step in common:
+        entry_a, entry_b = steps_a[step], steps_b[step]
+        if entry_a.hash == entry_b.hash:
+            report.steps_matched += 1
+            last_clean = step
+            continue
+        report.diverged = True
+        report.divergence = _bisect_step(entry_a, entry_b, last_clean)
+        break
+    return report
+
+
+def compare_paths(path_a: str | Path, path_b: str | Path) -> DivergenceReport:
+    """Compare two hash streams by path (file or run directory)."""
+    return compare_ladders(_load(path_a), _load(path_b))
+
+
+def _load(path: str | Path) -> StateHashLadder:
+    path = Path(path)
+    if path.is_dir():
+        path = path / "hashes.jsonl"
+    return read_hashes(path)

@@ -1,0 +1,110 @@
+"""ULP-distance measurement between two float arrays.
+
+The replay and onset tools need a *scale-free* measure of how far two
+states have drifted apart: absolute differences conflate fields with
+different magnitudes, and relative error blows up near zero.  ULP
+distance — how many representable floats lie between the two values —
+is the standard numerical-debugging metric (bit-identical == 0 ULP,
+last-bit wiggle == 1 ULP) and is what the divergence-onset curve plots.
+
+The mapping used is the classic monotone reinterpretation: viewing an
+IEEE float's bits as a sign-magnitude integer and flipping it into
+two's-complement order makes integer subtraction count representable
+values between floats, including across zero.
+
+Mixed-precision pairs (min vs full) are compared in the *coarser*
+dtype: the wider state is rounded down first, so "0 ULP" means "equal
+to within the narrow format's resolution" — the question the paper's
+fidelity comparison actually asks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["ulp_distance", "ulp_stats", "coarser_dtype"]
+
+_UINT_FOR_ITEMSIZE = {2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def coarser_dtype(a: np.dtype, b: np.dtype) -> np.dtype:
+    """The narrower of two float dtypes (the comparison resolution)."""
+    a, b = np.dtype(a), np.dtype(b)
+    return a if a.itemsize <= b.itemsize else b
+
+
+def _monotone_key(arr: np.ndarray) -> np.ndarray:
+    """Map float bits to unsigned ints that order like the floats."""
+    utype = _UINT_FOR_ITEMSIZE[arr.dtype.itemsize]
+    u = np.ascontiguousarray(arr).view(utype)
+    bits = 8 * arr.dtype.itemsize
+    sign = utype(1) << utype(bits - 1)
+    # negative floats: flip all bits; positive: flip just the sign bit
+    mask = np.where(u & sign != 0, ~utype(0), sign)
+    return u ^ mask
+
+
+def ulp_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ULP distance, measured in the coarser dtype.
+
+    NaNs compare at distance 0 to NaNs (a NaN that appears on both
+    sides is agreement, not divergence) and at the maximum key distance
+    to any finite value; callers that care report NaN counts separately
+    via :func:`ulp_stats`.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    dtype = coarser_dtype(a.dtype, b.dtype)
+    a = a.astype(dtype, copy=False)
+    b = b.astype(dtype, copy=False)
+    ka = _monotone_key(a)
+    kb = _monotone_key(b)
+    dist = np.where(ka >= kb, ka - kb, kb - ka)
+    both_nan = np.isnan(a) & np.isnan(b)
+    if both_nan.any():
+        dist = np.where(both_nan, 0, dist)
+    return dist
+
+
+def ulp_stats(a: np.ndarray, b: np.ndarray) -> dict:
+    """Summary stats of the elementwise ULP distance between two fields."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return {
+            "n": int(min(a.size, b.size)),
+            "shape_a": list(a.shape),
+            "shape_b": list(b.shape),
+            "comparable": False,
+        }
+    dist = ulp_distance(a, b)
+    flat = dist.reshape(-1)
+    n_diff = int(np.count_nonzero(flat))
+    first = int(np.argmax(flat != 0)) if n_diff else None
+    worst = int(np.argmax(flat)) if n_diff else None
+    return {
+        "n": int(flat.size),
+        "comparable": True,
+        "dtype": str(coarser_dtype(a.dtype, b.dtype)),
+        "count_diff": n_diff,
+        "frac_diff": float(n_diff / flat.size) if flat.size else 0.0,
+        "max_ulp": float(flat.max()) if flat.size else 0.0,
+        "mean_ulp": float(flat.mean()) if flat.size else 0.0,
+        "first_diff_index": first,
+        "worst_index": worst,
+        "nan_a": int(np.isnan(a).sum()) if a.dtype.kind == "f" else 0,
+        "nan_b": int(np.isnan(b).sum()) if b.dtype.kind == "f" else 0,
+    }
+
+
+def fields_ulp_stats(
+    arrays_a: Mapping[str, np.ndarray], arrays_b: Mapping[str, np.ndarray]
+) -> dict[str, dict]:
+    """Per-field ULP stats over the fields the two states share."""
+    return {
+        name: ulp_stats(arrays_a[name], arrays_b[name])
+        for name in arrays_a
+        if name in arrays_b
+    }

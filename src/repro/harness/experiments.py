@@ -133,6 +133,26 @@ def _append_record(ledger, record) -> None:
     ledger.append(record)
 
 
+def _persist_hashes(hash_dir, bundle) -> None:
+    """Write ``<label>.hashes.jsonl`` when a lane carried a hash ladder.
+
+    One hash stream per sweep lane, named like the trace files, so a
+    ``--jobs N`` sweep can be compared lane-by-lane against a serial run
+    with ``repro diverge compare`` (docs/divergence.md).
+    """
+    ladder = getattr(bundle, "ladder", None)
+    if hash_dir is None or ladder is None or not ladder.nsteps:
+        return
+    from pathlib import Path
+
+    from repro.diverge.ladder import write_hashes
+
+    out = Path(hash_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = bundle.label.replace("/", "_")
+    write_hashes(ladder, out / f"{stem}.hashes.jsonl")
+
+
 def _clamr_level_task(cfg, level, steps, vectorized, telemetry=None):
     """Worker body for one precision level of :func:`run_clamr_levels`.
 
@@ -154,11 +174,14 @@ def _self_precision_task(cfg, prec, steps, telemetry=None):
     return prec, result
 
 
-def _run_sweep(tasks, jobs, ledger, telemetry_dir, trace_out=None, build_record=None):
+def _run_sweep(
+    tasks, jobs, ledger, telemetry_dir, trace_out=None, build_record=None, hash_dir=None
+):
     """Execute sweep tasks; all side effects happen parent-side, in order.
 
     Traced tasks come back as :class:`TracedResult`; the parent unwraps
-    each, persists per-task telemetry into ``telemetry_dir``, builds and
+    each, persists per-task telemetry into ``telemetry_dir`` (and, with
+    ``hash_dir`` set, each lane's state-hash stream), builds and
     appends the ledger record (``build_record(result, bundle)``), and —
     with ``trace_out`` set — merges every bundle into one Chrome trace
     with one pid lane per task in submission order.
@@ -177,6 +200,7 @@ def _run_sweep(tasks, jobs, ledger, telemetry_dir, trace_out=None, build_record=
         if bundle is not None:
             bundles.append(bundle)
             _persist_telemetry(telemetry_dir, bundle)
+            _persist_hashes(hash_dir, bundle)
             if build_record is not None:
                 _append_record(ledger, build_record(result, bundle))
     if trace_out is not None and bundles:
@@ -197,6 +221,8 @@ def run_clamr_levels(
     jobs: int = 1,
     trace_out=None,
     flight_stride: int = 0,
+    hash_stride: int = 0,
+    hash_dir=None,
 ) -> dict[str, SimulationResult]:
     """One dam-break run per CLAMR precision level.
 
@@ -212,18 +238,25 @@ def run_clamr_levels(
     identical to a serial run minus wall-clock fields.  ``trace_out``
     merges all per-level bundles into one Chrome trace with one pid lane
     per level; ``flight_stride > 0`` attaches a flight recorder to every
-    run (digest lands in each ledger record's fidelity).
+    run (digest lands in each ledger record's fidelity).  ``hash_dir``
+    writes each lane's state-hash stream there as
+    ``<label>.hashes.jsonl`` (``hash_stride`` controls the cadence,
+    defaulting to every step), so serial and ``--jobs N`` sweeps can be
+    diffed bit-for-bit with ``repro diverge compare``.
     """
     from repro.parallel.executor import SweepTask, TelemetrySpec, resolve_jobs
 
     cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
     label = label or f"clamr/nx{nx}s{steps}"
     jobs = resolve_jobs(jobs, len(CLAMR_LEVELS))
+    if hash_dir is not None and hash_stride < 1:
+        hash_stride = 1
     traced = (
         telemetry_dir is not None
         or ledger is not None
         or trace_out is not None
         or flight_stride > 0
+        or hash_stride > 0
     )
     tasks = [
         SweepTask(
@@ -231,7 +264,11 @@ def run_clamr_levels(
             fn=_clamr_level_task,
             args=(cfg, level, steps, vectorized),
             telemetry=(
-                TelemetrySpec(label=f"{label}/{level}", flight_stride=flight_stride)
+                TelemetrySpec(
+                    label=f"{label}/{level}",
+                    flight_stride=flight_stride,
+                    hash_stride=hash_stride,
+                )
                 if traced
                 else None
             ),
@@ -245,7 +282,9 @@ def run_clamr_levels(
         def build_record(result, bundle):
             return record_from_clamr(result, bundle, cfg, label=bundle.label)
 
-    return _run_sweep(tasks, jobs, ledger, telemetry_dir, trace_out, build_record)
+    return _run_sweep(
+        tasks, jobs, ledger, telemetry_dir, trace_out, build_record, hash_dir
+    )
 
 
 def run_self_precisions(
@@ -258,22 +297,28 @@ def run_self_precisions(
     jobs: int = 1,
     trace_out=None,
     flight_stride: int = 0,
+    hash_stride: int = 0,
+    hash_dir=None,
 ) -> dict[str, SelfResult]:
     """One thermal-bubble run per SELF precision.
 
-    ``telemetry_dir``, ``ledger``, ``label``, ``jobs``, ``trace_out`` and
-    ``flight_stride`` behave as in :func:`run_clamr_levels`.
+    ``telemetry_dir``, ``ledger``, ``label``, ``jobs``, ``trace_out``,
+    ``flight_stride``, ``hash_stride`` and ``hash_dir`` behave as in
+    :func:`run_clamr_levels`.
     """
     from repro.parallel.executor import SweepTask, TelemetrySpec, resolve_jobs
 
     cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
     label = label or f"self/e{elems}o{order}s{steps}"
     jobs = resolve_jobs(jobs, len(SELF_PRECISIONS))
+    if hash_dir is not None and hash_stride < 1:
+        hash_stride = 1
     traced = (
         telemetry_dir is not None
         or ledger is not None
         or trace_out is not None
         or flight_stride > 0
+        or hash_stride > 0
     )
     tasks = [
         SweepTask(
@@ -281,7 +326,11 @@ def run_self_precisions(
             fn=_self_precision_task,
             args=(cfg, prec, steps),
             telemetry=(
-                TelemetrySpec(label=f"{label}/{prec}", flight_stride=flight_stride)
+                TelemetrySpec(
+                    label=f"{label}/{prec}",
+                    flight_stride=flight_stride,
+                    hash_stride=hash_stride,
+                )
                 if traced
                 else None
             ),
@@ -295,7 +344,9 @@ def run_self_precisions(
         def build_record(result, bundle):
             return record_from_self(result, bundle, cfg, label=bundle.label)
 
-    return _run_sweep(tasks, jobs, ledger, telemetry_dir, trace_out, build_record)
+    return _run_sweep(
+        tasks, jobs, ledger, telemetry_dir, trace_out, build_record, hash_dir
+    )
 
 
 # ---------------------------------------------------------------------------

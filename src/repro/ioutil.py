@@ -1,4 +1,5 @@
-"""Durable file-write primitives shared by checkpoint and ledger I/O.
+"""Durable file-write primitives shared by checkpoint, ledger and
+telemetry I/O.
 
 Rollback recovery is only as good as the checkpoint it rolls back to: a
 process killed mid-``write()`` must never leave a torn file that a later
@@ -15,15 +16,38 @@ guarantee and is what :func:`atomic_write_bytes` implements:
 
 Readers therefore observe either the complete old file or the complete
 new file, never a prefix of one.
+
+The JSONL helpers layered on top give every line-oriented store in the
+repo (ledger, telemetry export, flight recorder, hash ladder) the same
+durability and damage contract:
+
+* :func:`append_jsonl_line` — fsync'd append, the only write an
+  interruption can tear, and only at the very end of the file;
+* :func:`write_jsonl_lines` — whole-document rewrite through
+  :func:`atomic_write_bytes`, so re-runs are byte-identical and never
+  observed half-written;
+* :func:`iter_jsonl` — tolerant reader: a *trailing* line that is not
+  valid JSON (the one corruption an interrupted append can produce) is
+  skipped with a :class:`RuntimeWarning`; invalid JSON anywhere else is
+  real damage and raises :class:`ValueError` with ``path:lineno``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import warnings
 from pathlib import Path
-from typing import Iterable
+from typing import Any, Iterable, Iterator
 
-__all__ = ["atomic_write_bytes", "fsync_directory", "fsync_file"]
+__all__ = [
+    "append_jsonl_line",
+    "atomic_write_bytes",
+    "fsync_directory",
+    "fsync_file",
+    "iter_jsonl",
+    "write_jsonl_lines",
+]
 
 
 def fsync_file(fh) -> None:
@@ -75,3 +99,59 @@ def atomic_write_bytes(path: str | Path, chunks: Iterable[bytes]) -> int:
         raise
     fsync_directory(path.parent)
     return total
+
+
+def append_jsonl_line(path: str | Path, line: str) -> None:
+    """Durably append one pre-serialized JSON line to ``path``.
+
+    Parent directories are created as needed; the line (plus newline) is
+    fsync'd before returning, so at most the final line of the file can
+    ever be torn — exactly the damage :func:`iter_jsonl` tolerates.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fsync_file(fh)
+
+
+def write_jsonl_lines(path: str | Path, lines: Iterable[str]) -> int:
+    """Atomically write a whole JSONL document (one line per entry).
+
+    Returns the number of bytes written.  Built on
+    :func:`atomic_write_bytes`, so readers never observe a partial file
+    and identical ``lines`` always produce byte-identical output.
+    """
+    return atomic_write_bytes(
+        path, ((line + "\n").encode("utf-8") for line in lines)
+    )
+
+
+def iter_jsonl(path: str | Path) -> Iterator[tuple[int, Any]]:
+    """Yield ``(lineno, parsed)`` for each non-blank line of a JSONL file.
+
+    A final line that fails to parse as JSON is skipped with a
+    :class:`RuntimeWarning` — an interrupted append leaves exactly that
+    kind of tail and must not take the rest of the store down.  A
+    non-JSON line anywhere *else* cannot come from a torn append and
+    raises :class:`ValueError` naming ``path:lineno``.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            parsed = json.loads(stripped)
+        except ValueError as exc:
+            if lineno == len(lines):
+                warnings.warn(
+                    f"{path}:{lineno}: skipping unreadable trailing line "
+                    f"(likely a truncated write): {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            raise ValueError(f"{path}:{lineno}: invalid JSONL line: {exc}") from exc
+        yield lineno, parsed

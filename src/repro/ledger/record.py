@@ -90,7 +90,11 @@ class RunRecord:
 
     @classmethod
     def from_json(cls, line: str) -> "RunRecord":
-        doc = json.loads(line)
+        return cls.from_dict(json.loads(line))
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunRecord":
+        doc = dict(doc)
         schema = doc.get("schema")
         if not isinstance(schema, int) or schema > LEDGER_SCHEMA_VERSION:
             raise ValueError(
@@ -268,6 +272,28 @@ def _attach_flight(cfg: dict, fidelity: dict, tel) -> None:
     fidelity["flight"] = flight_digest(flight)
 
 
+def _attach_ladder(cfg: dict, fidelity: dict, tel) -> None:
+    """Fold an enabled state-hash ladder into run identity and fidelity.
+
+    The ladder's *knobs* (stride, chunk) join the ``run`` sub-dict —
+    hashing cadence changes what the run observes — and its digest
+    (run root + step counts) joins the fidelity section, so two ledger
+    records can be compared for bit-exactness without re-running.  Runs
+    without a ladder are untouched, so every pre-ladder baseline
+    fingerprint stays valid.
+    """
+    ladder = getattr(tel, "ladder", None)
+    if ladder is None or not getattr(ladder, "nsteps", 0):
+        return
+    cfg["run"]["hash_ladder"] = {
+        "stride": int(ladder.stride),
+        "chunk": int(ladder.chunk),
+    }
+    from repro.diverge.ladder import ladder_digest
+
+    fidelity["state_hash"] = ladder_digest(ladder)
+
+
 def _build(
     workload: str,
     config: dict,
@@ -331,6 +357,7 @@ def record_from_clamr(result, tel, config, seed: int = 0, label: str = "") -> Ru
         "solution_scale": sig.relative_to,
     }
     _attach_flight(cfg, fidelity, tel)
+    _attach_ladder(cfg, fidelity, tel)
     return _build(
         workload="clamr",
         config=cfg,
@@ -375,6 +402,7 @@ def record_from_self(result, tel, config, seed: int = 0, label: str = "") -> Run
         "max_vertical_velocity": float(result.max_vertical_velocity),
     }
     _attach_flight(cfg, fidelity, tel)
+    _attach_ladder(cfg, fidelity, tel)
     return _build(
         workload="self",
         config=cfg,

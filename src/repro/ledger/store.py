@@ -18,26 +18,15 @@ an interrupted append, and silently dropping history would bias gates).
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 
-from repro.ioutil import fsync_file
+from repro.ioutil import append_jsonl_line, iter_jsonl
 
 from repro.ledger.record import RunRecord
 
 __all__ = ["Ledger", "resolve_ledger_path"]
 
 _DEFAULT_NAME = "ledger.jsonl"
-
-
-def _is_json(text: str) -> bool:
-    import json
-
-    try:
-        json.loads(text)
-    except ValueError:
-        return False
-    return True
 
 
 def resolve_ledger_path(path: str | Path) -> Path:
@@ -75,26 +64,14 @@ class Ledger:
         self._by_fingerprint = {}
         self._by_workload_key = {}
         if self.path.exists():
-            lines = self.path.read_text(encoding="utf-8").splitlines()
-            for lineno, line in enumerate(lines, start=1):
-                stripped = line.strip()
-                if not stripped:
-                    continue
+            # iter_jsonl handles the torn-trailing-line case (the one
+            # corruption an interrupted append can legitimately leave
+            # behind: warn and skip); a well-formed JSON line that fails
+            # record validation is damage, wherever it sits, and raises
+            for lineno, doc in iter_jsonl(self.path):
                 try:
-                    record = RunRecord.from_json(stripped)
+                    record = RunRecord.from_dict(doc)
                 except (ValueError, KeyError, TypeError) as exc:
-                    # a torn trailing line (not even valid JSON) is the one
-                    # corruption an interrupted append can legitimately
-                    # leave behind; a well-formed record that fails
-                    # validation is damage, wherever it sits
-                    if lineno == len(lines) and not _is_json(stripped):
-                        warnings.warn(
-                            f"{self.path}:{lineno}: skipping unreadable trailing "
-                            f"record (likely a truncated write): {exc}",
-                            RuntimeWarning,
-                            stacklevel=2,
-                        )
-                        continue
                     raise ValueError(
                         f"{self.path}:{lineno}: unreadable ledger record: {exc}"
                     ) from exc
@@ -109,12 +86,9 @@ class Ledger:
     # -- writing ----------------------------------------------------------
 
     def append(self, record: RunRecord) -> RunRecord:
-        """Append one record to the file and the live index."""
+        """Append one record to the file and the live index (fsynced)."""
         self._ensure_loaded()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(record.to_json() + "\n")
-            fsync_file(fh)
+        append_jsonl_line(self.path, record.to_json())
         self._index(record)
         return record
 

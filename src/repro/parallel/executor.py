@@ -103,13 +103,19 @@ class TelemetrySpec:
     :meth:`build` after the fork/spawn, runs the task under the fresh
     telemetry, and ships the frozen bundle back.  ``flight_stride=0``
     (default) disables the flight recorder; ``watch_stride=0`` disables
-    the numerics watchpoints while keeping spans and metrics.
+    the numerics watchpoints while keeping spans and metrics;
+    ``hash_stride=0`` (default) disables the state-hash ladder, while
+    ``hash_stride>=1`` records per-step state hashes every that-many
+    steps so a ``--jobs N`` lane can be compared bit-for-bit against its
+    serial twin.
     """
 
     label: str = ""
     watch_stride: int = 8
     flight_stride: int = 0
     flight_capacity: int = 512
+    hash_stride: int = 0
+    hash_chunk: int = 4096
 
     def build(self):
         from repro.telemetry import Telemetry
@@ -122,8 +128,20 @@ class TelemetrySpec:
                 capacity=self.flight_capacity,
                 label=self.label,
             )
+        ladder = None
+        if self.hash_stride > 0:
+            from repro.diverge.ladder import StateHashLadder
+
+            ladder = StateHashLadder(
+                stride=self.hash_stride,
+                chunk=self.hash_chunk,
+                label=self.label,
+            )
         return Telemetry(
-            label=self.label, watch_stride=self.watch_stride, flight=flight
+            label=self.label,
+            watch_stride=self.watch_stride,
+            flight=flight,
+            ladder=ladder,
         )
 
 

@@ -12,11 +12,15 @@ storage discussion:
   precision-independent in this reproduction.
 
 Format (little-endian): magic ``b"SELF"``, version, mesh geometry, dtype
-tag, then the raw tensor.
+tag, a sha256 content hash of the tensor bytes (version 2), then the
+raw tensor.  :func:`read_state` verifies the hash, so restarts resume
+from provably bit-identical state; version-1 files (no hash) remain
+readable without verification.
 """
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from pathlib import Path
 
@@ -28,8 +32,13 @@ from repro.self_.mesh import HexMesh
 __all__ = ["write_state", "read_state", "write_anomaly", "state_nbytes"]
 
 _MAGIC = b"SELF"
-_VERSION = 1
-_HEADER = struct.Struct("<4sIIIIIIddd")  # magic, ver, nex, ney, nez, order, itemsize, Lx, Ly, Lz
+_VERSION = 2
+#: magic + version prefix, parsed first so a bad magic is reported as
+#: such even on files shorter than the full header
+_PREFIX = struct.Struct("<4sI")
+# magic, ver, nex, ney, nez, order, itemsize, Lx, Ly, Lz, content sha256
+_HEADER = struct.Struct("<4sIIIIIIddd32s")
+_HEADER_V1 = struct.Struct("<4sIIIIIIddd")
 
 
 def state_nbytes(mesh: HexMesh, itemsize: int) -> int:
@@ -44,6 +53,8 @@ def write_state(path: str | Path, mesh: HexMesh, U: np.ndarray) -> int:
 
     Atomic and durable (temp file + fsync + rename), like the CLAMR
     checkpoint writer: a crash mid-write never tears a restart file.
+    The header embeds a sha256 of the tensor bytes that
+    :func:`read_state` verifies on load.
     """
     n = mesh.npoints
     if U.shape != (mesh.nelem, 5, n, n, n):
@@ -51,30 +62,56 @@ def write_state(path: str | Path, mesh: HexMesh, U: np.ndarray) -> int:
     itemsize = U.dtype.itemsize
     if U.dtype.kind != "f" or itemsize not in (4, 8):
         raise ValueError(f"state dtype must be float32 or float64, got {U.dtype}")
-    header = _HEADER.pack(
-        _MAGIC, _VERSION, mesh.nex, mesh.ney, mesh.nez, mesh.order, itemsize, *mesh.lengths
-    )
     le = U.dtype.newbyteorder("<")
-    return atomic_write_bytes(path, (header, np.ascontiguousarray(U, dtype=le).tobytes()))
+    payload = np.ascontiguousarray(U, dtype=le).tobytes()
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, mesh.nex, mesh.ney, mesh.nez, mesh.order, itemsize,
+        *mesh.lengths, hashlib.sha256(payload).digest()
+    )
+    return atomic_write_bytes(path, (header, payload))
 
 
 def read_state(path: str | Path) -> tuple[HexMesh, np.ndarray]:
-    """Read a checkpoint back; dtype restored from the stored tag."""
+    """Read a checkpoint back; dtype restored from the stored tag.
+
+    Version-2 files are verified against the header's content hash; a
+    mismatch (bit rot, truncating copy, hand edit) raises
+    :class:`ValueError` instead of resuming from corrupted state.
+    """
     raw = Path(path).read_bytes()
-    if len(raw) < _HEADER.size:
+    if len(raw) < _PREFIX.size:
         raise ValueError("file too short for a SELF checkpoint header")
-    magic, version, nex, ney, nez, order, itemsize, lx, ly, lz = _HEADER.unpack_from(raw)
+    magic, version = _PREFIX.unpack_from(raw)
     if magic != _MAGIC:
         raise ValueError(f"bad magic {magic!r}")
-    if version != _VERSION:
+    if version == _VERSION:
+        header = _HEADER
+    elif version == 1:
+        header = _HEADER_V1
+    else:
         raise ValueError(f"unsupported version {version}")
+    if len(raw) < header.size:
+        raise ValueError("file too short for a SELF checkpoint header")
+    stored_hash = b""
+    if version == _VERSION:
+        (magic, version, nex, ney, nez, order, itemsize, lx, ly, lz,
+         stored_hash) = header.unpack_from(raw)
+    else:
+        magic, version, nex, ney, nez, order, itemsize, lx, ly, lz = header.unpack_from(raw)
     mesh = HexMesh(nex=nex, ney=ney, nez=nez, lengths=(lx, ly, lz), order=order)
-    expected = state_nbytes(mesh, itemsize)
+    expected = header.size + 5 * mesh.ndof * itemsize
     if len(raw) != expected:
         raise ValueError(f"size {len(raw)} != expected {expected}")
+    if stored_hash:
+        actual = hashlib.sha256(raw[header.size:]).digest()
+        if actual != stored_hash:
+            raise ValueError(
+                f"{path}: content hash mismatch — checkpoint payload is corrupted "
+                f"(stored {stored_hash.hex()[:16]}, computed {actual.hex()[:16]})"
+            )
     dtype = np.dtype("<f8" if itemsize == 8 else "<f4")
     n = mesh.npoints
-    U = np.frombuffer(raw, dtype=dtype, offset=_HEADER.size).copy()
+    U = np.frombuffer(raw, dtype=dtype, offset=header.size).copy()
     return mesh, U.reshape(mesh.nelem, 5, n, n, n).astype(dtype.newbyteorder("="))
 
 

@@ -212,6 +212,17 @@ class SelfSimulation:
         # history the way CLAMR does)
         self._flight_mass0: float | None = None
 
+    def _hash_fields(self) -> dict:
+        """Named conserved-variable views for the state-hash ladder."""
+        U = self.U
+        return {
+            "rho": U[:, 0],
+            "rhou": U[:, 1],
+            "rhov": U[:, 2],
+            "rhow": U[:, 3],
+            "rhoE": U[:, 4],
+        }
+
     def _flight_sample(self, flight, dt: float) -> None:
         """Record one flight sample from the conserved state.
 
@@ -300,25 +311,39 @@ class SelfSimulation:
         tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         recording = tel.enabled
         flight = getattr(tel, "flight", None) if recording else None
+        ladder = getattr(tel, "ladder", None) if recording else None
         flops = 0
         kernel_elapsed = 0.0
         t_start = time.perf_counter()
         with tel.span("self/run", steps=steps, ndof=self.mesh.ndof):
             for _ in range(steps):
                 with tel.span("self/step", step=self.step_count):
+                    # the step being computed (step_count increments below)
+                    step_no = self.step_count + 1
+                    hashing = ladder is not None and ladder.should_hash(step_no)
                     with tel.span("self/stable_dt") as sp:
                         dt = self.solver.stable_dt(self.U, cfg.courant)
+                    if hashing:
+                        ladder.record_site(step_no, "self/stable_dt", {"dt": dt})
                     if recording:
                         sp.set(dt=dt)
                         tel.metrics.histogram("self.dt").observe(dt)
                     t0 = time.perf_counter()
                     with tel.span("self/rk3_step") as sp:
                         self._stepper.step(self.U, dt)
+                    if hashing:
+                        ladder.record_site(
+                            step_no, "self/rk3_step", self._hash_fields()
+                        )
                     if self.step_count % cfg.filter_interval == 0:
                         with tel.span("self/filter"):
                             perturbation = self.U - self._background
                             self.U = self._background + apply_filter_3d(
                                 perturbation, self._filter
+                            )
+                        if hashing:
+                            ladder.record_site(
+                                step_no, "self/filter", self._hash_fields()
                             )
                     kernel_elapsed += time.perf_counter() - t0
                     self.time += dt

@@ -101,18 +101,24 @@ class Telemetry:
         set, the simulations record their per-timestep numerics time
         series into it (see docs/flightrecorder.md); ``None`` (default)
         skips flight sampling entirely.
+    ladder:
+        Optional :class:`~repro.diverge.ladder.StateHashLadder`.  When
+        set, the simulations hash their live state at every kernel site
+        on hashed steps (see docs/divergence.md); ``None`` (default)
+        skips state hashing entirely.
     """
 
     enabled = True
 
     def __init__(
-        self, label: str = "", watch_stride: int = 8, flight=None
+        self, label: str = "", watch_stride: int = 8, flight=None, ladder=None
     ) -> None:
         self.label = label
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.numerics = NumericsWatch(stride=watch_stride)
         self.flight = flight
+        self.ladder = ladder
 
     # -- spans ------------------------------------------------------------
 
@@ -159,6 +165,7 @@ class NullTelemetry:
     metrics = NullRegistry()
     numerics = NullNumericsWatch()
     flight = None
+    ladder = None
 
     __slots__ = ()
 

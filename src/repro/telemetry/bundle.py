@@ -48,6 +48,7 @@ class TelemetryBundle:
     events: list[NumericalEvent] = field(default_factory=list)
     metrics: dict[str, dict[str, float]] = field(default_factory=dict)
     flight: FlightRecorder | None = None
+    ladder: object | None = None  # StateHashLadder; plain data, pickles fine
 
     @classmethod
     def of(cls, tel) -> "TelemetryBundle":
@@ -64,6 +65,7 @@ class TelemetryBundle:
             events=list(numerics.events) if numerics is not None else [],
             metrics=metrics.snapshot() if hasattr(metrics, "snapshot") else dict(metrics or {}),
             flight=getattr(tel, "flight", None),
+            ladder=getattr(tel, "ladder", None),
         )
 
 

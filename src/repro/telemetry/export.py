@@ -95,91 +95,102 @@ def _unclean(value):
 # ---------------------------------------------------------------------------
 
 
-def write_jsonl(tel, path: str | Path) -> Path:
-    """Persist a telemetry object as one JSON record per line."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
-        meta = {
-            "type": "meta",
-            "version": _JSONL_VERSION,
-            "label": getattr(tel, "label", ""),
+def _jsonl_lines(tel):
+    meta = {
+        "type": "meta",
+        "version": _JSONL_VERSION,
+        "label": getattr(tel, "label", ""),
+    }
+    yield json.dumps(meta)
+    for s in _spans_of(tel):
+        record = {
+            "type": "span",
+            "name": s.name,
+            "id": s.span_id,
+            "parent": s.parent_id,
+            "start_s": s.start_s,
+            "end_s": s.end_s,
+            "counters": {k: _clean(v) for k, v in s.counters.items()},
         }
-        fh.write(json.dumps(meta) + "\n")
-        for s in _spans_of(tel):
-            record = {
-                "type": "span",
-                "name": s.name,
-                "id": s.span_id,
-                "parent": s.parent_id,
-                "start_s": s.start_s,
-                "end_s": s.end_s,
-                "counters": {k: _clean(v) for k, v in s.counters.items()},
-            }
-            fh.write(json.dumps(record) + "\n")
-        for e in _events_of(tel):
-            record = {
-                "type": "event",
-                "kind": e.kind,
-                "array": e.array,
-                "step": e.step,
-                "span_id": e.span_id,
-                "value": _clean(e.value),
-                "severity": e.severity,
-                "detail": {k: _clean(v) for k, v in e.detail.items()},
-            }
-            fh.write(json.dumps(record) + "\n")
-        for name, snap in _metrics_of(tel).items():
-            record = {"type": "metric", "name": name}
-            record.update({k: _clean(v) for k, v in snap.items()})
-            fh.write(json.dumps(record) + "\n")
+        yield json.dumps(record)
+    for e in _events_of(tel):
+        record = {
+            "type": "event",
+            "kind": e.kind,
+            "array": e.array,
+            "step": e.step,
+            "span_id": e.span_id,
+            "value": _clean(e.value),
+            "severity": e.severity,
+            "detail": {k: _clean(v) for k, v in e.detail.items()},
+        }
+        yield json.dumps(record)
+    for name, snap in _metrics_of(tel).items():
+        record = {"type": "metric", "name": name}
+        record.update({k: _clean(v) for k, v in snap.items()})
+        yield json.dumps(record)
+
+
+def write_jsonl(tel, path: str | Path) -> Path:
+    """Persist a telemetry object as one JSON record per line.
+
+    Written atomically and durably through :mod:`repro.ioutil` — a
+    killed process never leaves a half-written trace for post-mortem
+    analysis to trip over.
+    """
+    from repro import ioutil  # local: telemetry must import without cycles
+
+    path = Path(path)
+    ioutil.write_jsonl_lines(path, _jsonl_lines(tel))
     return path
 
 
 def read_jsonl(path: str | Path) -> TraceData:
-    """Reconstruct a :class:`TraceData` from a :func:`write_jsonl` file."""
+    """Reconstruct a :class:`TraceData` from a :func:`write_jsonl` file.
+
+    A torn trailing line (interrupted append) is skipped with a
+    :class:`RuntimeWarning` via :func:`repro.ioutil.iter_jsonl`.
+    """
+    from repro import ioutil
+
     data = TraceData()
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            kind = record.get("type")
-            if kind == "meta":
-                data.label = record.get("label", "")
-            elif kind == "span":
-                data.spans.append(
-                    Span(
-                        name=record["name"],
-                        span_id=record["id"],
-                        parent_id=record["parent"],
-                        start_s=record["start_s"],
-                        end_s=record["end_s"],
-                        counters={
-                            k: _unclean(v) for k, v in record.get("counters", {}).items()
-                        },
-                    )
+    for _lineno, record in ioutil.iter_jsonl(path):
+        kind = record.get("type")
+        if kind == "meta":
+            data.label = record.get("label", "")
+        elif kind == "span":
+            data.spans.append(
+                Span(
+                    name=record["name"],
+                    span_id=record["id"],
+                    parent_id=record["parent"],
+                    start_s=record["start_s"],
+                    end_s=record["end_s"],
+                    counters={
+                        k: _unclean(v) for k, v in record.get("counters", {}).items()
+                    },
                 )
-            elif kind == "event":
-                data.events.append(
-                    NumericalEvent(
-                        kind=record["kind"],
-                        array=record["array"],
-                        step=record["step"],
-                        span_id=record["span_id"],
-                        value=_unclean(record["value"]),
-                        severity=record["severity"],
-                        detail={
-                            k: _unclean(v) for k, v in record.get("detail", {}).items()
-                        },
-                    )
+            )
+        elif kind == "event":
+            data.events.append(
+                NumericalEvent(
+                    kind=record["kind"],
+                    array=record["array"],
+                    step=record["step"],
+                    span_id=record["span_id"],
+                    value=_unclean(record["value"]),
+                    severity=record["severity"],
+                    detail={
+                        k: _unclean(v) for k, v in record.get("detail", {}).items()
+                    },
                 )
-            elif kind == "metric":
-                name = record.pop("name")
-                record.pop("type")
-                data.metrics[name] = {k: _unclean(v) for k, v in record.items()}
-            else:
-                raise ValueError(f"unknown JSONL record type {kind!r}")
+            )
+        elif kind == "metric":
+            name = record.pop("name")
+            record.pop("type")
+            data.metrics[name] = {k: _unclean(v) for k, v in record.items()}
+        else:
+            raise ValueError(f"unknown JSONL record type {kind!r}")
     return data
 
 

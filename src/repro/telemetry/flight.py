@@ -217,65 +217,75 @@ class FlightRecorder:
 # ---------------------------------------------------------------------------
 
 
-def write_flight(flight: FlightRecorder, path: str | Path) -> Path:
-    """Persist a flight as schema-versioned JSONL (meta line + sample lines)."""
-    path = Path(path)
+def _flight_lines(flight: FlightRecorder):
     names = flight.signal_names
-    with path.open("w", encoding="utf-8") as fh:
-        meta = {
-            "type": "flight_meta",
-            "version": FLIGHT_SCHEMA_VERSION,
-            "label": flight.label,
-            "base_stride": flight.base_stride,
-            "stride": flight.stride,
-            "capacity": flight.capacity,
-            "signals": names,
-            "nsamples": flight.nsamples,
-        }
-        fh.write(json.dumps(meta) + "\n")
-        for i, step in enumerate(flight.steps):
-            record = {"type": "flight_sample", "step": step}
-            for name in names:
-                record[name] = _clean(flight.columns[name][i])
-            fh.write(json.dumps(record) + "\n")
+    meta = {
+        "type": "flight_meta",
+        "version": FLIGHT_SCHEMA_VERSION,
+        "label": flight.label,
+        "base_stride": flight.base_stride,
+        "stride": flight.stride,
+        "capacity": flight.capacity,
+        "signals": names,
+        "nsamples": flight.nsamples,
+    }
+    yield json.dumps(meta)
+    for i, step in enumerate(flight.steps):
+        record = {"type": "flight_sample", "step": step}
+        for name in names:
+            record[name] = _clean(flight.columns[name][i])
+        yield json.dumps(record)
+
+
+def write_flight(flight: FlightRecorder, path: str | Path) -> Path:
+    """Persist a flight as schema-versioned JSONL (meta line + sample lines).
+
+    Atomic and durable via :mod:`repro.ioutil`: identical flights always
+    produce byte-identical files and a crash never leaves a torn one.
+    """
+    from repro import ioutil  # local: telemetry must import without cycles
+
+    path = Path(path)
+    ioutil.write_jsonl_lines(path, _flight_lines(flight))
     return path
 
 
 def read_flight(path: str | Path) -> FlightRecorder:
-    """Reconstruct a :class:`FlightRecorder` from a :func:`write_flight` file."""
+    """Reconstruct a :class:`FlightRecorder` from a :func:`write_flight` file.
+
+    A torn trailing line (interrupted append) is skipped with a
+    :class:`RuntimeWarning` via :func:`repro.ioutil.iter_jsonl`.
+    """
+    from repro import ioutil
+
     path = Path(path)
     flight: FlightRecorder | None = None
     names: list[str] = []
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            kind = record.get("type")
-            if kind == "flight_meta":
-                version = record.get("version")
-                if not isinstance(version, int) or version > FLIGHT_SCHEMA_VERSION:
-                    raise ValueError(
-                        f"flight schema {version!r} is newer than supported "
-                        f"({FLIGHT_SCHEMA_VERSION}); upgrade repro to read this file"
-                    )
-                flight = FlightRecorder(
-                    stride=record.get("base_stride", 1),
-                    capacity=record.get("capacity", 512),
-                    label=record.get("label", ""),
+    for _lineno, record in ioutil.iter_jsonl(path):
+        kind = record.get("type")
+        if kind == "flight_meta":
+            version = record.get("version")
+            if not isinstance(version, int) or version > FLIGHT_SCHEMA_VERSION:
+                raise ValueError(
+                    f"flight schema {version!r} is newer than supported "
+                    f"({FLIGHT_SCHEMA_VERSION}); upgrade repro to read this file"
                 )
-                flight.stride = int(record.get("stride", flight.base_stride))
-                names = list(record.get("signals", []))
-                flight.columns = {name: [] for name in names}
-            elif kind == "flight_sample":
-                if flight is None:
-                    raise ValueError(f"{path}: flight_sample before flight_meta")
-                flight.steps.append(int(record["step"]))
-                for name in names:
-                    flight.columns[name].append(float(_unclean(record.get(name, "nan"))))
-            else:
-                raise ValueError(f"{path}: unknown flight record type {kind!r}")
+            flight = FlightRecorder(
+                stride=record.get("base_stride", 1),
+                capacity=record.get("capacity", 512),
+                label=record.get("label", ""),
+            )
+            flight.stride = int(record.get("stride", flight.base_stride))
+            names = list(record.get("signals", []))
+            flight.columns = {name: [] for name in names}
+        elif kind == "flight_sample":
+            if flight is None:
+                raise ValueError(f"{path}: flight_sample before flight_meta")
+            flight.steps.append(int(record["step"]))
+            for name in names:
+                flight.columns[name].append(float(_unclean(record.get(name, "nan"))))
+        else:
+            raise ValueError(f"{path}: unknown flight record type {kind!r}")
     if flight is None:
         raise ValueError(f"{path}: no flight_meta record found")
     return flight

@@ -23,9 +23,9 @@ def small_setup(policy):
 
 class TestSizes:
     def test_predicted_size_formula(self):
-        # per cell: 3 int32 + 3 state floats
-        assert checkpoint_nbytes(100, FULL_PRECISION) == 40 + 100 * (12 + 24)
-        assert checkpoint_nbytes(100, MIN_PRECISION) == 40 + 100 * (12 + 12)
+        # per cell: 3 int32 + 3 state floats; 72-byte v2 header
+        assert checkpoint_nbytes(100, FULL_PRECISION) == 72 + 100 * (12 + 24)
+        assert checkpoint_nbytes(100, MIN_PRECISION) == 72 + 100 * (12 + 12)
 
     def test_two_thirds_ratio_at_scale(self):
         """The paper's 86M/128M checkpoint ratio is exactly the layout ratio."""
@@ -105,6 +105,30 @@ class TestValidation:
         path = tmp_path / "s.clmr"
         path.write_bytes(b"CL")
         with pytest.raises(ValueError, match="short"):
+            read_checkpoint(path)
+
+
+class TestContentHash:
+    """v2 headers carry a payload sha256 verified on every load."""
+
+    def test_payload_corruption_detected(self, tmp_path):
+        mesh, state = small_setup(FULL_PRECISION)
+        path = tmp_path / "ck.clmr"
+        write_checkpoint(path, mesh, state)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01  # single bit flip in the last payload byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="content hash"):
+            read_checkpoint(path)
+
+    def test_header_tamper_detected_as_size_or_hash_error(self, tmp_path):
+        mesh, state = small_setup(MIN_PRECISION)
+        path = tmp_path / "ck.clmr"
+        write_checkpoint(path, mesh, state)
+        raw = bytearray(path.read_bytes())
+        raw[40] ^= 0x01  # flip a bit inside the stored digest
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="content hash"):
             read_checkpoint(path)
 
 

@@ -681,10 +681,12 @@ class TestStoreDurability:
             Ledger(path).load()
 
     def test_append_fsyncs(self, tmp_path, clamr_runs, monkeypatch):
-        import repro.ledger.store as store
+        # the append path goes through the shared JSONL helper, which owns
+        # the fsync (see repro.ioutil.append_jsonl_line)
+        import repro.ioutil as ioutil
 
         calls = []
-        monkeypatch.setattr(store, "fsync_file", lambda fh: calls.append(fh))
+        monkeypatch.setattr(ioutil, "fsync_file", lambda fh: calls.append(fh))
         r1, _ = clamr_runs
         Ledger(tmp_path / "runs.jsonl").append(clone(r1))
         assert len(calls) == 1

@@ -59,6 +59,16 @@ class TestStateRoundtrip:
         with pytest.raises(ValueError, match="size"):
             read_state(p)
 
+    def test_payload_corruption_detected(self, tmp_path):
+        sim = small_run()
+        p = tmp_path / "c.self"
+        write_state(p, sim.mesh, sim.U)
+        raw = bytearray(p.read_bytes())
+        raw[-1] ^= 0x01  # single bit flip in the last payload byte
+        p.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="content hash"):
+            read_state(p)
+
 
 class TestAnomalyOutput:
     def test_size_is_precision_blind(self, tmp_path):
