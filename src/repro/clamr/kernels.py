@@ -403,6 +403,56 @@ def _rusanov_y(hB, uB, vB, hT, uT, vT, g):
     return fh, fu, fv
 
 
+def _wellbalanced_x(hL, nL, tL, hR, nR, tR, bL, bR, g):
+    """Hydrostatic-reconstruction (Audusse) Rusanov flux over bathymetry.
+
+    ``n``/``t`` are the face-normal and face-tangent momenta; ``bL``/``bR``
+    the bottom elevations of the two cells.  Returns ``(fh, phiL, phiR,
+    ft)`` where ``phiL``/``phiR`` are the *per-side* effective normal-
+    momentum fluxes: the starred-state flux with the starred hydrostatic
+    pressure swapped for each side's own, which is exactly the interface
+    part of the Audusse source-term splitting.  The scatter therefore
+    becomes ``dU[L] -= phiL·fsz; dU[R] += phiR·fsz`` — no separate source
+    loop, and the scheme is well balanced by construction.
+
+    Why exactly: at a lake at rest the free surface ``h + b`` is the same
+    value on both sides, so the reconstructed depths ``h* = max((h+b) −
+    max(bL,bR), 0)`` agree *bitwise*, making ``fh`` and ``ft`` exact zeros
+    and ``fn`` exactly the starred pressure ``½·g·h*²``.  Each side's
+    ``phi`` then collapses to its own ``½·g·h²`` — computed with the same
+    expression shape everywhere (including the reflective-wall flux), so
+    per-cell contributions cancel exactly and the state does not move by a
+    single ulp.  The property tests assert exactly that.
+
+    Works on arrays or NumPy scalars; ``g`` must be a NumPy scalar of the
+    compute dtype (its ``dtype`` supplies the exact-zero clamp).
+    """
+    zero = g.dtype.type(0)
+    bstar = np.maximum(bL, bR)
+    hsL = np.maximum((hL + bL) - bstar, zero)
+    hsR = np.maximum((hR + bR) - bstar, zero)
+    # velocities from the ORIGINAL depths (cells stay wet; h > 0)
+    velL = nL / hL
+    velR = nR / hR
+    nsL = hsL * velL
+    nsR = hsR * velR
+    tsL = hsL * (tL / hL)
+    tsR = hsR * (tR / hR)
+    cL = np.sqrt(g * hsL)
+    cR = np.sqrt(g * hsR)
+    lam = np.maximum(np.abs(velL) + cL, np.abs(velR) + cR)
+    fh = 0.5 * (nsL + nsR) - 0.5 * lam * (hsR - hsL)
+    fnL = nsL * velL + 0.5 * g * hsL * hsL
+    fnR = nsR * velR + 0.5 * g * hsR * hsR
+    fn = 0.5 * (fnL + fnR) - 0.5 * lam * (nsR - nsL)
+    ft = 0.5 * (tsL * velL + tsR * velR) - 0.5 * lam * (tsR - tsL)
+    # per-side hydrostatic-pressure correction; the 0.5*g*h*h spelling
+    # matches _rusanov_x's pressure term bit-for-bit
+    phiL = (fn - 0.5 * g * hsL * hsL) + 0.5 * g * hL * hL
+    phiR = (fn - 0.5 * g * hsR * hsR) + 0.5 * g * hR * hR
+    return fh, phiL, phiR, ft
+
+
 def _rusanov_into(hL, nL, tL, hR, nR, tR, g, out, tmp):
     """Rusanov flux into preallocated buffers; bitwise == :func:`_rusanov_x`.
 
@@ -516,6 +566,108 @@ def _scatter_group(
         np.add.at(dV, high, fv * fsz)
 
 
+def _finite_diff_bathy(
+    mesh: AmrMesh,
+    state: ShallowWaterState,
+    dt: float,
+    faces: FaceLists,
+    counters: KernelCounters | None,
+    geom: GeometryCache,
+    bathy: np.ndarray,
+) -> None:
+    """Conservative timestep over variable bathymetry (vectorized).
+
+    Interior faces use :func:`_wellbalanced_x` (hydrostatic
+    reconstruction); reflective walls are unchanged — the ghost cell
+    mirrors the interior bathymetry, so the wall flux is the plain mirror
+    Rusanov flux, whose pressure term matches the interior ``phi`` bits at
+    rest (the lake-at-rest ULP guarantee).  The scatter is the original
+    ``np.add.at`` sequence in both scatter modes: the per-side normal-
+    momentum fluxes are asymmetric, so the antisymmetric ScatterPlan does
+    not apply, and plan-vs-add_at parity holds trivially on this path.
+    """
+    cdtype = state.policy.compute_dtype
+    g = cdtype.type(GRAVITY)
+    dt_c = cdtype.type(dt)
+
+    H, U, V = state.promoted()
+    b = np.ascontiguousarray(bathy, dtype=cdtype)
+    size, area = geom.geometry(mesh, cdtype)
+
+    dH = np.zeros(mesh.ncells, dtype=cdtype)
+    dU = np.zeros(mesh.ncells, dtype=cdtype)
+    dV = np.zeros(mesh.ncells, dtype=cdtype)
+
+    # interior x-faces
+    if faces.xl.size:
+        L, R = faces.xl, faces.xr
+        fh, phiL, phiR, fv = _wellbalanced_x(
+            H[L], U[L], V[L], H[R], U[R], V[R], b[L], b[R], g
+        )
+        fsz = faces.xsize.astype(cdtype)
+        np.add.at(dH, L, -fh * fsz)
+        np.add.at(dH, R, fh * fsz)
+        np.add.at(dU, L, -phiL * fsz)
+        np.add.at(dU, R, phiR * fsz)
+        np.add.at(dV, L, -fv * fsz)
+        np.add.at(dV, R, fv * fsz)
+
+    # interior y-faces: normal momentum is V, tangent is U
+    if faces.yb.size:
+        B, T = faces.yb, faces.yt
+        fh, phiB, phiT, fu = _wellbalanced_x(
+            H[B], V[B], U[B], H[T], V[T], U[T], b[B], b[T], g
+        )
+        fsz = faces.ysize.astype(cdtype)
+        np.add.at(dH, B, -fh * fsz)
+        np.add.at(dH, T, fh * fsz)
+        np.add.at(dU, B, -fu * fsz)
+        np.add.at(dU, T, fu * fsz)
+        np.add.at(dV, B, -phiB * fsz)
+        np.add.at(dV, T, phiT * fsz)
+
+    # reflective boundaries: identical to the flat-bottom kernels (the
+    # mirror state shares the cell's bathymetry, so no correction enters)
+    for cells_b, axis, is_high in (
+        (faces.bnd_left, "x", False),
+        (faces.bnd_right, "x", True),
+        (faces.bnd_bottom, "y", False),
+        (faces.bnd_top, "y", True),
+    ):
+        if cells_b.size == 0:
+            continue
+        h = H[cells_b]
+        u = U[cells_b]
+        v = V[cells_b]
+        fsz = size[cells_b]
+        if axis == "x":
+            if is_high:
+                fh, fu, fv = _rusanov_x(h, u, v, h, -u, v, g)
+                dH[cells_b] -= fh * fsz
+                dU[cells_b] -= fu * fsz
+                dV[cells_b] -= fv * fsz
+            else:
+                fh, fu, fv = _rusanov_x(h, -u, v, h, u, v, g)
+                dH[cells_b] += fh * fsz
+                dU[cells_b] += fu * fsz
+                dV[cells_b] += fv * fsz
+        else:
+            if is_high:
+                fh, fu, fv = _rusanov_y(h, u, v, h, u, -v, g)
+                dH[cells_b] -= fh * fsz
+                dU[cells_b] -= fu * fsz
+                dV[cells_b] -= fv * fsz
+            else:
+                fh, fu, fv = _rusanov_y(h, u, -v, h, u, v, g)
+                dH[cells_b] += fh * fsz
+                dU[cells_b] += fu * fsz
+                dV[cells_b] += fv * fsz
+
+    scale = dt_c / area
+    state.store(H + dH * scale, U + dU * scale, V + dV * scale)
+    _count_work(counters, mesh, state, faces)
+
+
 def finite_diff_vectorized(
     mesh: AmrMesh,
     state: ShallowWaterState,
@@ -523,6 +675,7 @@ def finite_diff_vectorized(
     faces: FaceLists | None = None,
     counters: KernelCounters | None = None,
     geom: GeometryCache | None = None,
+    bathy: np.ndarray | None = None,
 ) -> None:
     """One conservative timestep, NumPy-vectorized; updates state in place.
 
@@ -541,11 +694,19 @@ def finite_diff_vectorized(
         Optional :class:`KernelCounters` receiving this step's work tally.
     geom:
         Geometry/workspace cache; defaults to the process-wide one.
+    bathy:
+        Optional per-cell bottom elevation.  ``None`` (the default) keeps
+        the flat-bottom kernel bit-for-bit unchanged; an array routes the
+        step through the well-balanced hydrostatic-reconstruction path
+        (:func:`_finite_diff_bathy`).
     """
     if faces is None:
         faces = FaceLists.from_mesh(mesh)
     if geom is None:
         geom = _DEFAULT_GEOMETRY_CACHE
+    if bathy is not None:
+        _finite_diff_bathy(mesh, state, dt, faces, counters, geom, bathy)
+        return
     if _SCATTER_MODE != "plan":
         _finite_diff_vectorized_legacy(mesh, state, dt, faces, counters)
         return
@@ -755,6 +916,7 @@ def finite_diff_scalar(
     faces: FaceLists | None = None,
     counters: KernelCounters | None = None,
     geom: GeometryCache | None = None,
+    bathy: np.ndarray | None = None,
 ) -> None:
     """The same timestep as :func:`finite_diff_vectorized`, one face at a time.
 
@@ -762,7 +924,9 @@ def finite_diff_scalar(
     the same dtype (NumPy scalar types), executed in a Python loop.  Used
     for the vectorization benchmark and as a differential-testing oracle —
     the tests assert it matches the vectorized kernel to within a few ulp
-    (the only difference is scatter-accumulation order).
+    (the only difference is scatter-accumulation order).  ``bathy`` routes
+    interior faces through the same per-face well-balanced flux the
+    vectorized path uses (:func:`_wellbalanced_x`).
     """
     if faces is None:
         faces = FaceLists.from_mesh(mesh)
@@ -780,23 +944,46 @@ def finite_diff_scalar(
     dU = np.zeros(mesh.ncells, dtype=cdtype)
     dV = np.zeros(mesh.ncells, dtype=cdtype)
 
-    for L, R, fsz in zip(faces.xl, faces.xr, faces.xsize.astype(cdtype)):
-        fh, fu, fv = _rusanov_x(H[L], U[L], V[L], H[R], U[R], V[R], g)
-        dH[L] -= fh * fsz
-        dH[R] += fh * fsz
-        dU[L] -= fu * fsz
-        dU[R] += fu * fsz
-        dV[L] -= fv * fsz
-        dV[R] += fv * fsz
+    if bathy is not None:
+        b = bathy.astype(cdtype)
+        for L, R, fsz in zip(faces.xl, faces.xr, faces.xsize.astype(cdtype)):
+            fh, phiL, phiR, fv = _wellbalanced_x(
+                H[L], U[L], V[L], H[R], U[R], V[R], b[L], b[R], g
+            )
+            dH[L] -= fh * fsz
+            dH[R] += fh * fsz
+            dU[L] -= phiL * fsz
+            dU[R] += phiR * fsz
+            dV[L] -= fv * fsz
+            dV[R] += fv * fsz
+        for B, T, fsz in zip(faces.yb, faces.yt, faces.ysize.astype(cdtype)):
+            fh, phiB, phiT, fu = _wellbalanced_x(
+                H[B], V[B], U[B], H[T], V[T], U[T], b[B], b[T], g
+            )
+            dH[B] -= fh * fsz
+            dH[T] += fh * fsz
+            dU[B] -= fu * fsz
+            dU[T] += fu * fsz
+            dV[B] -= phiB * fsz
+            dV[T] += phiT * fsz
+    else:
+        for L, R, fsz in zip(faces.xl, faces.xr, faces.xsize.astype(cdtype)):
+            fh, fu, fv = _rusanov_x(H[L], U[L], V[L], H[R], U[R], V[R], g)
+            dH[L] -= fh * fsz
+            dH[R] += fh * fsz
+            dU[L] -= fu * fsz
+            dU[R] += fu * fsz
+            dV[L] -= fv * fsz
+            dV[R] += fv * fsz
 
-    for B, T, fsz in zip(faces.yb, faces.yt, faces.ysize.astype(cdtype)):
-        fh, fu, fv = _rusanov_y(H[B], U[B], V[B], H[T], U[T], V[T], g)
-        dH[B] -= fh * fsz
-        dH[T] += fh * fsz
-        dU[B] -= fu * fsz
-        dU[T] += fu * fsz
-        dV[B] -= fv * fsz
-        dV[T] += fv * fsz
+        for B, T, fsz in zip(faces.yb, faces.yt, faces.ysize.astype(cdtype)):
+            fh, fu, fv = _rusanov_y(H[B], U[B], V[B], H[T], U[T], V[T], g)
+            dH[B] -= fh * fsz
+            dH[T] += fh * fsz
+            dU[B] -= fu * fsz
+            dU[T] += fu * fsz
+            dV[B] -= fv * fsz
+            dV[T] += fv * fsz
 
     for c in faces.bnd_right:
         fh, fu, fv = _rusanov_x(H[c], U[c], V[c], H[c], -U[c], V[c], g)

@@ -39,6 +39,7 @@ from repro.clamr.kernels import (
     _rusanov_x,
     _rusanov_y,
     _scatter_group,
+    _wellbalanced_x,
     geometry_cache,
 )
 from repro.clamr.mesh import AmrMesh
@@ -95,6 +96,7 @@ def muscl_rhs(
     cdtype: np.dtype,
     geom: GeometryCache | None = None,
     slot: str = "muscl",
+    bathy: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Spatial operator: face-integrated MUSCL fluxes per unit area.
 
@@ -103,6 +105,12 @@ def muscl_rhs(
     The accumulators live in the geometry cache's workspace for ``slot``;
     Heun's two stages must pass distinct slots so the predictor's result
     survives the corrector evaluation.
+
+    With ``bathy`` set, the depth reconstruction switches to free-surface
+    slopes (η = H + b, so a lake at rest has exactly zero slopes) and the
+    face fluxes to the hydrostatic-reconstruction form
+    (:func:`repro.clamr.kernels._wellbalanced_x`), keeping the scheme
+    well balanced at second order.
     """
     if geom is None:
         geom = geometry_cache()
@@ -112,9 +120,13 @@ def muscl_rhs(
     xplan, yplan = faces.scatter_plans(mesh.ncells)
     xsize_c, ysize_c = faces.sizes_as(cdtype)
 
+    b = None
+    if bathy is not None:
+        b = np.ascontiguousarray(bathy, dtype=cdtype)
+        eta = H + b
     sx = {}
     sy = {}
-    for name, q in (("H", H), ("U", U), ("V", V)):
+    for name, q in (("H", eta if b is not None else H), ("U", U), ("V", V)):
         sx[name], sy[name] = limited_slopes(mesh, q, size)
 
     dH, dU, dV = geom.workspace3(mesh, cdtype, slot=slot)
@@ -124,10 +136,16 @@ def muscl_rhs(
         L, R = faces.xl, faces.xr
         offL = half * size[L]
         offR = half * size[R]
-        hL = H[L] + sx["H"][L] * offL
+        if b is not None:
+            # reconstruct the free surface, recover depth against the
+            # cell's own bottom: constant η reproduces H bit-for-bit
+            hL = (eta[L] + sx["H"][L] * offL) - b[L]
+            hR = (eta[R] - sx["H"][R] * offR) - b[R]
+        else:
+            hL = H[L] + sx["H"][L] * offL
+            hR = H[R] - sx["H"][R] * offR
         uL = U[L] + sx["U"][L] * offL
         vL = V[L] + sx["V"][L] * offL
-        hR = H[R] - sx["H"][R] * offR
         uR = U[R] - sx["U"][R] * offR
         vR = V[R] - sx["V"][R] * offR
         # positivity guard: fall back to the cell mean where the
@@ -140,18 +158,33 @@ def muscl_rhs(
             hR = np.where(bad, H[R], hR)
             uR = np.where(bad, U[R], uR)
             vR = np.where(bad, V[R], vR)
-        fh, fu, fv = _rusanov_x(hL, uL, vL, hR, uR, vR, g)
-        _scatter_group(xplan, dH, dU, dV, L, R, fh, fu, fv, xsize_c)
+        if b is not None:
+            fh, phiL, phiR, fv = _wellbalanced_x(
+                hL, uL, vL, hR, uR, vR, b[L], b[R], g
+            )
+            np.add.at(dH, L, -fh * xsize_c)
+            np.add.at(dH, R, fh * xsize_c)
+            np.add.at(dU, L, -phiL * xsize_c)
+            np.add.at(dU, R, phiR * xsize_c)
+            np.add.at(dV, L, -fv * xsize_c)
+            np.add.at(dV, R, fv * xsize_c)
+        else:
+            fh, fu, fv = _rusanov_x(hL, uL, vL, hR, uR, vR, g)
+            _scatter_group(xplan, dH, dU, dV, L, R, fh, fu, fv, xsize_c)
 
     # interior y-faces
     if faces.yb.size:
         B, T = faces.yb, faces.yt
         offB = half * size[B]
         offT = half * size[T]
-        hB = H[B] + sy["H"][B] * offB
+        if b is not None:
+            hB = (eta[B] + sy["H"][B] * offB) - b[B]
+            hT = (eta[T] - sy["H"][T] * offT) - b[T]
+        else:
+            hB = H[B] + sy["H"][B] * offB
+            hT = H[T] - sy["H"][T] * offT
         uB = U[B] + sy["U"][B] * offB
         vB = V[B] + sy["V"][B] * offB
-        hT = H[T] - sy["H"][T] * offT
         uT = U[T] - sy["U"][T] * offT
         vT = V[T] - sy["V"][T] * offT
         bad = (hB <= 0) | (hT <= 0)
@@ -162,8 +195,19 @@ def muscl_rhs(
             hT = np.where(bad, H[T], hT)
             uT = np.where(bad, U[T], uT)
             vT = np.where(bad, V[T], vT)
-        fh, fu, fv = _rusanov_y(hB, uB, vB, hT, uT, vT, g)
-        _scatter_group(yplan, dH, dU, dV, B, T, fh, fu, fv, ysize_c)
+        if b is not None:
+            fh, phiB, phiT, fu = _wellbalanced_x(
+                hB, vB, uB, hT, vT, uT, b[B], b[T], g
+            )
+            np.add.at(dH, B, -fh * ysize_c)
+            np.add.at(dH, T, fh * ysize_c)
+            np.add.at(dU, B, -fu * ysize_c)
+            np.add.at(dU, T, fu * ysize_c)
+            np.add.at(dV, B, -phiB * ysize_c)
+            np.add.at(dV, T, phiT * ysize_c)
+        else:
+            fh, fu, fv = _rusanov_y(hB, uB, vB, hT, uT, vT, g)
+            _scatter_group(yplan, dH, dU, dV, B, T, fh, fu, fv, ysize_c)
 
     # reflective walls: first-order mirror flux (slopes clip to zero at
     # the wall anyway, by the self-link convention in limited_slopes)
@@ -208,12 +252,15 @@ def finite_diff_muscl(
     faces: FaceLists | None = None,
     counters: KernelCounters | None = None,
     geom: GeometryCache | None = None,
+    bathy: np.ndarray | None = None,
 ) -> None:
     """One second-order step (MUSCL space × Heun time); updates in place.
 
     Drop-in replacement for :func:`finite_diff_vectorized` — same
     signature, same precision semantics, roughly 4x the arithmetic
-    (two spatial evaluations, each ~2x a first-order one).
+    (two spatial evaluations, each ~2x a first-order one).  ``bathy``
+    selects the well-balanced free-surface reconstruction in both Heun
+    stages.
     """
     if faces is None:
         faces = FaceLists.from_mesh(mesh)
@@ -227,11 +274,11 @@ def finite_diff_muscl(
 
     H0, U0, V0 = state.promoted()
     # distinct workspace slots: k1 must survive the k2 evaluation
-    k1 = muscl_rhs(mesh, H0, U0, V0, faces, cdtype, geom=geom, slot="muscl_k1")
+    k1 = muscl_rhs(mesh, H0, U0, V0, faces, cdtype, geom=geom, slot="muscl_k1", bathy=bathy)
     H1 = H0 + k1[0] * scale
     U1 = U0 + k1[1] * scale
     V1 = V0 + k1[2] * scale
-    k2 = muscl_rhs(mesh, H1, U1, V1, faces, cdtype, geom=geom, slot="muscl_k2")
+    k2 = muscl_rhs(mesh, H1, U1, V1, faces, cdtype, geom=geom, slot="muscl_k2", bathy=bathy)
     state.store(
         H0 + half * (k1[0] + k2[0]) * scale,
         U0 + half * (k1[1] + k2[1]) * scale,

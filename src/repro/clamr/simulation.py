@@ -173,6 +173,8 @@ class ClamrSimulation:
         vectorized: bool = True,
         scheme: str = "rusanov",
         telemetry: Telemetry | None = None,
+        ic=None,
+        bathymetry=None,
     ) -> None:
         if not isinstance(policy, PrecisionPolicy):
             policy = PrecisionPolicy.from_level(level_from_name(policy))
@@ -185,6 +187,14 @@ class ClamrSimulation:
         self.vectorized = vectorized
         self.scheme = scheme
         self.telemetry = telemetry
+        # scenario hooks (see repro.scenarios): ``ic(config, x, y)`` returns
+        # (H, U, V) at the cell centers, replacing the default dam-break
+        # column; ``bathymetry(config, x, y)`` returns the per-cell bottom
+        # elevation (float64 master), re-evaluated whenever regrid builds a
+        # new mesh.  ``None`` keeps the seed problem byte-for-byte.
+        self._ic = ic
+        self._bathymetry = bathymetry
+        self._bathy_cache: tuple[int, np.ndarray] | None = None
         self.mesh = AmrMesh.uniform(
             config.nx, config.ny, max_level=config.max_level, coarse_size=config.coarse_size
         )
@@ -221,14 +231,24 @@ class ClamrSimulation:
         return cached[1]
 
     def _initial_state(self, mesh: AmrMesh) -> ShallowWaterState:
-        """Sample the dam-break initial condition at cell centers.
+        """Sample the initial condition at cell centers.
 
-        The column edge is smoothed over one coarse cell so the initial
-        condition converges with resolution (a hard step would make the
-        Fig. 3 resolution comparison ill-posed).
+        The default is the paper's dam break: a column edge smoothed over
+        one coarse cell so the initial condition converges with resolution
+        (a hard step would make the Fig. 3 resolution comparison
+        ill-posed).  A scenario's ``ic`` hook replaces the whole (H, U, V)
+        sample.
         """
         cfg = self.config
         x, y = mesh.cell_centers()
+        if self._ic is not None:
+            H, U, V = self._ic(cfg, x, y)
+            return ShallowWaterState(
+                H=np.asarray(H, dtype=np.float64),
+                U=np.asarray(U, dtype=np.float64),
+                V=np.asarray(V, dtype=np.float64),
+                policy=self.policy,
+            )
         cx = 0.5 * cfg.domain_size
         cy = 0.5 * cfg.domain_size
         r = np.sqrt((x - cx) ** 2 + (y - cy) ** 2)
@@ -239,6 +259,24 @@ class ClamrSimulation:
         return ShallowWaterState(
             H=H, U=np.zeros_like(H), V=np.zeros_like(H), policy=self.policy
         )
+
+    def _bathy_for(self, mesh: AmrMesh) -> np.ndarray | None:
+        """Bottom elevation at this mesh's cell centers, generation-cached.
+
+        The bathymetry lives outside :class:`ShallowWaterState` on purpose:
+        regrid prolongation/restriction of a sampled field would disagree
+        with resampling the analytic bottom, so it is re-evaluated (at
+        float64) for every new mesh generation instead.
+        """
+        if self._bathymetry is None:
+            return None
+        cached = self._bathy_cache
+        if cached is not None and cached[0] == mesh.generation:
+            return cached[1]
+        x, y = mesh.cell_centers()
+        b = np.ascontiguousarray(self._bathymetry(self.config, x, y), dtype=np.float64)
+        self._bathy_cache = (mesh.generation, b)
+        return b
 
     def _measured_mass(self, area: np.ndarray, tel) -> float:
         """Double-double total mass, with telemetry on the accumulation.
@@ -336,6 +374,7 @@ class ClamrSimulation:
         ncells_history.append(self.mesh.ncells)
 
         faces = self._faces_for(self.mesh)
+        bathy = self._bathy_for(self.mesh)
         kernel_elapsed = 0.0
         t_start = time.perf_counter()
         with tel.span("clamr/run", steps=steps, ncells=self.mesh.ncells):
@@ -369,6 +408,7 @@ class ClamrSimulation:
                         kernel(
                             self.mesh, self.state, dt,
                             faces=faces, counters=counters, geom=self._geom,
+                            bathy=bathy,
                         )
                     kernel_elapsed += time.perf_counter() - t0
                     if hashing:
@@ -414,6 +454,7 @@ class ClamrSimulation:
                         with tel.span("clamr/regrid") as sp:
                             self.mesh, self.state = regrid(self.mesh, self.state, flags)
                             faces = self._faces_for(self.mesh)
+                            bathy = self._bathy_for(self.mesh)
                             _, area = self._geom.geometry(self.mesh, np.dtype(np.float64))
                         # regrid cost: hash repaint (int64 image) + neighbor
                         # rebuild gathers + flag evaluation traffic.

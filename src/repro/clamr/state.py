@@ -113,6 +113,20 @@ class ShallowWaterState:
         """Re-store this state under another policy (rounding if narrower)."""
         return ShallowWaterState(H=self.H, U=self.U, V=self.V, policy=policy)
 
+    def surface(self, bathy: np.ndarray | None = None) -> np.ndarray:
+        """Free-surface elevation η = H + b at float64.
+
+        ``bathy`` is the per-cell bottom elevation (``None`` means a flat
+        bottom at zero, so η is just the depth).  This is the diagnostic
+        the well-balanced scenarios check: over variable bathymetry a lake
+        at rest is *constant η*, not constant H, so acceptance checks and
+        line-outs must compare surfaces, not depths.
+        """
+        eta = self.H.astype(np.float64)
+        if bathy is not None:
+            eta = eta + np.asarray(bathy, dtype=np.float64)
+        return eta
+
     def mass_contributions(self, cell_area: np.ndarray) -> np.ndarray:
         """Per-cell H·area at float64 — the dd_sum input.
 

@@ -38,6 +38,15 @@ Subcommands
     chunk (exit 1 on divergence), re-run a divergence window from the
     nearest checkpoints at full hash resolution with ULP statistics,
     and chart the ULP divergence-onset curve of a precision pair.
+``scenario list|run|validate|gate``
+    The scenario library (see docs/scenarios.md): enumerate the
+    registered initial-condition/bathymetry cases, run one and print a
+    summary (optionally fingerprinting it into a ledger), apply each
+    scenario's acceptance contract (exit 1 on failure), and gate fresh
+    runs against the committed golden fingerprints (exit 1 on drift).
+    Sweep-shaped commands (``table``/``figure``, ``resilience``,
+    ``diverge record``) take ``--scenario NAME`` to run the same
+    machinery over a registered case instead of the seed workload.
 
 Errors from bad arguments or missing files exit with status 2 and a
 one-line ``repro: error: ...`` message — never a traceback.
@@ -128,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--hash-stride", type=int, default=0, metavar="N",
                        help="hash every Nth step (default: every step when "
                             "--hash-dir is set)")
+    table.add_argument("--scenario", default="", metavar="NAME",
+                       help="run a registered scenario instead of the seed case "
+                            "(tables 1/2 take clamr/*, tables 5/6 take self/*; "
+                            "see 'repro scenario list')")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=range(1, 6))
@@ -143,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--hash-stride", type=int, default=0, metavar="N",
                         help="hash every Nth step (default: every step when "
                              "--hash-dir is set)")
+    figure.add_argument("--scenario", default="", metavar="NAME",
+                        help="run a registered scenario instead of the seed case "
+                             "(figures 1/2 take clamr/*, figures 4/5 take self/*)")
 
     compare = sub.add_parser("compare", help="fidelity comparison of two precision levels")
     compare.add_argument("--nx", type=int, default=48)
@@ -151,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser("validate", help="check every paper claim against a fresh run")
     validate.add_argument("--scale", default="quick", choices=("quick", "bench"))
+    validate.add_argument("--no-scenarios", action="store_true",
+                          help="skip the scenario-library acceptance checks "
+                               "(paper claims only)")
 
     trace = sub.add_parser("trace", help="run a workload with telemetry and report the trace")
     trace.add_argument("workload", choices=("clamr", "self"))
@@ -293,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="additionally draw N random faults from --seed")
         p.add_argument("--seed", type=int, default=0,
                        help="plan seed: resolves random element/bit choices")
+        p.add_argument("--scenario", default="", metavar="NAME",
+                       help="inject into a registered scenario instead of the "
+                            "workload's seed case (see 'repro scenario list')")
 
     rinj = rsub.add_parser(
         "inject", help="inject faults with detectors but no recovery (probe run)"
@@ -341,6 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
     rcamp.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"))
     rcamp.add_argument("--elems", type=int, default=2, help="SELF elements per side")
     rcamp.add_argument("--order", type=int, default=3, help="SELF polynomial order")
+    rcamp.add_argument("--scenario", default="", metavar="NAME",
+                       help="sweep faults over a registered scenario instead of "
+                            "the workload's seed case")
     rcamp.add_argument("--ledger", default=None, metavar="PATH",
                        help="append one record per completed cell to this ledger")
     rcamp.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -392,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "completes; trailing '!' on the kind = sticky; "
                            "repeatable")
     drec.add_argument("--label", default="", help="label stored in the hash stream")
+    drec.add_argument("--scenario", default="", metavar="NAME",
+                      help="record a registered scenario instead of the "
+                           "workload's seed case")
 
     dcmp = dsub.add_parser(
         "compare",
@@ -431,6 +459,43 @@ def build_parser() -> argparse.ArgumentParser:
     dons.add_argument("--order", type=int, default=3, help="SELF polynomial order")
     dons.add_argument("--json", default=None, metavar="FILE",
                       help="also write the onset report as JSON")
+
+    scen = sub.add_parser(
+        "scenario", help="the scenario library: list, run, validate, gate"
+    )
+    ssub = scen.add_subparsers(dest="scenario_command", required=True)
+
+    ssub.add_parser("list", help="list the registered scenarios")
+
+    srun = ssub.add_parser("run", help="run one scenario and print a summary")
+    srun.add_argument("name", metavar="NAME", help="e.g. clamr/circular-dam")
+    srun.add_argument("--scale", default="quick", choices=("quick", "bench"))
+    srun.add_argument("--policy", default=None,
+                      help="precision level (default: the scenario's "
+                           "fingerprint policy)")
+    srun.add_argument("--seed", type=int, default=0,
+                      help="workload seed (fingerprint input)")
+    srun.add_argument("--ledger", default=None, metavar="PATH",
+                      help="run under telemetry and append a fingerprinted "
+                           "run record to this ledger")
+
+    sval = ssub.add_parser(
+        "validate", help="apply each scenario's acceptance contract (exit 1 on failure)"
+    )
+    sval.add_argument("names", nargs="*", metavar="NAME",
+                      help="scenario names (default: every registered scenario)")
+    sval.add_argument("--scale", default="quick", choices=("quick", "bench"))
+
+    sgate = ssub.add_parser(
+        "gate",
+        help="fresh-run each scenario and compare identity + conservation "
+             "digests against the committed goldens (exit 1 on drift)",
+    )
+    sgate.add_argument("names", nargs="*", metavar="NAME",
+                       help="scenario names (default: every registered scenario)")
+    sgate.add_argument("--baseline", default="benchmarks/baseline_ledger.jsonl",
+                       metavar="PATH", help="committed golden ledger "
+                       "(default benchmarks/baseline_ledger.jsonl)")
     return parser
 
 
@@ -539,16 +604,11 @@ def _cmd_devices(args: argparse.Namespace) -> int:
     return 0
 
 
-_SCALES = {
-    "quick": dict(nx=24, steps=60, fig_nx=32, fig_steps=250, elems=3, order=3, sst=40),
-    "bench": dict(nx=48, steps=200, fig_nx=64, fig_steps=1000, elems=5, order=4, sst=100),
-}
-
-
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
+    from repro.harness.validate import SCALES
 
-    s = _SCALES[args.scale]
+    s = SCALES[args.scale]
     n = args.number
     if args.trace_out and n not in (1, 2, 5, 6):
         raise CLIError(
@@ -558,10 +618,15 @@ def _cmd_table(args: argparse.Namespace) -> int:
         raise CLIError(
             f"table {n} does not run a single sweep; --hash-dir supports tables 1, 2, 5, 6"
         )
+    if args.scenario and n not in (1, 2, 5, 6):
+        raise CLIError(
+            f"table {n} does not run a single sweep; --scenario supports tables 1, 2, 5, 6"
+        )
     if n in (1, 2):
         runs = ex.run_clamr_levels(
             nx=s["nx"], steps=s["steps"], jobs=args.jobs, trace_out=args.trace_out,
             hash_stride=args.hash_stride, hash_dir=args.hash_dir,
+            scenario=args.scenario or None,
         )
         fn = ex.table1_clamr_architectures if n == 1 else ex.table2_clamr_energy
         out = fn(runs, nx=s["nx"], steps=s["steps"])
@@ -574,6 +639,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs,
             trace_out=args.trace_out,
             hash_stride=args.hash_stride, hash_dir=args.hash_dir,
+            scenario=args.scenario or None,
         )
         fn = ex.table5_self_architectures if n == 5 else ex.table6_self_energy
         out = fn(runs, elems=s["elems"], order=s["order"], steps=s["sst"])
@@ -596,17 +662,21 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
+    from repro.harness.validate import SCALES
 
-    s = _SCALES[args.scale]
+    s = SCALES[args.scale]
     n = args.number
     if args.trace_out and n == 3:
         raise CLIError("figure 3 does not run a sweep; --trace-out supports figures 1, 2, 4, 5")
     if args.hash_dir and n == 3:
         raise CLIError("figure 3 does not run a sweep; --hash-dir supports figures 1, 2, 4, 5")
+    if args.scenario and n == 3:
+        raise CLIError("figure 3 does not run a sweep; --scenario supports figures 1, 2, 4, 5")
     if n in (1, 2):
         runs = ex.run_clamr_levels(
             nx=s["fig_nx"], steps=s["fig_steps"], jobs=args.jobs, trace_out=args.trace_out,
             hash_stride=args.hash_stride, hash_dir=args.hash_dir,
+            scenario=args.scenario or None,
         )
         fn = ex.fig1_clamr_slices if n == 1 else ex.fig2_clamr_asymmetry
         out = fn(runs)
@@ -617,6 +687,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             elems=s["elems"], order=s["order"], steps=s["sst"], jobs=args.jobs,
             trace_out=args.trace_out,
             hash_stride=args.hash_stride, hash_dir=args.hash_dir,
+            scenario=args.scenario or None,
         )
         out = ex.fig4_self_slices(runs) if n == 4 else ex.fig5_self_asymmetry(runs)
     print(out.render())
@@ -927,15 +998,28 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
 
 
 def _resil_sim_config(args: argparse.Namespace):
+    overrides: dict = {}
+    if getattr(args, "scenario", ""):
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(args.scenario)
+        if sc.family != args.workload:
+            raise CLIError(
+                f"scenario {args.scenario!r} belongs to workload {sc.family!r}, "
+                f"not {args.workload!r}"
+            )
+        overrides = dict(sc.config)
     if args.workload == "clamr":
         from repro.clamr import DamBreakConfig
 
-        return DamBreakConfig(nx=args.nx, ny=args.nx, max_level=args.max_level)
+        kwargs = {"nx": args.nx, "ny": args.nx, "max_level": args.max_level}
+        kwargs.update(overrides)
+        return DamBreakConfig(**kwargs)
     from repro.self_ import ThermalBubbleConfig
 
-    return ThermalBubbleConfig(
-        nex=args.elems, ney=args.elems, nez=args.elems, order=args.order
-    )
+    kwargs = {"nex": args.elems, "ney": args.elems, "nez": args.elems, "order": args.order}
+    kwargs.update(overrides)
+    return ThermalBubbleConfig(**kwargs)
 
 
 def _resil_plan(args: argparse.Namespace, array_names) -> "object":
@@ -978,6 +1062,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             fault_step=args.fault_step,
             trials=args.trials,
             seed=args.seed,
+            scenario=args.scenario,
             nx=args.nx,
             max_level=args.max_level,
             scheme=args.scheme,
@@ -1017,7 +1102,8 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     )
     sim_config = _resil_sim_config(args)
     adapter = make_adapter(
-        args.workload, sim_config, policy=args.policy, scheme=args.scheme, telemetry=tel
+        args.workload, sim_config, policy=args.policy, scheme=args.scheme, telemetry=tel,
+        scenario=args.scenario,
     )
     plan = _resil_plan(args, adapter.arrays().keys())
 
@@ -1045,6 +1131,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
                 scheme=args.scheme,
                 elems=args.elems,
                 order=args.order,
+                scenario=args.scenario,
             )
             print(f"  footprint    : {fp['summary']}")
             if fp["diverged"]:
@@ -1074,10 +1161,16 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         report = runner.run(args.steps)
         print(report.summary())
         if args.ledger and report.result is not None:
+            from dataclasses import asdict
+
             from repro.ledger import Ledger
 
+            rec_config = sim_config
+            if args.scenario:
+                # the scenario is part of what was run, so it joins the identity
+                rec_config = {**asdict(sim_config), "scenario": args.scenario}
             record = record_resilient_run(
-                report, runner, sim_config=sim_config, seed=args.seed,
+                report, runner, sim_config=rec_config, seed=args.seed,
                 label=args.label or tel.label,
             )
             Ledger(args.ledger).append(record)
@@ -1146,6 +1239,7 @@ def _cmd_diverge(args: argparse.Namespace) -> int:
             checkpoint_interval=args.checkpoint_interval,
             plan=_diverge_plan(args),
             label=args.label,
+            scenario=args.scenario,
         )
         print(f"recorded {args.workload}: {run.steps} steps, "
               f"{run.ladder.nsteps} hashed (stride {run.ladder.stride}), "
@@ -1227,12 +1321,102 @@ def _cmd_diverge(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.harness.validate import validate_reproduction
 
-    checks = validate_reproduction(scale=args.scale)
+    checks = validate_reproduction(scale=args.scale, scenarios=not args.no_scenarios)
     failed = [c for c in checks if not c.passed]
     for check in checks:
         print(check)
     print(f"\n{len(checks) - len(failed)}/{len(checks)} claims reproduced at scale '{args.scale}'")
     return 1 if failed else 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        all_scenarios,
+        gate_scenarios,
+        get_scenario,
+        record_scenario,
+        run_scenario,
+        validate_scenario,
+    )
+
+    if args.scenario_command == "list":
+        from repro.harness.report import Table
+
+        table = Table(
+            title="Registered scenarios (see docs/scenarios.md)",
+            headers=["Name", "Quick", "Bench", "Policy", "Description"],
+        )
+
+        def shape(sc, scale: str) -> str:
+            size = sc.scale(scale)
+            if sc.family == "clamr":
+                return f"{size['nx']}^2 x{size['steps']}"
+            return f"{size['elems']}^3 o{size['order']} x{size['steps']}"
+
+        for sc in all_scenarios():
+            table.add_row(
+                sc.name, shape(sc, "quick"), shape(sc, "bench"),
+                sc.fingerprint_policy, sc.description,
+            )
+        print(table.render())
+        return 0
+
+    if args.scenario_command == "run":
+        sc = get_scenario(args.name)
+        if args.ledger:
+            from repro.ledger import Ledger
+
+            record = record_scenario(sc, scale=args.scale, policy=args.policy,
+                                     seed=args.seed)
+            ledger = Ledger(args.ledger)
+            ledger.append(record)
+            print(f"{sc.name} [{args.scale}]: recorded")
+            print(f"  workload key : {record.workload_key}")
+            print(f"  fingerprint  : {record.fingerprint}")
+            print(f"  wall time    : {record.wall_s:.3f}s")
+            print(f"  ledger       : {ledger.path} ({len(ledger)} records)")
+            return 0
+        run = run_scenario(sc, scale=args.scale, policy=args.policy)
+        res = run.result
+        print(f"{sc.name} [{args.scale}]: {sc.description}")
+        print(f"  policy       : {run.policy}")
+        print(f"  steps        : {run.steps}")
+        print(f"  sim time     : {res.final_time:.5f}")
+        print(f"  wall time    : {res.elapsed_s:.2f}s (kernel {res.kernel_elapsed_s:.2f}s)")
+        if sc.family == "clamr":
+            print(f"  cells        : {run.sim.mesh.ncells}")
+            print(f"  mass drift   : {res.mass_drift:.3e}")
+        else:
+            print(f"  w_max        : {res.max_vertical_velocity:.4f} m/s")
+            print(f"  anomaly scale: {res.anomaly_scale:.3e}")
+        return 0
+
+    if args.scenario_command == "validate":
+        from repro.scenarios import scenario_names
+
+        names = list(args.names) or scenario_names()
+        failed = 0
+        total = 0
+        for name in names:
+            _run, checks = validate_scenario(name, scale=args.scale)
+            for check in checks:
+                print(check)
+                total += 1
+                failed += not check.passed
+        print(f"\n{total - failed}/{total} acceptance checks passed "
+              f"at scale '{args.scale}'")
+        return 1 if failed else 0
+
+    if args.scenario_command == "gate":
+        baseline = _require_file(args.baseline, "baseline ledger")
+        checks = gate_scenarios(baseline, names=list(args.names) or None)
+        failed = [c for c in checks if not c.passed]
+        for check in checks:
+            print(check)
+        print(f"\n{len(checks) - len(failed)}/{len(checks)} golden checks passed")
+        return 1 if failed else 0
+
+    raise ValueError(f"unknown scenario command {args.scenario_command!r}")  # pragma: no cover
 
 
 _COMMANDS = {
@@ -1248,6 +1432,7 @@ _COMMANDS = {
     "ledger": _cmd_ledger,
     "resilience": _cmd_resilience,
     "diverge": _cmd_diverge,
+    "scenario": _cmd_scenario,
 }
 
 

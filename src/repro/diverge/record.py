@@ -64,15 +64,31 @@ class RecordedRun:
         return self.ladder.root()
 
 
-def _sim_config(workload: str, *, nx: int, max_level: int, elems: int, order: int):
+def _sim_config(
+    workload: str, *, nx: int, max_level: int, elems: int, order: int, scenario: str = ""
+):
+    overrides: dict = {}
+    if scenario:
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(scenario)
+        if sc.family != workload:
+            raise ValueError(
+                f"scenario {scenario!r} belongs to workload {sc.family!r}, not {workload!r}"
+            )
+        overrides = dict(sc.config)
     if workload == "clamr":
         from repro.clamr import DamBreakConfig
 
-        return DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
+        kwargs = {"nx": nx, "ny": nx, "max_level": max_level}
+        kwargs.update(overrides)
+        return DamBreakConfig(**kwargs)
     if workload == "self":
         from repro.self_ import ThermalBubbleConfig
 
-        return ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
+        kwargs = {"nex": elems, "ney": elems, "nez": elems, "order": order}
+        kwargs.update(overrides)
+        return ThermalBubbleConfig(**kwargs)
     raise ValueError(f"unknown workload {workload!r}; use 'clamr' or 'self'")
 
 
@@ -115,6 +131,7 @@ def record_run(
     checkpoint_interval: int = 0,
     plan=None,
     label: str = "",
+    scenario: str = "",
 ) -> RecordedRun:
     """Run one workload with the ladder attached; persist if ``out`` is set.
 
@@ -131,10 +148,12 @@ def record_run(
         raise ValueError(f"steps must be >= 1, got {steps}")
     ladder = StateHashLadder(
         stride=hash_stride, chunk=hash_chunk,
-        label=label or f"diverge/{workload}",
+        label=label or f"diverge/{scenario or workload}",
     )
     tel = Telemetry(label=ladder.label, ladder=ladder)
-    config = _sim_config(workload, nx=nx, max_level=max_level, elems=elems, order=order)
+    config = _sim_config(
+        workload, nx=nx, max_level=max_level, elems=elems, order=order, scenario=scenario
+    )
     adapter = make_adapter(
         workload,
         config,
@@ -142,6 +161,7 @@ def record_run(
         scheme=scheme,
         vectorized=vectorized,
         telemetry=tel,
+        scenario=scenario,
     )
     injector = FaultInjector(plan) if plan is not None and plan.specs else None
     out_dir = Path(out) if out is not None else None
@@ -174,6 +194,7 @@ def record_run(
         "scheme": scheme,
         "vectorized": vectorized,
         "scatter": scatter if workload == "clamr" else "",
+        "scenario": scenario,
         "config": json.loads(json.dumps(asdict(config))),
         "hash_stride": hash_stride,
         "hash_chunk": hash_chunk,

@@ -137,6 +137,9 @@ class _ReplaySide:
             scheme=doc.get("scheme", "rusanov"),
             vectorized=bool(doc.get("vectorized", True)),
             telemetry=tel,
+            # pre-scenario run docs have no "scenario" key; "" keeps the
+            # workload's seed initial condition, matching what was recorded
+            scenario=doc.get("scenario", ""),
         )
         plan = _fault_plan(doc.get("faults"))
         self.injector = FaultInjector(plan) if plan is not None else None

@@ -153,24 +153,39 @@ def _persist_hashes(hash_dir, bundle) -> None:
     write_hashes(ladder, out / f"{stem}.hashes.jsonl")
 
 
-def _clamr_level_task(cfg, level, steps, vectorized, telemetry=None):
+def _clamr_level_task(cfg, level, steps, vectorized, scenario=None, telemetry=None):
     """Worker body for one precision level of :func:`run_clamr_levels`.
 
     Module-level (picklable) so :class:`SweepExecutor` can ship it to a
     worker process.  When the task carries a ``TelemetrySpec``, the
     executor builds ``telemetry`` in the worker and ships the frozen
     bundle back; records, trace files, and merged traces are all produced
-    by the parent from that bundle.
+    by the parent from that bundle.  A scenario crosses the process
+    boundary as its *name* and is resolved in the worker, so its hooks
+    never need to pickle.
     """
+    ic = bathymetry = None
+    scheme = "rusanov"
+    if scenario:
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(scenario)
+        ic, bathymetry, scheme = sc.ic, sc.bathymetry, sc.scheme
     result = ClamrSimulation(
-        cfg, policy=level, vectorized=vectorized, telemetry=telemetry
+        cfg, policy=level, vectorized=vectorized, scheme=scheme, telemetry=telemetry,
+        ic=ic, bathymetry=bathymetry,
     ).run(steps)
     return level, result
 
 
-def _self_precision_task(cfg, prec, steps, telemetry=None):
+def _self_precision_task(cfg, prec, steps, scenario=None, telemetry=None):
     """Worker body for one precision of :func:`run_self_precisions`."""
-    result = SelfSimulation(cfg, precision=prec, telemetry=telemetry).run(steps)
+    ic = None
+    if scenario:
+        from repro.scenarios import get_scenario
+
+        ic = get_scenario(scenario).ic
+    result = SelfSimulation(cfg, precision=prec, telemetry=telemetry, ic=ic).run(steps)
     return prec, result
 
 
@@ -223,6 +238,7 @@ def run_clamr_levels(
     flight_stride: int = 0,
     hash_stride: int = 0,
     hash_dir=None,
+    scenario: str | None = None,
 ) -> dict[str, SimulationResult]:
     """One dam-break run per CLAMR precision level.
 
@@ -242,12 +258,25 @@ def run_clamr_levels(
     writes each lane's state-hash stream there as
     ``<label>.hashes.jsonl`` (``hash_stride`` controls the cadence,
     defaulting to every step), so serial and ``--jobs N`` sweeps can be
-    diffed bit-for-bit with ``repro diverge compare``.
+    diffed bit-for-bit with ``repro diverge compare``.  ``scenario``
+    swaps the workload for a registered CLAMR scenario (its config
+    overrides and hooks apply on top of ``nx``/``max_level``; its name
+    joins the ledger identity).
     """
     from repro.parallel.executor import SweepTask, TelemetrySpec, resolve_jobs
 
-    cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
-    label = label or f"clamr/nx{nx}s{steps}"
+    cfg_kwargs: dict = {"nx": nx, "ny": nx, "max_level": max_level}
+    if scenario:
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(scenario)
+        if sc.family != "clamr":
+            raise ValueError(f"scenario {scenario!r} is not a clamr scenario")
+        cfg_kwargs.update(sc.config)
+    cfg = DamBreakConfig(**cfg_kwargs)
+    label = label or (
+        f"{scenario}/nx{nx}s{steps}" if scenario else f"clamr/nx{nx}s{steps}"
+    )
     jobs = resolve_jobs(jobs, len(CLAMR_LEVELS))
     if hash_dir is not None and hash_stride < 1:
         hash_stride = 1
@@ -262,7 +291,7 @@ def run_clamr_levels(
         SweepTask(
             name=f"{label}/{level}",
             fn=_clamr_level_task,
-            args=(cfg, level, steps, vectorized),
+            args=(cfg, level, steps, vectorized, scenario),
             telemetry=(
                 TelemetrySpec(
                     label=f"{label}/{level}",
@@ -279,8 +308,14 @@ def run_clamr_levels(
     if ledger is not None:
         from repro.ledger import record_from_clamr
 
+        rec_cfg = cfg
+        if scenario:
+            from dataclasses import asdict
+
+            rec_cfg = {**asdict(cfg), "scenario": scenario}
+
         def build_record(result, bundle):
-            return record_from_clamr(result, bundle, cfg, label=bundle.label)
+            return record_from_clamr(result, bundle, rec_cfg, label=bundle.label)
 
     return _run_sweep(
         tasks, jobs, ledger, telemetry_dir, trace_out, build_record, hash_dir
@@ -299,17 +334,28 @@ def run_self_precisions(
     flight_stride: int = 0,
     hash_stride: int = 0,
     hash_dir=None,
+    scenario: str | None = None,
 ) -> dict[str, SelfResult]:
     """One thermal-bubble run per SELF precision.
 
     ``telemetry_dir``, ``ledger``, ``label``, ``jobs``, ``trace_out``,
-    ``flight_stride``, ``hash_stride`` and ``hash_dir`` behave as in
-    :func:`run_clamr_levels`.
+    ``flight_stride``, ``hash_stride``, ``hash_dir`` and ``scenario``
+    behave as in :func:`run_clamr_levels`.
     """
     from repro.parallel.executor import SweepTask, TelemetrySpec, resolve_jobs
 
-    cfg = ThermalBubbleConfig(nex=elems, ney=elems, nez=elems, order=order)
-    label = label or f"self/e{elems}o{order}s{steps}"
+    cfg_kwargs: dict = {"nex": elems, "ney": elems, "nez": elems, "order": order}
+    if scenario:
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(scenario)
+        if sc.family != "self":
+            raise ValueError(f"scenario {scenario!r} is not a self scenario")
+        cfg_kwargs.update(sc.config)
+    cfg = ThermalBubbleConfig(**cfg_kwargs)
+    label = label or (
+        f"{scenario}/e{elems}o{order}s{steps}" if scenario else f"self/e{elems}o{order}s{steps}"
+    )
     jobs = resolve_jobs(jobs, len(SELF_PRECISIONS))
     if hash_dir is not None and hash_stride < 1:
         hash_stride = 1
@@ -324,7 +370,7 @@ def run_self_precisions(
         SweepTask(
             name=f"{label}/{prec}",
             fn=_self_precision_task,
-            args=(cfg, prec, steps),
+            args=(cfg, prec, steps, scenario),
             telemetry=(
                 TelemetrySpec(
                     label=f"{label}/{prec}",
@@ -341,8 +387,14 @@ def run_self_precisions(
     if ledger is not None:
         from repro.ledger import record_from_self
 
+        rec_cfg = cfg
+        if scenario:
+            from dataclasses import asdict
+
+            rec_cfg = {**asdict(cfg), "scenario": scenario}
+
         def build_record(result, bundle):
-            return record_from_self(result, bundle, cfg, label=bundle.label)
+            return record_from_self(result, bundle, rec_cfg, label=bundle.label)
 
     return _run_sweep(
         tasks, jobs, ledger, telemetry_dir, trace_out, build_record, hash_dir

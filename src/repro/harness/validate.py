@@ -28,7 +28,7 @@ from repro.harness.paper import (
 )
 from repro.precision.analysis import asymmetry_signature, difference_metrics
 
-__all__ = ["validate_reproduction", "SCALES"]
+__all__ = ["validate_reproduction", "validate_scenarios", "SCALES"]
 
 SCALES = {
     "quick": dict(nx=24, steps=60, fig_nx=32, fig_steps=250, elems=3, order=3, sst=40),
@@ -36,12 +36,37 @@ SCALES = {
 }
 
 
-def validate_reproduction(scale: str = "quick") -> list[ShapeCheck]:
-    """Run everything and return one ShapeCheck per claim."""
+def validate_scenarios(scale: str = "quick", names=None) -> list[ShapeCheck]:
+    """Acceptance checks for every registered scenario (or a subset).
+
+    Each scenario is run at its own size for the named scale and judged
+    by its registered acceptance contract; check names are prefixed with
+    ``scenario/`` so they sort apart from the paper-claim checks.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.scenarios import scenario_names, validate_scenario
+
+    out: list[ShapeCheck] = []
+    for name in names if names is not None else scenario_names():
+        _, checks = validate_scenario(name, scale=scale)
+        out.extend(_replace(c, name=f"scenario/{c.name}") for c in checks)
+    return out
+
+
+def validate_reproduction(scale: str = "quick", scenarios: bool = True) -> list[ShapeCheck]:
+    """Run everything and return one ShapeCheck per claim.
+
+    Covers the paper's tables/figures *and* (unless ``scenarios=False``)
+    the acceptance contract of every registered scenario, so one call is
+    still the reproduction's complete "definition of done".
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
     s = SCALES[scale]
     checks: list[ShapeCheck] = []
+    if scenarios:
+        checks.extend(validate_scenarios(scale))
 
     clamr = ex.run_clamr_levels(nx=s["nx"], steps=s["steps"])
     selfr = ex.run_self_precisions(elems=s["elems"], order=s["order"], steps=s["sst"])

@@ -54,18 +54,33 @@ class ClamrAdapter:
         scheme: str = "rusanov",
         vectorized: bool = True,
         telemetry=None,
+        scenario: str = "",
     ) -> None:
         from repro.clamr import ClamrSimulation
 
         if not isinstance(policy, PrecisionPolicy):
             policy = PrecisionPolicy.from_level(level_from_name(policy))
+        # Scenarios are resolved by *name* so adapters stay picklable for
+        # process-parallel campaigns; the registry lookup happens in-process.
+        # Only the IC/bathymetry hooks come from the scenario — the flux
+        # scheme stays a caller knob (campaigns legitimately sweep it).
+        ic = bathymetry = None
+        if scenario:
+            from repro.scenarios import get_scenario
+
+            sc = get_scenario(scenario)
+            if sc.family != "clamr":
+                raise ValueError(f"scenario {scenario!r} is not a clamr scenario")
+            ic, bathymetry = sc.ic, sc.bathymetry
         self.config = config
         self.initial_policy = policy
         self.scheme = scheme
         self.vectorized = vectorized
         self.telemetry = telemetry
+        self.scenario = scenario
         self.sim = ClamrSimulation(
-            config, policy=policy, vectorized=vectorized, scheme=scheme, telemetry=telemetry
+            config, policy=policy, vectorized=vectorized, scheme=scheme, telemetry=telemetry,
+            ic=ic, bathymetry=bathymetry,
         )
         self.elapsed_s = 0.0
         self.kernel_elapsed_s = 0.0
@@ -173,13 +188,24 @@ class SelfAdapter:
 
     workload = "self"
 
-    def __init__(self, config, precision: str = "single", telemetry=None) -> None:
+    def __init__(self, config, precision: str = "single", telemetry=None,
+                 scenario: str = "") -> None:
         from repro.self_ import SelfSimulation
 
+        ic = None
+        if scenario:
+            from repro.scenarios import get_scenario
+
+            sc = get_scenario(scenario)
+            if sc.family != "self":
+                raise ValueError(f"scenario {scenario!r} is not a self scenario")
+            ic = sc.ic
         self.config = config
         self.initial_precision = precision
         self.telemetry = telemetry
-        self.sim = SelfSimulation(config, precision=precision, telemetry=telemetry)
+        self.scenario = scenario
+        self._ic = ic
+        self.sim = SelfSimulation(config, precision=precision, telemetry=telemetry, ic=ic)
         self.elapsed_s = 0.0
         self.kernel_elapsed_s = 0.0
         self.conserved_history: list[float] = []
@@ -244,7 +270,7 @@ class SelfAdapter:
         from repro.self_ import SelfSimulation
 
         old = self.sim
-        new = SelfSimulation(config, precision=precision, telemetry=self.telemetry)
+        new = SelfSimulation(config, precision=precision, telemetry=self.telemetry, ic=self._ic)
         new.U = old.U.astype(new.dtype, copy=True)
         new.time = old.time
         new.step_count = old.step_count
@@ -271,13 +297,14 @@ class SelfAdapter:
 
 
 def make_adapter(workload: str, config, *, policy: str = "min", scheme: str = "rusanov",
-                 vectorized: bool = True, telemetry=None):
+                 vectorized: bool = True, telemetry=None, scenario: str = ""):
     """Adapter factory keyed by workload name (the CLI entry point)."""
     if workload == "clamr":
         return ClamrAdapter(
-            config, policy=policy, scheme=scheme, vectorized=vectorized, telemetry=telemetry
+            config, policy=policy, scheme=scheme, vectorized=vectorized, telemetry=telemetry,
+            scenario=scenario,
         )
     if workload == "self":
         precision = "single" if policy in ("min", "single", "half", "mixed") else "double"
-        return SelfAdapter(config, precision=precision, telemetry=telemetry)
+        return SelfAdapter(config, precision=precision, telemetry=telemetry, scenario=scenario)
     raise ValueError(f"unknown workload {workload!r}; use 'clamr' or 'self'")

@@ -62,6 +62,8 @@ class CampaignConfig:
     fault_step: int = 0  # 0 => mid-run
     trials: int = 1
     seed: int = 0
+    # registered scenario name ("" => the workload's seed case)
+    scenario: str = ""
     # clamr shape
     nx: int = 16
     max_level: int = 1
@@ -111,15 +113,30 @@ class CampaignResult:
 
 
 def _build_config(config: CampaignConfig):
+    overrides: dict = {}
+    if config.scenario:
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(config.scenario)
+        if sc.family != config.workload:
+            raise ValueError(
+                f"scenario {config.scenario!r} belongs to workload {sc.family!r}, "
+                f"not {config.workload!r}"
+            )
+        overrides = dict(sc.config)
     if config.workload == "clamr":
         from repro.clamr import DamBreakConfig
 
-        return DamBreakConfig(nx=config.nx, ny=config.nx, max_level=config.max_level)
+        kwargs = {"nx": config.nx, "ny": config.nx, "max_level": config.max_level}
+        kwargs.update(overrides)
+        return DamBreakConfig(**kwargs)
     from repro.self_ import ThermalBubbleConfig
 
-    return ThermalBubbleConfig(
-        nex=config.elems, ney=config.elems, nez=config.elems, order=config.order
-    )
+    kwargs = {
+        "nex": config.elems, "ney": config.elems, "nez": config.elems, "order": config.order
+    }
+    kwargs.update(overrides)
+    return ThermalBubbleConfig(**kwargs)
 
 
 def run_cell(
@@ -134,7 +151,8 @@ def run_cell(
     """Run one supervised cell: one fault into one array at one level."""
     sim_config = _build_config(config)
     adapter = make_adapter(
-        config.workload, sim_config, policy=level, scheme=config.scheme, telemetry=telemetry
+        config.workload, sim_config, policy=level, scheme=config.scheme, telemetry=telemetry,
+        scenario=config.scenario,
     )
     # the cell seed folds the sweep coordinates in deterministically
     # (stable across processes, unlike hash()), so re-running the
@@ -183,10 +201,14 @@ def _campaign_cell_task(config, recovery, array, kind, level, trial, want_record
     )
     record = None
     if want_record and report.result is not None:
+        sim_config = _build_config(config)
+        if config.scenario:
+            # the scenario is part of what was run, so it joins the identity
+            sim_config = {**asdict(sim_config), "scenario": config.scenario}
         record = record_resilient_run(
             report,
             runner,
-            sim_config=_build_config(config),
+            sim_config=sim_config,
             seed=config.seed,
             label=getattr(telemetry, "label", ""),
         )

@@ -1,0 +1,140 @@
+"""Shared acceptance-check primitives for the scenario library.
+
+Each helper returns either a measurement (asymmetry ratios, ulp
+distances) or a ready :class:`repro.harness.paper.ShapeCheck`.  The
+measurements are deliberately policy-aware where the physics demands it:
+a float16 state legitimately drifts more per step than a float64 one, so
+conservation tolerances scale with the state dtype's epsilon and the
+step count rather than hard-coding one magic number per scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.paper import ShapeCheck
+
+__all__ = [
+    "finite_check",
+    "positive_depth_check",
+    "conservation_check",
+    "mass_tolerance",
+    "mirror_asymmetry",
+    "rot90_asymmetry",
+    "symmetry_check",
+    "ulp_distance",
+    "bitwise_check",
+]
+
+
+def mass_tolerance(state_dtype, steps: int) -> float:
+    """Relative mass-drift budget: one store rounding per step, amplified.
+
+    Every timestep demotes the updated state back to ``state_dtype``
+    (the mixed-precision store boundary), bounding the per-step relative
+    mass error by the dtype's epsilon; regrid coarsening adds the same
+    order.  A factor-8 safety margin keeps the check meaningful without
+    flaking on legitimate rounding.
+    """
+    return 8.0 * max(int(steps), 1) * float(np.finfo(state_dtype).eps)
+
+
+def finite_check(name: str, arrays: dict[str, np.ndarray]) -> ShapeCheck:
+    """All named arrays are free of NaN/Inf."""
+    bad = [k for k, a in arrays.items() if not np.all(np.isfinite(np.asarray(a, dtype=np.float64)))]
+    return ShapeCheck(
+        name=f"{name}/finite",
+        claim="state arrays stay finite",
+        passed=not bad,
+        evidence="all finite" if not bad else f"non-finite values in {', '.join(bad)}",
+    )
+
+
+def positive_depth_check(name: str, H: np.ndarray) -> ShapeCheck:
+    hmin = float(np.min(np.asarray(H, dtype=np.float64)))
+    return ShapeCheck(
+        name=f"{name}/positive-depth",
+        claim="water depth stays strictly positive",
+        passed=hmin > 0.0,
+        evidence=f"min H = {hmin:.6g}",
+    )
+
+
+def conservation_check(name: str, drift: float, tol: float) -> ShapeCheck:
+    return ShapeCheck(
+        name=f"{name}/conservation",
+        claim=f"relative mass drift within {tol:.3g}",
+        passed=float(drift) <= tol,
+        evidence=f"drift = {float(drift):.3g} (budget {tol:.3g})",
+    )
+
+
+def mirror_asymmetry(field: np.ndarray, axis: int) -> float:
+    """max |F − flip(F)| / max |F| — 0 for a perfectly mirror-symmetric field."""
+    f = np.asarray(field, dtype=np.float64)
+    scale = float(np.max(np.abs(f)))
+    if scale == 0.0:
+        return 0.0
+    return float(np.max(np.abs(f - np.flip(f, axis=axis)))) / scale
+
+
+def rot90_asymmetry(field: np.ndarray) -> float:
+    """Residual of quarter-turn symmetry (square fields only)."""
+    f = np.asarray(field, dtype=np.float64)
+    scale = float(np.max(np.abs(f)))
+    if scale == 0.0:
+        return 0.0
+    return float(np.max(np.abs(f - np.rot90(f)))) / scale
+
+
+def symmetry_check(name: str, kind: str, measured: float, tol: float) -> ShapeCheck:
+    return ShapeCheck(
+        name=f"{name}/symmetry-{kind}",
+        claim=f"{kind} symmetry preserved to {tol:.3g} (relative)",
+        passed=measured <= tol,
+        evidence=f"relative asymmetry = {measured:.3g} (budget {tol:.3g})",
+    )
+
+
+def ulp_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-element distance in units in the last place (same float dtype).
+
+    Uses the standard order-preserving bit trick: reinterpret the float
+    bits as unsigned, flip negatives so the integer order matches the
+    float order, and difference.  Distances are returned as float64
+    (exact below 2**53 — far beyond anything a check should tolerate).
+    """
+    a = np.ascontiguousarray(a)
+    b = np.ascontiguousarray(b)
+    if a.dtype != b.dtype:
+        raise ValueError(f"ulp_distance requires matching dtypes, got {a.dtype} vs {b.dtype}")
+    nbits = a.dtype.itemsize * 8
+    utype = np.dtype(f"u{a.dtype.itemsize}")
+    sign = np.uint64(1 << (nbits - 1))
+    mask = np.uint64((1 << nbits) - 1) if nbits < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def ordered(x: np.ndarray) -> np.ndarray:
+        u = x.view(utype).astype(np.uint64)
+        return np.where(u & sign, (~u) & mask, u | sign)
+
+    oa, ob = ordered(a), ordered(b)
+    hi = np.maximum(oa, ob)
+    lo = np.minimum(oa, ob)
+    return (hi - lo).astype(np.float64)
+
+
+def bitwise_check(name: str, claim: str, a: np.ndarray, b: np.ndarray) -> ShapeCheck:
+    """Assert two same-dtype arrays are bit-for-bit identical (0 ulps)."""
+    dist = ulp_distance(a, b)
+    worst = float(np.max(dist)) if dist.size else 0.0
+    nbad = int(np.count_nonzero(dist))
+    return ShapeCheck(
+        name=name,
+        claim=claim,
+        passed=nbad == 0,
+        evidence=(
+            "bit-identical (0 ulps)"
+            if nbad == 0
+            else f"{nbad}/{dist.size} cells differ, worst {worst:.3g} ulps"
+        ),
+    )

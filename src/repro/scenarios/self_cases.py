@@ -1,0 +1,183 @@
+"""SELF scenario library: compressible-Euler cases on the DGSEM mesh.
+
+Three registered cases:
+
+* ``self/thermal-bubble`` — the paper's seed workload (warm Gaussian
+  bubble rising through a hydrostatic atmosphere); ``ic=None`` keeps the
+  driver's built-in initial state bit-for-bit.
+* ``self/density-current`` — a cold blob aloft (negative potential-
+  temperature anomaly) that sinks; exercises the sign range the seed
+  config refuses (``bubble_amplitude`` must be positive there).
+* ``self/inertia-gravity-wave`` — a small-amplitude Skamarock–Klemp-
+  style wave packet, mirror-symmetric about the channel mid-plane;
+  acceptance checks the discrete dynamics preserve that symmetry and do
+  not amplify the linear wave.
+
+Potential-temperature anomalies are diagnosed from the evolved density
+against the *static* hydrostatic pressure via
+:func:`repro.self_.equations.theta_anomaly` — a shape diagnostic, not an
+exact inversion of the evolved thermodynamic state, which is all the
+acceptance contracts need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.paper import ShapeCheck
+from repro.scenarios import checks
+from repro.scenarios.registry import Scenario, register_scenario
+
+__all__ = []
+
+
+# --------------------------------------------------------------------------
+# initial conditions
+# --------------------------------------------------------------------------
+
+
+def density_current_ic(cfg, x, y, z):
+    """Cold Gaussian blob aloft: Δθ = −10 K at the core, sinking."""
+    Lx, Ly, Lz = cfg.lengths
+    r2 = (x - 0.5 * Lx) ** 2 + (y - 0.5 * Ly) ** 2 + (z - 0.65 * Lz) ** 2
+    return -10.0 * np.exp(-r2 / (0.2 * Lz) ** 2)
+
+
+def inertia_gravity_wave_ic(cfg, x, y, z):
+    """Small-amplitude wave packet, symmetric about x = Lx/2.
+
+    The classic Skamarock–Klemp profile: half-sine in the vertical,
+    algebraic envelope in x.  Amplitude 0.01 K keeps the dynamics in the
+    linear regime, so the acceptance can bound growth.
+    """
+    Lx, _, Lz = cfg.lengths
+    envelope = 1.0 / (1.0 + ((x - 0.5 * Lx) / (0.1 * Lx)) ** 2)
+    return 0.01 * np.sin(np.pi * z / Lz) * envelope
+
+
+# --------------------------------------------------------------------------
+# acceptance checks
+# --------------------------------------------------------------------------
+
+
+def _theta_field64(run) -> np.ndarray:
+    """Evolved θ anomaly assembled onto the uniform plotting grid."""
+    from repro.self_.equations import theta_anomaly
+
+    sim = run.sim
+    dtheta = theta_anomaly(sim.U[:, 0], sim.solver.p_bar, sim.constants, sim.config.theta0)
+    return sim._assemble_uniform(dtheta)
+
+
+def _finite(run, name: str) -> ShapeCheck:
+    return checks.finite_check(name, {"U": run.sim.U})
+
+
+def _bounded(name: str, field: np.ndarray, bound: float) -> ShapeCheck:
+    worst = float(np.max(np.abs(field)))
+    return ShapeCheck(
+        name=f"{name}/bounded-anomaly",
+        claim=f"|θ'| stays below {bound:g} K",
+        passed=worst <= bound,
+        evidence=f"max |θ'| = {worst:.4g} K (bound {bound:g})",
+    )
+
+
+def _extreme(name: str, field: np.ndarray, *, warm: bool, threshold: float) -> ShapeCheck:
+    if warm:
+        value, word = float(np.max(field)), "warm"
+        passed = value >= threshold
+    else:
+        value, word = float(np.min(field)), "cold"
+        passed = value <= threshold
+    return ShapeCheck(
+        name=f"{name}/{word}-core",
+        claim=f"the {word} anomaly core persists past {threshold:g} K",
+        passed=passed,
+        evidence=f"extreme θ' = {value:.4g} K (threshold {threshold:g})",
+    )
+
+
+def accept_thermal_bubble(run) -> list:
+    theta = _theta_field64(run)
+    return [
+        _finite(run, "thermal-bubble"),
+        _extreme("thermal-bubble", theta, warm=True, threshold=0.05),
+        _bounded("thermal-bubble", theta, 1.5),
+    ]
+
+
+def accept_density_current(run) -> list:
+    theta = _theta_field64(run)
+    return [
+        _finite(run, "density-current"),
+        _extreme("density-current", theta, warm=False, threshold=-1.0),
+        _bounded("density-current", theta, 20.0),
+    ]
+
+
+def accept_inertia_gravity_wave(run) -> list:
+    theta = _theta_field64(run)
+    eps = float(np.finfo(run.sim.dtype).eps)
+    tol = min(1e-2, 5e8 * eps)
+    return [
+        _finite(run, "inertia-gravity-wave"),
+        _bounded("inertia-gravity-wave", theta, 0.03),  # 3× the 0.01 K amplitude
+        checks.symmetry_check(
+            "inertia-gravity-wave", "mirror-x", checks.mirror_asymmetry(theta, 0), tol
+        ),
+    ]
+
+
+# --------------------------------------------------------------------------
+# registrations
+# --------------------------------------------------------------------------
+
+register_scenario(
+    Scenario(
+        name="self/thermal-bubble",
+        family="self",
+        description="paper seed: warm bubble rising through a hydrostatic atmosphere",
+        ic=None,
+        config={},
+        scales={
+            "quick": {"elems": 2, "order": 3, "steps": 8},
+            "bench": {"elems": 4, "order": 4, "steps": 40},
+        },
+        acceptance=accept_thermal_bubble,
+        fingerprint_policy="double",
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="self/density-current",
+        family="self",
+        description="cold blob aloft (negative θ anomaly) sinking through the column",
+        ic=density_current_ic,
+        config={},
+        scales={
+            "quick": {"elems": 2, "order": 3, "steps": 8},
+            "bench": {"elems": 4, "order": 4, "steps": 40},
+        },
+        acceptance=accept_density_current,
+        fingerprint_policy="double",
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="self/inertia-gravity-wave",
+        family="self",
+        description="linear gravity-wave packet, mirror-symmetric about mid-channel",
+        ic=inertia_gravity_wave_ic,
+        config={},
+        scales={
+            "quick": {"elems": 2, "order": 3, "steps": 8},
+            "bench": {"elems": 4, "order": 4, "steps": 40},
+        },
+        acceptance=accept_inertia_gravity_wave,
+        fingerprint_policy="double",
+        symmetry="mirror-x",
+    )
+)

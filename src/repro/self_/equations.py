@@ -37,7 +37,7 @@ import numpy as np
 from repro.self_.basis import NodalBasis
 from repro.self_.mesh import HexMesh
 
-__all__ = ["AtmosphereConstants", "CompressibleEuler"]
+__all__ = ["AtmosphereConstants", "CompressibleEuler", "theta_anomaly"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,28 @@ RHO, RHOU, RHOV, RHOW, RHOE = range(5)
 #: sources); the derivative contractions are counted separately since they
 #: scale with n⁴ per element.  Used by the machine-model profiles.
 FLOPS_PER_NODE_RHS = 160
+
+
+def theta_anomaly(
+    rho: np.ndarray,
+    p_bar: np.ndarray,
+    constants: AtmosphereConstants,
+    theta0: float,
+) -> np.ndarray:
+    """Potential-temperature anomaly θ − θ₀ from density (float64).
+
+    Inverts the initial-condition relation ρ = p̄ / (R θ π) with
+    π = (p̄/p₀)^{R/c_p} — the same fixed-pressure thermodynamics the
+    scenarios use to seed Δθ, so at step 0 this recovers the seeded
+    anomaly up to state-dtype rounding.  Scenario acceptance checks use
+    it to verify sign, amplitude, and symmetry of the θ′ field.
+    """
+    c = constants
+    rho64 = np.asarray(rho, dtype=np.float64)
+    p64 = np.asarray(p_bar, dtype=np.float64)
+    exner = (p64 / c.p0) ** (c.gas_constant / c.cp)
+    theta = p64 / (c.gas_constant * rho64 * exner)
+    return theta - float(theta0)
 
 
 class CompressibleEuler:

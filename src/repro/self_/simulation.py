@@ -161,11 +161,18 @@ class SelfSimulation:
         precision: str | np.dtype = "double",
         constants: AtmosphereConstants = AtmosphereConstants(),
         telemetry: Telemetry | None = None,
+        ic=None,
     ) -> None:
         self.config = config
         self.dtype = parse_precision(precision)
         self.constants = constants
         self.telemetry = telemetry
+        # scenario hook (see repro.scenarios): ``ic(config, x, y, z)``
+        # returns the potential-temperature anomaly Δθ at the nodes,
+        # replacing the default warm Gaussian.  Unlike the config's
+        # ``bubble_amplitude`` it may be negative (density currents) or
+        # structured (wave trains); ``None`` keeps the seed bubble.
+        self._ic = ic
         self.mesh = HexMesh(
             nex=config.nex,
             ney=config.ney,
@@ -287,9 +294,12 @@ class SelfSimulation:
         c = self.constants
         cfg = self.config
         x, y, z = self.mesh.node_coordinates()
-        cx, cy, cz = cfg.bubble_center
-        r2 = (x - cx) ** 2 + (y - cy) ** 2 + (z - cz) ** 2
-        dtheta = cfg.bubble_amplitude * np.exp(-r2 / cfg.bubble_radius**2)
+        if self._ic is not None:
+            dtheta = np.asarray(self._ic(cfg, x, y, z), dtype=np.float64)
+        else:
+            cx, cy, cz = cfg.bubble_center
+            r2 = (x - cx) ** 2 + (y - cy) ** 2 + (z - cz) ** 2
+            dtheta = cfg.bubble_amplitude * np.exp(-r2 / cfg.bubble_radius**2)
         theta = cfg.theta0 + dtheta
         exner = (p_bar / c.p0) ** (c.gas_constant / c.cp)
         # ideal gas with T = θ·π: ρ = p / (R T)
