@@ -47,6 +47,14 @@ Subcommands
     Sweep-shaped commands (``table``/``figure``, ``resilience``,
     ``diverge record``) take ``--scenario NAME`` to run the same
     machinery over a registered case instead of the seed workload.
+``submit`` / ``serve`` / ``queue status|reclaim|drain``
+    The crash-safe sweep service (see docs/service.md): submit sweep
+    jobs into a disk-backed queue, run a long-lived worker that claims
+    jobs under a heartbeat lease and serves duplicates from the
+    content-addressed result cache, inspect queue/lease/quarantine
+    state (``--json`` for machines), re-queue jobs abandoned by dead
+    workers, and drain the queue to empty in the foreground (exit 1 if
+    anything failed or was quarantined).
 
 Errors from bad arguments or missing files exit with status 2 and a
 one-line ``repro: error: ...`` message — never a traceback.
@@ -496,6 +504,77 @@ def build_parser() -> argparse.ArgumentParser:
     sgate.add_argument("--baseline", default="benchmarks/baseline_ledger.jsonl",
                        metavar="PATH", help="committed golden ledger "
                        "(default benchmarks/baseline_ledger.jsonl)")
+
+    submit = sub.add_parser(
+        "submit", help="enqueue a sweep job for the service (see docs/service.md)"
+    )
+    submit.add_argument("workload", choices=("clamr", "self"))
+    submit.add_argument("--queue", required=True, metavar="DIR",
+                        help="queue root directory (created if missing)")
+    submit.add_argument("--steps", type=int, default=40)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--watch-stride", type=int, default=4)
+    submit.add_argument("--label", default="", help="display label for the job")
+    submit.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="submit N copies (duplicates are deduplicated by "
+                             "scope-based claiming and served from cache)")
+    submit.add_argument("--nx", type=int, default=24, help="clamr: coarse grid size")
+    submit.add_argument("--max-level", type=int, default=1, help="clamr: AMR levels")
+    submit.add_argument("--policy", default="mixed",
+                        choices=("half", "min", "mixed", "full"),
+                        help="clamr: precision policy")
+    submit.add_argument("--scheme", default="rusanov", choices=("rusanov", "muscl"),
+                        help="clamr: flux scheme")
+    submit.add_argument("--elems", type=int, default=3, help="self: elements per axis")
+    submit.add_argument("--order", type=int, default=3, help="self: polynomial order")
+    submit.add_argument("--precision", default="double", choices=("single", "double"),
+                        help="self: floating-point precision")
+
+    serve = sub.add_parser(
+        "serve", help="run a sweep-service worker loop against a queue"
+    )
+    serve.add_argument("--queue", required=True, metavar="DIR")
+    serve.add_argument("--ledger", default=None, metavar="PATH",
+                       help="append each computed run record to this ledger")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="result cache directory (default <queue>/.cache)")
+    serve.add_argument("--max-jobs", type=int, default=0, metavar="N",
+                       help="stop after N completed/failed jobs (0 = unlimited)")
+    serve.add_argument("--idle-timeout", type=float, default=0.0, metavar="S",
+                       help="stop after S seconds with no work (0 = run until "
+                            "signalled)")
+    serve.add_argument("--poll", type=float, default=0.2, metavar="S",
+                       help="sleep between empty claim attempts")
+    serve.add_argument("--lease-ttl", type=float, default=30.0, metavar="S",
+                       help="heartbeat lease time-to-live")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="retry budget before a job is failed/quarantined")
+
+    qp = sub.add_parser(
+        "queue", help="inspect and maintain a sweep-service queue"
+    )
+    qsub = qp.add_subparsers(dest="queue_command", required=True)
+    qst = qsub.add_parser("status", help="per-state counts, stale leases, quarantine")
+    qst.add_argument("--queue", required=True, metavar="DIR")
+    qst.add_argument("--json", action="store_true", help="machine-readable output")
+    qrc = qsub.add_parser(
+        "reclaim", help="re-queue jobs whose worker lease has gone stale"
+    )
+    qrc.add_argument("--queue", required=True, metavar="DIR")
+    qrc.add_argument("--max-attempts", type=int, default=3, metavar="N")
+    qdr = qsub.add_parser(
+        "drain",
+        help="run an in-process worker until the queue is empty "
+             "(exit 1 if anything failed or was quarantined)",
+    )
+    qdr.add_argument("--queue", required=True, metavar="DIR")
+    qdr.add_argument("--ledger", default=None, metavar="PATH")
+    qdr.add_argument("--cache", default=None, metavar="DIR")
+    qdr.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                     help="give up after S seconds (0 = no limit)")
+    qdr.add_argument("--max-attempts", type=int, default=3, metavar="N")
+    qdr.add_argument("--poll", type=float, default=0.1, metavar="S")
+    qdr.add_argument("--lease-ttl", type=float, default=30.0, metavar="S")
     return parser
 
 
@@ -1419,6 +1498,141 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown scenario command {args.scenario_command!r}")  # pragma: no cover
 
 
+def _job_spec_from_args(args: argparse.Namespace):
+    from repro.service import JobSpec
+
+    return JobSpec(
+        workload=args.workload,
+        steps=args.steps,
+        seed=args.seed,
+        watch_stride=args.watch_stride,
+        label=args.label,
+        nx=args.nx,
+        max_level=args.max_level,
+        policy=args.policy,
+        scheme=args.scheme,
+        elems=args.elems,
+        order=args.order,
+        precision=args.precision,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobQueue
+
+    if args.repeat < 1:
+        raise CLIError(f"--repeat must be a positive integer, got {args.repeat}")
+    spec = _job_spec_from_args(args)
+    queue = JobQueue(args.queue)
+    for _ in range(args.repeat):
+        job = queue.submit(spec)
+        print(f"submitted {job.id} ({spec.describe()})")
+        print(f"  workload key : {job.workload_key}")
+    counts = queue.counts()
+    print(f"  queue        : {args.queue} ({counts['pending']} pending)")
+    return 0
+
+
+def _worker_options(args: argparse.Namespace, drain: bool):
+    from repro.service import RetryPolicy, WorkerOptions
+
+    if args.max_attempts < 1:
+        raise CLIError(f"--max-attempts must be a positive integer, got {args.max_attempts}")
+    from pathlib import Path
+
+    return WorkerOptions(
+        queue=Path(args.queue),
+        ledger=Path(args.ledger) if args.ledger else None,
+        cache=Path(args.cache) if getattr(args, "cache", None) else None,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        lease_ttl_s=getattr(args, "lease_ttl", 30.0),
+        poll_s=args.poll,
+        max_jobs=getattr(args, "max_jobs", 0),
+        idle_timeout_s=getattr(args, "idle_timeout", 0.0),
+        drain=drain,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from repro.service import run_worker
+
+    opts = _worker_options(args, drain=False)
+    stopping = {"flag": False}
+
+    def _stop(signum, frame):  # noqa: ARG001 — signal handler signature
+        stopping["flag"] = True
+
+    # finish the current job, then exit cleanly on SIGTERM/SIGINT
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _stop)
+        except (ValueError, OSError):  # pragma: no cover — non-main thread
+            pass
+    print(f"serving queue {args.queue} (pid {os.getpid()}, "
+          f"lease ttl {opts.lease_ttl_s:g}s, "
+          f"max attempts {opts.retry.max_attempts})")
+    report = run_worker(opts, should_stop=lambda: stopping["flag"])
+    print(report.summary())
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import JobQueue, RetryPolicy, run_worker
+
+    if args.queue_command == "status":
+        queue = JobQueue(_require_file(args.queue, "queue directory"))
+        status = queue.status()
+        if args.json:
+            print(_json.dumps(status, sort_keys=True, indent=2))
+            return 0
+        counts = status["counts"]
+        print(f"queue {status['root']}")
+        print("  " + "  ".join(f"{state}: {counts[state]}" for state in counts))
+        print(f"  done         : {status['done_computed']} computed, "
+              f"{status['done_cached']} cache hit(s)")
+        for entry in status["stale"]:
+            print(f"  stale lease  : {entry['id']} [{entry['state']}] {entry['reason']}")
+        for job_id, reason in status["quarantine"].items():
+            print(f"  quarantined  : {job_id}: {reason}")
+        return 0
+
+    if args.queue_command == "reclaim":
+        queue = JobQueue(_require_file(args.queue, "queue directory"))
+        actions = queue.reclaim_stale(RetryPolicy(max_attempts=args.max_attempts))
+        for action in actions:
+            print(action)
+        print(f"{len(actions)} job(s) reclaimed or quarantined")
+        return 0
+
+    if args.queue_command == "drain":
+        import time as _time
+
+        _require_file(args.queue, "queue directory")
+        opts = _worker_options(args, drain=True)
+        deadline = _time.monotonic() + args.timeout if args.timeout > 0 else None
+        report = run_worker(
+            opts,
+            should_stop=(lambda: _time.monotonic() > deadline) if deadline else None,
+        )
+        print(report.summary())
+        queue = JobQueue(args.queue)
+        counts = queue.counts()
+        leftovers = queue.active_count() + counts["failed"] + counts["quarantine"]
+        if leftovers:
+            print(f"queue not clean: {queue.active_count()} active, "
+                  f"{counts['failed']} failed, {counts['quarantine']} quarantined")
+            return 1
+        print("queue drained clean")
+        return 0
+
+    raise ValueError(f"unknown queue command {args.queue_command!r}")  # pragma: no cover
+
+
 _COMMANDS = {
     "clamr": _cmd_clamr,
     "self": _cmd_self,
@@ -1433,6 +1647,9 @@ _COMMANDS = {
     "resilience": _cmd_resilience,
     "diverge": _cmd_diverge,
     "scenario": _cmd_scenario,
+    "submit": _cmd_submit,
+    "serve": _cmd_serve,
+    "queue": _cmd_queue,
 }
 
 

@@ -34,8 +34,10 @@ durability and damage contract:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import time
 import warnings
 from pathlib import Path
 from typing import Any, Iterable, Iterator
@@ -46,8 +48,58 @@ __all__ = [
     "fsync_directory",
     "fsync_file",
     "iter_jsonl",
+    "locked",
     "write_jsonl_lines",
 ]
+
+
+@contextlib.contextmanager
+def locked(path: str | Path, timeout_s: float = 30.0, poll_s: float = 0.05):
+    """Advisory exclusive lock scoped to ``path`` (for cross-process writers).
+
+    The lock lives on a sibling ``<name>.lock`` file (never on ``path``
+    itself, which atomic replaces would swap out from under the lock) and
+    is taken with non-blocking ``fcntl.flock`` retried until
+    ``timeout_s``, then :class:`TimeoutError` — a crashed holder's lock
+    vanishes with its process, so there is nothing to clean up and no way
+    to deadlock on a corpse.  *Not* reentrant: every ``locked()`` call
+    opens its own file description, so flock excludes concurrent holders
+    everywhere — other processes, other threads, and a nested block in
+    the same thread (which therefore times out; don't nest).
+
+    On platforms without ``fcntl`` (Windows) this degrades to a no-op —
+    the callers that matter (ledger appends) still have the
+    whole-line-``O_APPEND`` fallback behavior they always had.
+    """
+    path = Path(path)
+    lock_path = path.with_name(path.name + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover — POSIX-only repo, Windows fallback
+        yield
+        return
+    fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not acquire {lock_path} within {timeout_s:g}s "
+                        f"(another writer is holding it)"
+                    ) from None
+                time.sleep(poll_s)
+        try:
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
 
 
 def fsync_file(fh) -> None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.ioutil import append_jsonl_line, iter_jsonl
+from repro.ioutil import append_jsonl_line, iter_jsonl, locked
 
 from repro.ledger.record import RunRecord
 
@@ -86,9 +86,16 @@ class Ledger:
     # -- writing ----------------------------------------------------------
 
     def append(self, record: RunRecord) -> RunRecord:
-        """Append one record to the file and the live index (fsynced)."""
+        """Append one record to the file and the live index (fsynced).
+
+        The write happens under an advisory file lock
+        (:func:`repro.ioutil.locked`), so concurrent service workers
+        appending to one ledger serialize whole lines instead of relying
+        on ``O_APPEND`` write sizes staying atomic.
+        """
         self._ensure_loaded()
-        append_jsonl_line(self.path, record.to_json())
+        with locked(self.path):
+            append_jsonl_line(self.path, record.to_json())
         self._index(record)
         return record
 

@@ -29,6 +29,7 @@ from repro.parallel.halo import DistributedClamr, reorder_faces
 from repro.parallel.executor import (
     SweepExecutor,
     SweepTask,
+    SweepWorkerError,
     derive_seed,
     merge_staged,
     resolve_jobs,
@@ -47,6 +48,7 @@ __all__ = [
     "reorder_faces",
     "SweepExecutor",
     "SweepTask",
+    "SweepWorkerError",
     "derive_seed",
     "merge_staged",
     "resolve_jobs",

@@ -58,6 +58,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 __all__ = [
     "SweepTask",
     "SweepExecutor",
+    "SweepWorkerError",
     "TelemetrySpec",
     "TracedResult",
     "resolve_jobs",
@@ -65,6 +66,34 @@ __all__ = [
     "staged_dir",
     "merge_staged",
 ]
+
+
+class SweepWorkerError(RuntimeError):
+    """A sweep task failed — and we know *which* one.
+
+    Raised in place of a raw ``BrokenProcessPool`` when a worker process
+    dies (``kill -9``, OOM, segfault), which would otherwise lose the
+    identity of the task whose result vanished.  ``task_name`` and
+    ``index`` carry the task's coordinates; ``crashed`` distinguishes a
+    dead worker from a task that raised an ordinary exception (the latter
+    is only wrapped on the ``on_error="continue"`` path — on the default
+    raise path ordinary exceptions still propagate unchanged, so existing
+    callers keep their exception types).
+
+    Attribution note: when a pool breaks, *every* unfinished future fails
+    at once; the error names the earliest unfinished task in submission
+    order, which is the task whose result was lost first.
+    """
+
+    def __init__(self, task_name: str, index: int, cause: BaseException, crashed: bool):
+        kind = "worker process died" if crashed else "task raised"
+        super().__init__(
+            f"sweep task {task_name!r} (index {index}) failed: {kind}: {cause}"
+        )
+        self.task_name = task_name
+        self.index = index
+        self.cause = cause
+        self.crashed = crashed
 
 
 def derive_seed(base: int, *parts: object) -> int:
@@ -199,30 +228,90 @@ class SweepExecutor:
             raise ValueError(f"jobs must be a positive integer, got {jobs}")
         self.jobs = int(jobs)
 
-    def stream(self, tasks: Sequence[SweepTask]) -> Iterator[tuple[SweepTask, Any]]:
-        """Yield ``(task, result)`` pairs in task order."""
+    def stream(
+        self, tasks: Sequence[SweepTask], on_error: str = "raise"
+    ) -> Iterator[tuple[SweepTask, Any]]:
+        """Yield ``(task, result)`` pairs in task order.
+
+        ``on_error="raise"`` (the default, and the historical behavior):
+        an ordinary task exception propagates unchanged at the failing
+        task's position; a dead worker process surfaces as a
+        :class:`SweepWorkerError` naming the lost task instead of a bare
+        ``BrokenProcessPool``.
+
+        ``on_error="continue"``: a failed task yields ``(task,
+        SweepWorkerError)`` in place of its result and the sweep keeps
+        going — after a worker death the pool is rebuilt and the
+        remaining tasks resubmitted, so one poison task cannot sink the
+        sweep.  Callers filter with ``isinstance(result,
+        SweepWorkerError)``.  Note that tasks that were in flight in
+        *other* workers when a pool broke are re-executed — at-least-once
+        semantics past a crash, exactly-once otherwise.
+        """
+        if on_error not in ("raise", "continue"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'continue', got {on_error!r}"
+            )
         tasks = list(tasks)
         jobs = min(self.jobs, max(1, len(tasks)))
         if jobs <= 1:
-            for task in tasks:
-                yield task, task.run()
+            for index, task in enumerate(tasks):
+                try:
+                    result = task.run()
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    yield task, SweepWorkerError(task.name, index, exc, crashed=False)
+                    continue
+                yield task, result
             return
 
         import concurrent.futures
         import multiprocessing as mp
+        from concurrent.futures.process import BrokenProcessPool
 
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         ctx = mp.get_context(method)
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=jobs, mp_context=ctx
-        ) as pool:
-            futures = [pool.submit(task.run) for task in tasks]
-            for task, fut in zip(tasks, futures):
-                yield task, fut.result()
 
-    def map(self, tasks: Sequence[SweepTask]) -> list[Any]:
+        def new_pool():
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs, mp_context=ctx
+            )
+
+        pool = new_pool()
+        futures = [pool.submit(task.run) for task in tasks]
+        index = 0
+        try:
+            while index < len(tasks):
+                task = tasks[index]
+                try:
+                    result = futures[index].result()
+                except (BrokenProcessPool, concurrent.futures.BrokenExecutor) as exc:
+                    failure = SweepWorkerError(task.name, index, exc, crashed=True)
+                    if on_error == "raise":
+                        raise failure from exc
+                    yield task, failure
+                    index += 1
+                    # the broken pool poisoned every unfinished future:
+                    # rebuild and resubmit the rest of the sweep
+                    pool.shutdown(wait=False)
+                    pool = new_pool()
+                    futures[index:] = [pool.submit(t.run) for t in tasks[index:]]
+                    continue
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    yield task, SweepWorkerError(task.name, index, exc, crashed=False)
+                    index += 1
+                    continue
+                yield task, result
+                index += 1
+        finally:
+            pool.shutdown(wait=True)
+
+    def map(self, tasks: Sequence[SweepTask], on_error: str = "raise") -> list[Any]:
         """All results, in task order."""
-        return [result for _, result in self.stream(tasks)]
+        return [result for _, result in self.stream(tasks, on_error=on_error)]
 
 
 # -- telemetry staging -------------------------------------------------------

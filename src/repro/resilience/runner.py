@@ -42,6 +42,7 @@ from repro.resilience.detectors import (
     NonFiniteDetector,
 )
 from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.service.retry import walk_ladder
 
 __all__ = ["RecoveryPolicy", "ResilienceReport", "ResilientRunner", "probe"]
 
@@ -335,23 +336,24 @@ class ResilientRunner:
     def _apply(self, ladder_idx: int, report: ResilienceReport) -> tuple[bool, int]:
         """Apply one rung (falling through unusable ``escalate`` rungs).
 
-        Returns (applied, next ladder index); ``(False, _)`` means the
-        ladder is exhausted and the run must abort.
+        The rung walk itself is the shared
+        :func:`repro.service.retry.walk_ladder` — the same
+        consume-until-one-applies exhaustion logic the sweep service uses
+        for its retry-then-quarantine decision.  Returns (applied, next
+        ladder index); ``(False, _)`` means the ladder is exhausted and
+        the run must abort.
         """
-        ladder = self.policy.ladder
-        idx = ladder_idx
-        while idx < len(ladder):
-            action = ladder[idx]
-            idx += 1
+
+        def take(action: str) -> bool:
             if action == "retry":
-                return True, idx
+                return True
             if action == "halve_dt":
                 self.adapter.halve_dt()
                 report.dt_halvings += 1
-                return True, idx
-            if action == "escalate":
-                if self.adapter.escalate():
-                    report.escalations += 1
-                    return True, idx
-                continue  # at the ceiling; fall through to the next rung
-        return False, idx
+                return True
+            if action == "escalate" and self.adapter.escalate():
+                report.escalations += 1
+                return True
+            return False  # escalate at the ceiling: fall through
+
+        return walk_ladder(self.policy.ladder, ladder_idx, take)

@@ -1,0 +1,180 @@
+"""Job leases: heartbeat renewal and stale-lease detection.
+
+A claimed job is only as safe as the proof that its worker is still
+alive.  The queue writes one lease file per claimed/running job —
+``leases/<job-id>.json``, always through an atomic replace — carrying
+the owner pid and two clocks:
+
+* ``renewed_monotonic`` — ``time.monotonic()``, immune to wall-clock
+  steps; on Linux/macOS/Windows the monotonic clock is system-wide, so a
+  reclaimer in another process can compare directly;
+* ``renewed_unix`` — wall clock, the portable fallback when a reader
+  cannot trust cross-process monotonic comparison (e.g. the lease was
+  written before the machine rebooted, which resets the monotonic
+  clock — detectable because the lease's monotonic reading is then
+  *ahead* of ours).
+
+Staleness is decided by the strongest signal first: a dead owner pid is
+stale immediately (a ``kill -9``'d worker frees its jobs on the next
+reclaim pass, no timeout wait), an alive-but-silent owner is stale once
+the lease TTL has elapsed without a heartbeat (hung worker), and an
+unreadable/absent lease on a claimed job is stale after a grace period
+(worker died between claiming and writing the lease).
+
+:class:`Heartbeat` renews the lease from a daemon thread every
+``ttl/4`` seconds while the worker executes, so a healthy worker can
+never be mistaken for a hung one as long as it is merely *slow*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.ioutil import atomic_write_bytes
+
+__all__ = ["Lease", "Heartbeat", "pid_alive", "read_lease", "write_lease"]
+
+LEASE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one job: who owns it and how fresh the claim is."""
+
+    pid: int
+    ttl_s: float
+    acquired_unix: float
+    renewed_unix: float
+    renewed_monotonic: float
+
+    @classmethod
+    def acquire(cls, pid: int | None = None, ttl_s: float = 30.0) -> "Lease":
+        now = time.time()
+        return cls(
+            pid=os.getpid() if pid is None else int(pid),
+            ttl_s=float(ttl_s),
+            acquired_unix=now,
+            renewed_unix=now,
+            renewed_monotonic=time.monotonic(),
+        )
+
+    def renewed(self) -> "Lease":
+        """A copy stamped with fresh heartbeat clocks."""
+        return Lease(
+            pid=self.pid,
+            ttl_s=self.ttl_s,
+            acquired_unix=self.acquired_unix,
+            renewed_unix=time.time(),
+            renewed_monotonic=time.monotonic(),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": LEASE_SCHEMA_VERSION,
+            "pid": self.pid,
+            "ttl_s": self.ttl_s,
+            "acquired_unix": self.acquired_unix,
+            "renewed_unix": self.renewed_unix,
+            "renewed_monotonic": self.renewed_monotonic,
+        }
+
+    def staleness(self) -> str | None:
+        """Why this lease is stale, or ``None`` while it still protects its job."""
+        if not pid_alive(self.pid):
+            return f"owner pid {self.pid} is dead"
+        now_mono = time.monotonic()
+        if self.renewed_monotonic <= now_mono:
+            age = now_mono - self.renewed_monotonic
+        else:
+            # monotonic clock reset (reboot) or cross-boot lease: fall
+            # back to the wall clock, the only comparable reading left
+            age = time.time() - self.renewed_unix
+        if age > self.ttl_s:
+            return (
+                f"owner pid {self.pid} missed its heartbeat "
+                f"({age:.1f}s > ttl {self.ttl_s:g}s)"
+            )
+        return None
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a pid on this machine."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def write_lease(path: str | Path, lease: Lease) -> Lease:
+    """Atomically persist ``lease`` (claim or heartbeat renewal)."""
+    payload = json.dumps(lease.to_dict(), sort_keys=True).encode()
+    atomic_write_bytes(path, [payload])
+    return lease
+
+
+def read_lease(path: str | Path) -> Lease | None:
+    """The lease at ``path``, or ``None`` when absent or unreadable.
+
+    An unreadable lease file cannot prove its owner is alive, so callers
+    treat ``None`` exactly like a missing lease (stale after a grace
+    period on the job file's own age).
+    """
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        return Lease(
+            pid=int(doc["pid"]),
+            ttl_s=float(doc["ttl_s"]),
+            acquired_unix=float(doc["acquired_unix"]),
+            renewed_unix=float(doc["renewed_unix"]),
+            renewed_monotonic=float(doc["renewed_monotonic"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+class Heartbeat:
+    """A daemon thread renewing one lease file until stopped.
+
+    Renewal runs every ``ttl/4`` seconds — three missed beats of margin
+    before a reclaimer may call the lease stale.  Renewal failures are
+    swallowed (the job file may have been reclaimed from under a paused
+    worker; the worker discovers that when it tries to finish) but
+    counted, so tests can assert the heartbeat actually ran.
+    """
+
+    def __init__(self, path: str | Path, lease: Lease):
+        self.path = Path(path)
+        self.lease = lease
+        self.beats = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        interval = max(0.05, self.lease.ttl_s / 4.0)
+        while not self._stop.wait(interval):
+            self.lease = self.lease.renewed()
+            try:
+                write_lease(self.path, self.lease)
+                self.beats += 1
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,578 @@
+"""The durable job queue: atomic per-job files moving between state dirs.
+
+Layout (all under one queue root)::
+
+    queue/
+      pending/<id>.json      submitted, waiting for a worker
+      claimed/<id>.json      a worker won the claim race, not yet running
+      running/<id>.json      executing under a heartbeat lease
+      done/<id>.json         finished; carries the result summary
+      failed/<id>.json       raised on every allowed attempt
+      quarantine/<id>.json   damaged file or poison job (+ <id>.reason)
+      leases/<id>.json       owner pid + heartbeat clocks (claimed/running)
+
+Every job is one JSON document in exactly one state directory; every
+state transition is a single ``os.replace`` (atomic on POSIX and
+Windows), so a crash at any instant leaves each job in a well-defined
+state — there is no multi-file transaction to tear.  The *claim* is the
+rename ``pending/ → claimed/``: when several workers race for the same
+job, exactly one rename succeeds and the losers see
+``FileNotFoundError`` and move on.
+
+Claiming is **scope-based**: a worker will not claim a job whose
+``workload_key`` is already claimed or running elsewhere, so duplicate
+submissions wait for the first copy to finish and are then served from
+the result cache instead of recomputed.  The post-claim double-check
+(release, smallest-id-wins) closes the race where two workers claim two
+duplicates in the same instant.
+
+Damage handling: a job file that cannot be parsed (the torn write a
+crash mid-rename can leave, or bit rot) is moved to ``quarantine/`` with
+a one-line ``<id>.reason`` file — it never takes the queue down and
+never loops a worker.  Poison jobs — ones that keep killing their
+worker — quarantine the same way once their attempts are exhausted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.ioutil import atomic_write_bytes
+from repro.service.jobs import JobSpec
+from repro.service.lease import Lease, read_lease, write_lease
+from repro.service.retry import RetryPolicy
+
+__all__ = ["JOB_STATES", "Job", "JobLost", "JobQueue", "QUEUE_SCHEMA_VERSION"]
+
+QUEUE_SCHEMA_VERSION = 1
+
+#: Every state directory, in lifecycle order.
+JOB_STATES = ("pending", "claimed", "running", "done", "failed", "quarantine")
+
+#: States in which a job still owes the submitter an outcome.
+ACTIVE_STATES = ("pending", "claimed", "running")
+
+
+class JobLost(RuntimeError):
+    """The worker no longer owns this job (its lease was reclaimed)."""
+
+
+@dataclass
+class Job:
+    """One job document plus where it currently lives."""
+
+    doc: dict
+    path: Path
+    state: str
+
+    @property
+    def id(self) -> str:
+        return self.doc["id"]
+
+    @property
+    def workload_key(self) -> str:
+        return self.doc["workload_key"]
+
+    @property
+    def spec_doc(self) -> dict:
+        return self.doc["spec"]
+
+    @property
+    def spec(self) -> JobSpec:
+        return JobSpec.from_dict(dict(self.doc["spec"]))
+
+    @property
+    def attempts(self) -> int:
+        return int(self.doc.get("attempts", 0))
+
+    @property
+    def not_before_unix(self) -> float:
+        return float(self.doc.get("not_before_unix", 0.0))
+
+    @property
+    def submitted_unix(self) -> float:
+        return float(self.doc.get("submitted_unix", 0.0))
+
+    def describe(self) -> str:
+        return f"{self.id} [{self.state}] {self.spec.describe()}"
+
+
+def _sort_key(job: Job):
+    return (job.submitted_unix, job.id)
+
+
+class JobQueue:
+    """Disk-backed, crash-safe job queue under one root directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def dir(self, state: str) -> Path:
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}; expected one of {JOB_STATES}")
+        return self.root / state
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / "leases"
+
+    def lease_path(self, job_id: str) -> Path:
+        return self.leases_dir / f"{job_id}.json"
+
+    def ensure(self) -> "JobQueue":
+        for state in JOB_STATES:
+            self.dir(state).mkdir(parents=True, exist_ok=True)
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec, now: float | None = None) -> Job:
+        """Enqueue one job; returns it in ``pending`` state.
+
+        Duplicates are allowed and expected — a duplicate waits its turn
+        (scope-based claiming) and is then served from the result cache.
+        """
+        self.ensure()
+        now = time.time() if now is None else now
+        key = spec.workload_key()
+        job_id = f"{key[:12]}-{os.urandom(4).hex()}"
+        doc = {
+            "schema": QUEUE_SCHEMA_VERSION,
+            "id": job_id,
+            "workload_key": key,
+            "spec": spec.to_dict(),
+            "submitted_unix": now,
+            "attempts": 0,
+            "not_before_unix": 0.0,
+            "history": [self._event("submitted", detail=spec.describe(), now=now)],
+        }
+        path = self.dir("pending") / f"{job_id}.json"
+        self._write(path, doc)
+        return Job(doc=doc, path=path, state="pending")
+
+    # -- loading -----------------------------------------------------------
+
+    def jobs(self, state: str) -> list[Job]:
+        """Parsed jobs in one state, submission order; damage is quarantined."""
+        out = []
+        state_dir = self.dir(state)
+        if not state_dir.is_dir():
+            return out
+        for path in sorted(state_dir.glob("*.json")):
+            job = self._load(path, state)
+            if job is not None:
+                out.append(job)
+        out.sort(key=_sort_key)
+        return out
+
+    def find(self, job_id: str) -> Job | None:
+        """Locate one job id in whichever state it currently occupies."""
+        for state in JOB_STATES:
+            path = self.dir(state) / f"{job_id}.json"
+            if path.exists():
+                return self._load(path, state)
+        return None
+
+    def _load(self, path: Path, state: str) -> Job | None:
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None  # lost a race with another worker's rename
+        except OSError:
+            return None
+        reason = None
+        doc = None
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            reason = f"unreadable JSON (torn write?): {exc}"
+        if reason is None:
+            reason = self._structural_damage(doc)
+        if reason is not None:
+            if state == "quarantine":
+                return None  # already where damage goes; leave it be
+            self.quarantine_damaged(path, reason)
+            return None
+        return Job(doc=doc, path=path, state=state)
+
+    @staticmethod
+    def _structural_damage(doc) -> str | None:
+        if not isinstance(doc, dict):
+            return "not a job document"
+        schema = doc.get("schema")
+        if not isinstance(schema, int) or schema > QUEUE_SCHEMA_VERSION:
+            return f"unsupported queue schema {schema!r}"
+        for field in ("id", "workload_key", "spec"):
+            if field not in doc:
+                return f"missing field {field!r}"
+        try:
+            JobSpec.from_dict(dict(doc["spec"]))
+        except (ValueError, TypeError) as exc:
+            return f"invalid job spec: {exc}"
+        return None
+
+    # -- claiming ----------------------------------------------------------
+
+    def claim(
+        self,
+        lease_ttl_s: float = 30.0,
+        now: float | None = None,
+    ) -> tuple[Job, Lease] | None:
+        """Atomically claim the oldest eligible pending job, or ``None``.
+
+        Eligible: backoff window passed, and no claimed/running job
+        shares its workload key (scope-based claiming).  The claim point
+        is the ``pending/ → claimed/`` rename; racing workers lose with
+        ``FileNotFoundError`` and try the next job.
+        """
+        now = time.time() if now is None else now
+        busy = self._busy_keys()
+        for job in self.jobs("pending"):
+            if job.not_before_unix > now:
+                continue
+            if job.workload_key in busy:
+                continue
+            target = self.dir("claimed") / job.path.name
+            try:
+                os.replace(job.path, target)
+            except FileNotFoundError:
+                continue  # another worker claimed it first
+            job.path = target
+            job.state = "claimed"
+            job.doc["history"].append(self._event("claimed", now=now))
+            self._write(target, job.doc)
+            lease = write_lease(
+                self.lease_path(job.id), Lease.acquire(ttl_s=lease_ttl_s)
+            )
+            rival = self._scope_rival(job)
+            if rival is not None:
+                self.release(
+                    job,
+                    detail=f"workload key busy ({rival})",
+                    not_before_unix=now + 0.1,
+                )
+                busy.add(job.workload_key)
+                continue
+            return job, lease
+        return None
+
+    def _busy_keys(self) -> set[str]:
+        return {
+            j.workload_key for state in ("claimed", "running") for j in self.jobs(state)
+        }
+
+    def _scope_rival(self, job: Job) -> str | None:
+        """A concurrent claim on the same workload key that outranks ours.
+
+        A *running* twin always wins (it is already computing); among
+        merely-claimed twins the smallest job id wins, so exactly one
+        claimant of a duplicate pair proceeds and the rest re-queue.
+        """
+        for state in ("running", "claimed"):
+            for other in self.jobs(state):
+                if other.id == job.id or other.workload_key != job.workload_key:
+                    continue
+                if state == "running" or other.id < job.id:
+                    return f"{other.id} is {state}"
+        return None
+
+    # -- transitions -------------------------------------------------------
+
+    def start(self, job: Job, now: float | None = None) -> Job:
+        """claimed → running (the worker is about to execute)."""
+        return self._move(job, "running", "running", now=now)
+
+    def finish(self, job: Job, result: dict, now: float | None = None) -> Job:
+        """running/claimed → done, recording the result summary.
+
+        Raises :class:`JobLost` when the job's lease no longer names this
+        process — a reclaimer decided this worker was dead and re-queued
+        the job, so finishing now would complete it twice.
+        """
+        self._check_ownership(job)
+        job.doc["result"] = result
+        moved = self._move(job, "done", "done", detail=result_summary(result), now=now)
+        self._drop_lease(job.id)
+        return moved
+
+    def release(
+        self,
+        job: Job,
+        detail: str,
+        not_before_unix: float = 0.0,
+        count_attempt: bool = False,
+        now: float | None = None,
+    ) -> Job:
+        """claimed/running → pending (re-queue without giving up)."""
+        if count_attempt:
+            job.doc["attempts"] = job.attempts + 1
+        job.doc["not_before_unix"] = float(not_before_unix)
+        moved = self._move(job, "pending", "released", detail=detail, now=now)
+        self._drop_lease(job.id)
+        return moved
+
+    def fail(
+        self,
+        job: Job,
+        error: str,
+        retry: RetryPolicy,
+        now: float | None = None,
+    ) -> tuple[Job, str]:
+        """Record one failed attempt; re-queue with backoff or park in failed/.
+
+        Returns ``(job, outcome)`` with outcome ``"retried"`` or
+        ``"failed"``.
+        """
+        now = time.time() if now is None else now
+        self._check_ownership(job)
+        attempts = job.attempts + 1
+        job.doc["attempts"] = attempts
+        job.doc["error"] = error
+        if retry.exhausted(attempts):
+            moved = self._move(
+                job,
+                "failed",
+                "failed",
+                detail=f"attempt {attempts}/{retry.max_attempts}: {error}",
+                now=now,
+            )
+            outcome = "failed"
+        else:
+            delay = retry.delay_s(attempts, key=job.id)
+            job.doc["not_before_unix"] = now + delay
+            moved = self._move(
+                job,
+                "pending",
+                "retried",
+                detail=f"attempt {attempts}/{retry.max_attempts} failed "
+                f"({error}); backoff {delay:.2f}s",
+                now=now,
+            )
+            outcome = "retried"
+        self._drop_lease(job.id)
+        return moved, outcome
+
+    # -- reclaim and quarantine --------------------------------------------
+
+    def reclaim_stale(
+        self,
+        retry: RetryPolicy | None = None,
+        now: float | None = None,
+    ) -> list[str]:
+        """Re-queue claimed/running jobs whose worker lease has gone stale.
+
+        A ``kill -9``'d worker's jobs come back on the first pass (dead
+        pid); a hung worker's come back after the lease TTL.  Each
+        reclaim counts an attempt, so a *poison* job — one that kills its
+        worker every time — is quarantined once ``retry.max_attempts``
+        reclaims accumulate, instead of crash-looping the fleet forever.
+        Returns one human-readable line per action taken.
+        """
+        retry = retry if retry is not None else RetryPolicy()
+        now = time.time() if now is None else now
+        actions: list[str] = []
+        for state in ("claimed", "running"):
+            for job in self.jobs(state):
+                reason = self._lease_staleness(job, now)
+                if reason is None:
+                    continue
+                self._drop_lease(job.id)
+                attempts = job.attempts + 1
+                job.doc["attempts"] = attempts
+                try:
+                    if retry.exhausted(attempts):
+                        self._move(
+                            job,
+                            "quarantine",
+                            "quarantined",
+                            detail=f"poison: {attempts} worker losses ({reason})",
+                            now=now,
+                        )
+                        self._write_reason(
+                            job.id,
+                            f"poison job: lost its worker {attempts} time(s); "
+                            f"last: {reason}",
+                        )
+                        actions.append(f"quarantined {job.id} ({reason})")
+                    else:
+                        delay = retry.delay_s(attempts, key=job.id)
+                        job.doc["not_before_unix"] = now + delay
+                        self._move(
+                            job,
+                            "pending",
+                            "reclaimed",
+                            detail=f"{reason}; attempt {attempts}/{retry.max_attempts}, "
+                            f"backoff {delay:.2f}s",
+                            now=now,
+                        )
+                        actions.append(f"reclaimed {job.id} ({reason})")
+                except JobLost:
+                    continue  # a racing reclaimer beat us to this job
+        return actions
+
+    def _lease_staleness(self, job: Job, now: float) -> str | None:
+        lease = read_lease(self.lease_path(job.id))
+        if lease is None:
+            # no (readable) lease: the claimer died between the claim
+            # rename and the lease write — stale once the job file has
+            # sat untouched for a grace period
+            try:
+                age = now - job.path.stat().st_mtime
+            except OSError:
+                return None  # it moved; not ours to judge any more
+            grace = 30.0
+            if age > grace:
+                return f"no lease for {age:.0f}s"
+            return None
+        return lease.staleness()
+
+    def quarantine_damaged(self, path: Path, reason: str) -> None:
+        """Move an unparseable job file to quarantine with a one-line reason."""
+        self.ensure()
+        name = path.name
+        target = self.dir("quarantine") / name
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return  # someone else got to it first
+        self._write_reason(Path(name).stem, reason)
+
+    def _write_reason(self, job_id: str, reason: str) -> None:
+        reason_line = " ".join(str(reason).split()) or "damaged job file"
+        atomic_write_bytes(
+            self.dir("quarantine") / f"{job_id}.reason",
+            [(reason_line + "\n").encode()],
+        )
+
+    def quarantine_reasons(self) -> dict[str, str]:
+        """``{job_id: one-line reason}`` for everything in quarantine."""
+        out: dict[str, str] = {}
+        qdir = self.dir("quarantine")
+        if not qdir.is_dir():
+            return out
+        for path in sorted(qdir.glob("*.reason")):
+            try:
+                out[path.stem] = path.read_text(encoding="utf-8").strip()
+            except OSError:
+                continue
+        return out
+
+    # -- status ------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        out = {}
+        for state in JOB_STATES:
+            state_dir = self.dir(state)
+            out[state] = (
+                len(list(state_dir.glob("*.json"))) if state_dir.is_dir() else 0
+            )
+        return out
+
+    def active_count(self) -> int:
+        """Jobs still owed an outcome (pending + claimed + running)."""
+        counts = self.counts()
+        return sum(counts[s] for s in ACTIVE_STATES)
+
+    def status(self, now: float | None = None) -> dict:
+        """A JSON-safe snapshot for ``repro queue status``."""
+        now = time.time() if now is None else now
+        done = self.jobs("done")
+        computed = sum(1 for j in done if not j.doc.get("result", {}).get("cached"))
+        cached = sum(1 for j in done if j.doc.get("result", {}).get("cached"))
+        stale = []
+        for state in ("claimed", "running"):
+            for job in self.jobs(state):
+                reason = self._lease_staleness(job, now)
+                if reason is not None:
+                    stale.append({"id": job.id, "state": state, "reason": reason})
+        return {
+            "root": str(self.root),
+            "counts": self.counts(),
+            "done_computed": computed,
+            "done_cached": cached,
+            "stale": stale,
+            "quarantine": self.quarantine_reasons(),
+        }
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _check_ownership(self, job: Job) -> None:
+        lease = read_lease(self.lease_path(job.id))
+        if lease is None or lease.pid != os.getpid():
+            raise JobLost(
+                f"job {job.id} is no longer leased to pid {os.getpid()} "
+                f"(lease: {'gone' if lease is None else f'pid {lease.pid}'})"
+            )
+
+    def _move(
+        self,
+        job: Job,
+        state: str,
+        event: str,
+        detail: str = "",
+        now: float | None = None,
+    ) -> Job:
+        """Atomically move the job into ``state`` and update its document.
+
+        The order depends on the destination.  Into a terminal or owned
+        state (done/failed/quarantine/running) the *rename comes first*:
+        renaming a file that a reclaimer already took raises
+        ``FileNotFoundError`` → :class:`JobLost`, and we never recreate a
+        file we no longer own (which would complete a job twice).  Dying
+        between rename and rewrite leaves the old document in the new
+        state — the transition is the commit point, the document update
+        is metadata.
+
+        Into ``pending`` the *write comes first*: the backoff fields
+        (``not_before_unix``, ``attempts``) must be on disk before the
+        file becomes claimable, or a racing worker could re-run the job
+        with no backoff.  The write-first recreate hazard converges to a
+        single pending file (same destination for every mover), so it
+        cannot double-complete anything.
+        """
+        job.doc["history"].append(self._event(event, detail=detail, now=now))
+        target = self.dir(state) / job.path.name
+        if state == "pending":
+            self._write(job.path, job.doc)
+            os.replace(job.path, target)
+        else:
+            try:
+                os.replace(job.path, target)
+            except FileNotFoundError as exc:
+                raise JobLost(
+                    f"job {job.id} vanished from {job.state}/ mid-move"
+                ) from exc
+            self._write(target, job.doc)
+        job.path = target
+        job.state = state
+        return job
+
+    @staticmethod
+    def _write(path: Path, doc: dict) -> None:
+        atomic_write_bytes(path, [json.dumps(doc, sort_keys=True).encode()])
+
+    @staticmethod
+    def _event(event: str, detail: str = "", now: float | None = None) -> dict:
+        return {
+            "event": event,
+            "unix": time.time() if now is None else now,
+            "pid": os.getpid(),
+            "detail": detail,
+        }
+
+    def _drop_lease(self, job_id: str) -> None:
+        try:
+            self.lease_path(job_id).unlink()
+        except OSError:
+            pass
+
+
+def result_summary(result: dict) -> str:
+    """One line for the history trail: cache hit or computed + fingerprint."""
+    how = "cache hit" if result.get("cached") else "computed"
+    return f"{how}: {result.get('fingerprint', '?')}"

@@ -1,0 +1,115 @@
+"""Retry policy: capped exponential backoff, deterministic jitter, quarantine.
+
+Every layer of the repo that re-attempts failed work shares the same
+three questions — *should we try again*, *how long should we wait*, and
+*what do we do when retrying stops helping* — and answering them ad hoc
+is how thundering herds and infinite crash loops happen.  This module
+answers them once:
+
+* :class:`RetryPolicy` — after the ``n``-th failure, wait
+  ``base_delay_s * multiplier**(n-1)`` seconds, capped at
+  ``max_delay_s``, minus a *deterministic* jitter derived from the job
+  key (same CRC-32 fold as :func:`repro.parallel.executor.derive_seed`,
+  so a re-run of the same queue schedules the same delays — replayable
+  chaos tests depend on this).  After ``max_attempts`` failures the
+  work is poison: quarantine it, never loop forever.
+* :func:`walk_ladder` — the generic "consume escalation rungs until one
+  applies" walk that :class:`repro.resilience.runner.ResilientRunner`
+  uses for its recovery ladder and the service worker mirrors for its
+  retry-then-quarantine decision; extracted here so both layers provably
+  exhaust their options the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.parallel.executor import derive_seed
+
+__all__ = ["RetryPolicy", "walk_ladder"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how to re-attempt failed work; defaults suit the queue.
+
+    ``max_attempts`` counts *failures*: a job that has failed
+    ``max_attempts`` times is exhausted (poison) and must be quarantined
+    or marked failed rather than re-queued.  ``jitter_frac`` shaves up to
+    that fraction *off* the capped delay — jitter spreads workers out
+    without ever exceeding the cap, and because it is derived from the
+    key it is reproducible, not random.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.25
+    max_delay_s: float = 30.0
+    multiplier: float = 2.0
+    jitter_frac: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once ``attempts`` failures mean the work is poison."""
+        return attempts >= self.max_attempts
+
+    def delay_s(self, attempt: int, key: str = "") -> float:
+        """Backoff before re-queueing after failure number ``attempt`` (1-based).
+
+        Capped exponential, minus a deterministic jitter fraction folded
+        from ``key`` and ``attempt`` — two different jobs failing at the
+        same instant wake at different times, but the *same* job replays
+        the same schedule on every re-run.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based; got " f"{attempt}")
+        raw = self.base_delay_s * self.multiplier ** (attempt - 1)
+        capped = min(raw, self.max_delay_s)
+        if self.jitter_frac == 0.0 or capped == 0.0:
+            return capped
+        unit = derive_seed(attempt, key) / float(0x7FFFFFFF)  # [0, 1]
+        return capped * (1.0 - self.jitter_frac * unit)
+
+    def to_config(self) -> dict:
+        """JSON-safe dict (job documents echo the policy they ran under)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "max_delay_s": self.max_delay_s,
+            "multiplier": self.multiplier,
+            "jitter_frac": self.jitter_frac,
+        }
+
+    @classmethod
+    def from_config(cls, doc: dict) -> "RetryPolicy":
+        return cls(**doc)
+
+
+def walk_ladder(
+    ladder: Sequence[str],
+    idx: int,
+    apply: Callable[[str], bool],
+) -> tuple[bool, int]:
+    """Consume rungs from ``ladder[idx:]`` until one applies.
+
+    ``apply(action)`` returns True when the rung could be taken (e.g.
+    ``"escalate"`` below the precision ceiling) and False to fall through
+    to the next rung.  Returns ``(applied, next_idx)``; ``(False, _)``
+    means the ladder is exhausted and the caller must give up — abort for
+    the resilience runner, quarantine for the job queue.
+    """
+    while idx < len(ladder):
+        action = ladder[idx]
+        idx += 1
+        if apply(action):
+            return True, idx
+    return False, idx

@@ -1,0 +1,116 @@
+"""The advisory file lock: cross-process exclusion with a timeout.
+
+``locked()`` guards multi-writer appends (the service workers sharing
+one ledger).  The exclusion claim needs a real second process — flock
+is per-open-file, so in-process "tests" would pass vacuously.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.ioutil import append_jsonl_line, iter_jsonl, locked
+
+
+def hold_lock_in_subprocess(path: Path, hold_s: float) -> subprocess.Popen:
+    """Spawn a process that takes ``path``'s lock and holds it for ``hold_s``.
+
+    The child prints ``locked`` once it owns the lock, so the parent can
+    synchronize without sleeping and hoping.
+    """
+    script = textwrap.dedent(
+        f"""
+        import fcntl, os, sys, time
+        fd = os.open({str(path) + ".lock"!r}, os.O_RDWR | os.O_CREAT, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        print("locked", flush=True)
+        time.sleep({hold_s})
+        """
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script], stdout=subprocess.PIPE, text=True
+    )
+    assert proc.stdout.readline().strip() == "locked"
+    return proc
+
+
+class TestLocked:
+    def test_times_out_against_a_foreign_holder(self, tmp_path):
+        target = tmp_path / "shared.jsonl"
+        proc = hold_lock_in_subprocess(target, hold_s=10.0)
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(TimeoutError, match="another writer"):
+                with locked(target, timeout_s=0.2, poll_s=0.02):
+                    pass
+            assert time.monotonic() - t0 < 5.0  # timed out, not blocked
+        finally:
+            proc.kill()
+            proc.wait()
+
+    def test_acquires_once_the_holder_exits(self, tmp_path):
+        target = tmp_path / "shared.jsonl"
+        proc = hold_lock_in_subprocess(target, hold_s=0.3)
+        try:
+            # generous timeout: must succeed as soon as the child dies
+            with locked(target, timeout_s=30.0, poll_s=0.02):
+                append_jsonl_line(target, json.dumps({"who": "parent"}))
+            assert [doc for _, doc in iter_jsonl(target)] == [{"who": "parent"}]
+        finally:
+            proc.wait()
+
+    def test_crashed_holder_leaves_no_deadlock(self, tmp_path):
+        target = tmp_path / "shared.jsonl"
+        proc = hold_lock_in_subprocess(target, hold_s=10.0)
+        proc.kill()  # the lock dies with its process — nothing to clean up
+        proc.wait()
+        with locked(target, timeout_s=1.0):
+            pass
+
+    def test_lock_lives_on_a_sibling_file(self, tmp_path):
+        target = tmp_path / "deep" / "ledger.jsonl"
+        with locked(target):
+            pass
+        assert (tmp_path / "deep" / "ledger.jsonl.lock").exists()
+        assert not target.exists()  # locking never creates the target itself
+
+    def test_not_reentrant_even_within_one_process(self, tmp_path):
+        # each locked() opens its own file description, so a nested
+        # block conflicts with the outer one and times out — the lock
+        # excludes threads of the same process, not just other processes
+        target = tmp_path / "shared.jsonl"
+        with locked(target):
+            with pytest.raises(TimeoutError):
+                with locked(target, timeout_s=0.2, poll_s=0.02):
+                    pass
+
+
+def test_concurrent_appends_interleave_whole_lines(tmp_path):
+    """N processes × M locked appends: every line lands intact."""
+    target = tmp_path / "shared.jsonl"
+    src = Path(__file__).resolve().parents[1] / "src"
+    script = textwrap.dedent(
+        f"""
+        import json, sys
+        sys.path.insert(0, {str(src)!r})
+        from repro.ioutil import append_jsonl_line, locked
+        who = int(sys.argv[1])
+        for i in range(20):
+            with locked({str(target)!r}):
+                append_jsonl_line({str(target)!r}, json.dumps({{"who": who, "i": i}}))
+        """
+    )
+    procs = [
+        subprocess.Popen([sys.executable, "-c", script, str(who)]) for who in range(3)
+    ]
+    for proc in procs:
+        assert proc.wait(timeout=120) == 0
+    docs = [doc for _, doc in iter_jsonl(target)]
+    assert len(docs) == 60
+    for who in range(3):
+        assert [d["i"] for d in docs if d["who"] == who] == list(range(20))

@@ -20,6 +20,7 @@ from repro.machine.counters import WorkloadProfile
 from repro.parallel.executor import (
     SweepExecutor,
     SweepTask,
+    SweepWorkerError,
     TelemetrySpec,
     TracedResult,
     derive_seed,
@@ -389,3 +390,58 @@ class TestCliJobsHygiene:
         # 3 precision levels, --jobs 99: clamps, runs, exits 0
         code = main(["table", "1", "--jobs", "99"])
         assert code == 0
+
+
+def _suicide(i):
+    if i == 1:
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)  # a genuine worker death
+    return i
+
+
+class TestWorkerFailureModes:
+    """SweepWorkerError: typed worker deaths, and continue-past-failures."""
+
+    def _tasks(self, fn, n=4):
+        return [SweepTask(name=f"t{i}", fn=fn, args=(i,)) for i in range(n)]
+
+    def test_pool_crash_raises_typed_error_naming_the_task(self):
+        with pytest.raises(SweepWorkerError) as err:
+            SweepExecutor(2).map(self._tasks(_suicide))
+        assert err.value.task_name == "t1"
+        assert err.value.index == 1
+        assert err.value.crashed
+        assert "t1" in str(err.value)
+
+    def test_ordinary_exception_still_propagates_unchanged(self):
+        # the historical contract: a task raising is NOT wrapped on the
+        # default raise path (CLI error hygiene catches the raw type)
+        for jobs in (1, 3):
+            with pytest.raises(RuntimeError, match="task 2 exploded") as err:
+                SweepExecutor(jobs).map(self._tasks(_boom))
+            assert not isinstance(err.value, SweepWorkerError)
+
+    def test_continue_inline_yields_failures_in_place(self):
+        results = SweepExecutor(1).map(self._tasks(_boom), on_error="continue")
+        assert results[0] == 0 and results[1] == 1 and results[3] == 3
+        failure = results[2]
+        assert isinstance(failure, SweepWorkerError)
+        assert failure.task_name == "t2" and not failure.crashed
+        assert isinstance(failure.cause, RuntimeError)
+
+    def test_continue_survives_a_pool_crash(self):
+        # task 1 kills its worker; the pool is rebuilt and the remaining
+        # tasks still produce results, in order
+        results = SweepExecutor(2).map(self._tasks(_suicide, n=5), on_error="continue")
+        assert isinstance(results[1], SweepWorkerError) and results[1].crashed
+        clean = [r for r in results if not isinstance(r, SweepWorkerError)]
+        # tasks in flight when the pool broke may be re-run (at-least-
+        # once past a crash), but every surviving position reports its
+        # own value in order
+        assert clean == [i for i in range(5) if i != 1]
+
+    def test_on_error_argument_validated(self):
+        with pytest.raises(ValueError, match="on_error"):
+            SweepExecutor(1).map([], on_error="ignore")

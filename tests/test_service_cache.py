@@ -1,0 +1,105 @@
+"""The result cache: serves only records that prove their own integrity.
+
+One real (tiny) run provides the record; every test after that is pure
+file surgery.  The contract under test: any damage — torn JSON, edited
+content, transplanted filename, future schema — demotes to a miss with
+a one-line warning, and never serves a wrong record.
+"""
+
+import json
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobSpec, execute_job
+
+
+@pytest.fixture(scope="module")
+def record():
+    spec = JobSpec(workload="clamr", nx=12, steps=8, watch_stride=2)
+    return execute_job(spec.to_dict())
+
+
+def rewrite(path, mutate):
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    mutate(envelope)
+    path.write_text(json.dumps(envelope, sort_keys=True), encoding="utf-8")
+
+
+class TestRoundTrip:
+    def test_put_get_identical(self, tmp_path, record):
+        cache = ResultCache(tmp_path)
+        cache.put(record)
+        served = cache.get(record.workload_key)
+        assert served is not None
+        assert served.to_json() == record.to_json()  # bit-identical
+
+    def test_missing_key_is_a_silent_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 16) is None
+
+    def test_keys_and_stats(self, tmp_path, record):
+        cache = ResultCache(tmp_path)
+        assert cache.keys() == [] and cache.stats()["entries"] == 0
+        cache.put(record)
+        assert cache.keys() == [record.workload_key]
+        stats = cache.stats()
+        assert stats == {"entries": 1, "valid": 1, "bytes": stats["bytes"]}
+        assert stats["bytes"] > 0
+
+
+class TestTamperRejection:
+    def test_content_edit_rejected_by_digest(self, tmp_path, record):
+        cache = ResultCache(tmp_path)
+        path = cache.put(record)
+        # valid JSON, plausible edit, stale digest — must not be served
+        rewrite(path, lambda env: env["record"].__setitem__("wall_s", 1e9))
+        with pytest.warns(RuntimeWarning, match="digest mismatch"):
+            assert cache.get(record.workload_key) is None
+
+    def test_transplanted_filename_rejected(self, tmp_path, record):
+        cache = ResultCache(tmp_path)
+        path = cache.put(record)
+        other = "f" * 16
+        path.rename(cache.path_for(other))
+        with pytest.warns(RuntimeWarning, match="workload key mismatch"):
+            assert cache.get(other) is None
+
+    def test_consistent_identity_edit_rejected_by_fingerprint(self, tmp_path, record):
+        cache = ResultCache(tmp_path)
+        path = cache.put(record)
+
+        def forge(env):
+            # an attacker editing an identity field *and* refreshing the
+            # digest: only the recomputed fingerprint can catch this
+            env["record"]["git_sha"] = "f" * 12
+            import hashlib
+
+            canonical = json.dumps(
+                env["record"], sort_keys=True, separators=(",", ":")
+            ).encode()
+            env["digest"] = hashlib.sha256(canonical).hexdigest()
+
+        rewrite(path, forge)
+        with pytest.warns(RuntimeWarning, match="fingerprint mismatch"):
+            assert cache.get(record.workload_key) is None
+
+    def test_garbage_bytes_rejected(self, tmp_path, record):
+        cache = ResultCache(tmp_path)
+        path = cache.put(record)
+        path.write_text('{"schema": 1, "work', encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="unreadable JSON"):
+            assert cache.get(record.workload_key) is None
+
+    def test_future_schema_rejected(self, tmp_path, record):
+        cache = ResultCache(tmp_path)
+        path = cache.put(record)
+        rewrite(path, lambda env: env.__setitem__("schema", 99))
+        with pytest.warns(RuntimeWarning, match="unsupported cache schema"):
+            assert cache.get(record.workload_key) is None
+
+    def test_overwrite_heals_damage(self, tmp_path, record):
+        cache = ResultCache(tmp_path)
+        path = cache.put(record)
+        path.write_text("garbage", encoding="utf-8")
+        cache.put(record)  # recompute-and-overwrite is the repair path
+        assert cache.get(record.workload_key) is not None

@@ -1,0 +1,83 @@
+"""Job specs: validation, round-trips, and the pinned workload-key prediction.
+
+The service caches results under a key predicted *before* the run; these
+tests pin the prediction against the key the ledger actually computes
+after a real run.  If the hashed run identity ever changes on one side
+only, ``test_predicted_key_matches_*`` fails and the spec (or the
+ledger) must be updated in the same commit.
+"""
+
+import pytest
+
+from repro.service.jobs import JobSpec, execute_job
+
+
+class TestValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            JobSpec(workload="hydra")
+
+    def test_clamr_knobs_validated(self):
+        with pytest.raises(ValueError, match="policy"):
+            JobSpec(workload="clamr", policy="quadruple")
+        with pytest.raises(ValueError, match="scheme"):
+            JobSpec(workload="clamr", scheme="godunov")
+
+    def test_self_precision_validated(self):
+        with pytest.raises(ValueError, match="precision"):
+            JobSpec(workload="self", precision="half")
+        # clamr-only knobs are not validated against the self family
+        JobSpec(workload="self", precision="single")
+
+    def test_positive_integers_enforced(self):
+        with pytest.raises(ValueError, match="steps"):
+            JobSpec(workload="clamr", steps=0)
+        with pytest.raises(ValueError, match="seed"):
+            JobSpec(workload="clamr", seed=-1)
+        with pytest.raises(ValueError, match="watch_stride"):
+            JobSpec(workload="clamr", watch_stride=0)
+
+    def test_round_trip(self):
+        spec = JobSpec(workload="clamr", nx=16, steps=10, policy="full", label="rt")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fields_rejected(self):
+        doc = JobSpec(workload="clamr").to_dict()
+        doc["gpu"] = True
+        with pytest.raises(ValueError, match="unknown job spec field"):
+            JobSpec.from_dict(doc)
+
+    def test_describe(self):
+        assert JobSpec(workload="clamr", label="named").describe() == "named"
+        assert "clamr" in JobSpec(workload="clamr", nx=16).describe()
+        assert "self" in JobSpec(workload="self").describe()
+
+
+class TestIdentity:
+    def test_key_ignores_other_familys_knobs(self):
+        a = JobSpec(workload="clamr", nx=16, steps=10)
+        b = JobSpec(workload="clamr", nx=16, steps=10, elems=7, order=2)
+        assert a.workload_key() == b.workload_key()
+
+    def test_key_tracks_own_knobs(self):
+        base = JobSpec(workload="clamr", nx=16, steps=10, policy="mixed")
+        keys = {
+            base.workload_key(),
+            JobSpec(workload="clamr", nx=18, steps=10, policy="mixed").workload_key(),
+            JobSpec(workload="clamr", nx=16, steps=12, policy="mixed").workload_key(),
+            JobSpec(workload="clamr", nx=16, steps=10, policy="full").workload_key(),
+            JobSpec(workload="clamr", nx=16, steps=10, policy="mixed", seed=1).workload_key(),
+        }
+        assert len(keys) == 5
+
+    def test_predicted_key_matches_clamr_record(self):
+        spec = JobSpec(workload="clamr", nx=12, steps=8, watch_stride=2, policy="mixed")
+        record = execute_job(spec.to_dict())
+        assert record.workload_key == spec.workload_key()
+        assert record.policy == spec.policy_name
+
+    def test_predicted_key_matches_self_record(self):
+        spec = JobSpec(workload="self", elems=2, order=2, steps=4, watch_stride=2)
+        record = execute_job(spec.to_dict())
+        assert record.workload_key == spec.workload_key()
+        assert record.policy == "double"

@@ -1,0 +1,234 @@
+"""The durable queue: lifecycle, claim races, leases, damage quarantine.
+
+Everything here runs without executing a single workload — the queue is
+pure file choreography, so the tests drive it with raw specs and
+hand-built leases (including leases owned by genuinely dead pids).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.jobs import JobSpec
+from repro.service.lease import Lease, read_lease, write_lease
+from repro.service.queue import JobLost, JobQueue
+from repro.service.retry import RetryPolicy
+
+
+def tiny_spec(**overrides) -> JobSpec:
+    kwargs = {"workload": "clamr", "nx": 12, "steps": 8}
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def dead_pid() -> int:
+    """A pid that existed moments ago and is now certainly dead."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestLifecycle:
+    def test_submit_claim_start_finish(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        submitted = queue.submit(tiny_spec())
+        assert submitted.state == "pending"
+        assert queue.counts()["pending"] == 1
+
+        job, lease = queue.claim()
+        assert job.id == submitted.id
+        assert job.state == "claimed"
+        assert lease.pid == os.getpid()
+        assert read_lease(queue.lease_path(job.id)).pid == os.getpid()
+
+        job = queue.start(job)
+        assert job.state == "running"
+
+        queue.finish(job, {"fingerprint": "abc", "cached": False})
+        assert queue.counts() == {
+            "pending": 0, "claimed": 0, "running": 0,
+            "done": 1, "failed": 0, "quarantine": 0,
+        }
+        done = queue.jobs("done")[0]
+        assert done.doc["result"]["fingerprint"] == "abc"
+        assert not queue.lease_path(job.id).exists()  # lease dropped
+        events = [e["event"] for e in done.doc["history"]]
+        assert events == ["submitted", "claimed", "running", "done"]
+
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        assert queue.claim() is not None
+        assert queue.claim() is None  # nothing left to claim
+
+    def test_claim_respects_backoff_window(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        job, _lease = queue.claim()
+        job = queue.start(job)
+        _job, outcome = queue.fail(job, "flaky", RetryPolicy(max_attempts=3))
+        assert outcome == "retried"
+        requeued = queue.jobs("pending")[0]
+        assert requeued.attempts == 1
+        assert requeued.not_before_unix > time.time()
+        assert queue.claim() is None  # still inside the backoff window
+        assert queue.claim(now=requeued.not_before_unix + 0.01) is not None
+
+    def test_fail_exhausts_into_failed(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        job, _lease = queue.claim()
+        _job, outcome = queue.fail(job, "boom", RetryPolicy(max_attempts=1))
+        assert outcome == "failed"
+        parked = queue.jobs("failed")[0]
+        assert parked.doc["error"] == "boom"
+        assert queue.active_count() == 0
+
+
+class TestScopeClaiming:
+    def test_duplicate_key_waits_for_the_twin(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        queue.submit(tiny_spec())  # same workload key
+        first = queue.claim()
+        assert first is not None
+        # the duplicate is pending and eligible, but its key is busy
+        assert queue.claim() is None
+        queue.finish(first[0], {"fingerprint": "x", "cached": False})
+        second = queue.claim()  # twin done: duplicate may now proceed
+        assert second is not None
+        assert second[0].workload_key == first[0].workload_key
+
+    def test_different_keys_claim_independently(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec(policy="mixed"))
+        queue.submit(tiny_spec(policy="full"))
+        assert queue.claim() is not None
+        assert queue.claim() is not None
+
+
+class TestOwnership:
+    def test_finish_without_lease_raises_joblost(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        job, _lease = queue.claim()
+        queue.lease_path(job.id).unlink()  # a reclaimer took it from us
+        with pytest.raises(JobLost):
+            queue.finish(job, {"fingerprint": "x", "cached": False})
+
+    def test_finish_with_stolen_lease_raises_joblost(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        job, lease = queue.claim()
+        write_lease(
+            queue.lease_path(job.id),
+            Lease(
+                pid=lease.pid + 1,
+                ttl_s=lease.ttl_s,
+                acquired_unix=lease.acquired_unix,
+                renewed_unix=lease.renewed_unix,
+                renewed_monotonic=lease.renewed_monotonic,
+            ),
+        )
+        with pytest.raises(JobLost):
+            queue.fail(job, "boom", RetryPolicy())
+
+
+class TestReclaim:
+    def test_dead_owner_reclaimed_immediately(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        job, lease = queue.claim(lease_ttl_s=3600.0)
+        write_lease(
+            queue.lease_path(job.id), Lease.acquire(pid=dead_pid(), ttl_s=3600.0)
+        )
+        actions = queue.reclaim_stale(RetryPolicy(max_attempts=3))
+        assert len(actions) == 1 and "dead" in actions[0]
+        requeued = queue.jobs("pending")[0]
+        assert requeued.id == job.id
+        assert requeued.attempts == 1  # a worker loss costs an attempt
+
+    def test_reclaimed_job_reruns_with_identical_identity(self, tmp_path):
+        # the crash-recovery contract: the re-queued job is the same
+        # document, so a re-run produces the same workload key
+        queue = JobQueue(tmp_path)
+        submitted = queue.submit(tiny_spec())
+        job, _lease = queue.claim()
+        queue.start(job)
+        write_lease(queue.lease_path(job.id), Lease.acquire(pid=dead_pid()))
+        queue.reclaim_stale(RetryPolicy(max_attempts=3))
+        requeued, _lease = queue.claim(now=time.time() + 60.0)
+        assert requeued.id == submitted.id
+        assert requeued.spec == submitted.spec
+        assert requeued.spec.workload_key() == submitted.workload_key
+
+    def test_hung_owner_reclaimed_after_ttl(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        job, _lease = queue.claim(lease_ttl_s=0.05)
+        # alive pid (ours), but the heartbeat never came
+        time.sleep(0.1)
+        actions = queue.reclaim_stale()
+        assert len(actions) == 1 and "missed its heartbeat" in actions[0]
+        assert queue.jobs("pending")[0].id == job.id
+
+    def test_live_lease_not_reclaimed(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        queue.claim(lease_ttl_s=3600.0)
+        assert queue.reclaim_stale() == []
+
+    def test_poison_job_quarantined_after_exhaustion(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        job, _lease = queue.claim()
+        write_lease(queue.lease_path(job.id), Lease.acquire(pid=dead_pid()))
+        actions = queue.reclaim_stale(RetryPolicy(max_attempts=1))
+        assert len(actions) == 1 and actions[0].startswith("quarantined")
+        assert queue.counts()["quarantine"] == 1
+        reasons = queue.quarantine_reasons()
+        assert list(reasons) == [job.id]
+        assert "poison" in reasons[job.id]
+        assert "\n" not in reasons[job.id]
+
+
+class TestDamage:
+    def test_torn_file_quarantined_with_one_line_reason(self, tmp_path):
+        queue = JobQueue(tmp_path).ensure()
+        torn = queue.dir("pending") / "torn.json"
+        torn.write_text('{"schema": 1, "id": "to', encoding="utf-8")
+        assert queue.jobs("pending") == []  # scan quarantines, never raises
+        assert not torn.exists()
+        reasons = queue.quarantine_reasons()
+        assert "unreadable JSON" in reasons["torn"]
+        assert "\n" not in reasons["torn"]
+
+    def test_wrong_schema_quarantined(self, tmp_path):
+        queue = JobQueue(tmp_path).ensure()
+        bad = queue.dir("pending") / "future.json"
+        bad.write_text(json.dumps({"schema": 99, "id": "future"}), encoding="utf-8")
+        assert queue.jobs("pending") == []
+        assert "schema" in queue.quarantine_reasons()["future"]
+
+    def test_invalid_spec_quarantined(self, tmp_path):
+        queue = JobQueue(tmp_path).ensure()
+        doc = JobQueue(tmp_path).submit(tiny_spec()).doc
+        doc["spec"]["workload"] = "hydra"
+        path = queue.dir("pending") / "badspec.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        queue.jobs("pending")  # scan
+        assert "invalid job spec" in queue.quarantine_reasons()["badspec"]
+
+    def test_status_snapshot_is_json_safe(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(tiny_spec())
+        job, _lease = queue.claim()
+        queue.finish(job, {"fingerprint": "x", "cached": True})
+        status = queue.status()
+        json.dumps(status)  # must serialize as-is for --json
+        assert status["counts"]["done"] == 1
+        assert status["done_cached"] == 1 and status["done_computed"] == 0

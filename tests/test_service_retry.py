@@ -1,0 +1,71 @@
+"""Retry policy: capped backoff, deterministic jitter, ladder walking."""
+
+import pytest
+
+from repro.service.retry import RetryPolicy, walk_ladder
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_until_cap(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0, max_delay_s=5.0, jitter_frac=0.0)
+        assert policy.delay_s(1) == 1.0
+        assert policy.delay_s(2) == 2.0
+        assert policy.delay_s(3) == 4.0
+        assert policy.delay_s(4) == 5.0  # capped
+        assert policy.delay_s(10) == 5.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, max_delay_s=1.0, jitter_frac=0.25)
+        a1 = policy.delay_s(1, key="job-a")
+        assert a1 == policy.delay_s(1, key="job-a")  # replayable
+        assert 0.75 <= a1 <= 1.0  # shaves off, never exceeds the cap
+        # different keys / attempts spread out
+        assert len({policy.delay_s(1, key=f"job-{i}") for i in range(8)}) > 1
+        assert policy.delay_s(2, key="job-a") != a1
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(0)
+
+    def test_exhausted_counts_failures(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(7)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.0)
+
+    def test_config_round_trip(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.5, jitter_frac=0.1)
+        assert RetryPolicy.from_config(policy.to_config()) == policy
+
+
+class TestWalkLadder:
+    def test_takes_first_applicable_rung(self):
+        taken = []
+
+        def apply(action):
+            taken.append(action)
+            return action == "halve_dt"
+
+        applied, idx = walk_ladder(["retry", "halve_dt", "escalate"], 0, apply)
+        assert applied and idx == 2
+        assert taken == ["retry", "halve_dt"]  # escalate never consulted
+
+    def test_resumes_from_index(self):
+        applied, idx = walk_ladder(["a", "b", "c"], 1, lambda action: action == "c")
+        assert applied and idx == 3
+
+    def test_exhaustion_reports_give_up(self):
+        applied, idx = walk_ladder(["a", "b"], 0, lambda action: False)
+        assert not applied and idx == 2
+        # and an exhausted ladder stays exhausted
+        assert walk_ladder(["a", "b"], idx, lambda action: True) == (False, 2)

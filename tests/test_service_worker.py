@@ -1,0 +1,136 @@
+"""The worker loop, in-process: compute, cache-serve, retry, give up.
+
+These tests run real (tiny) workloads through ``run_worker`` in drain
+mode — the same code path ``repro serve`` and ``repro queue drain``
+execute — and assert the ledger/cache/queue bookkeeping that the chaos
+harness later stresses under fire.
+"""
+
+import pytest
+
+from repro.ledger import Ledger
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobSpec
+from repro.service.queue import JobQueue
+from repro.service.retry import RetryPolicy
+from repro.service.worker import WorkerOptions, run_worker
+
+
+def tiny_spec(**overrides) -> JobSpec:
+    kwargs = {"workload": "clamr", "nx": 12, "steps": 8, "watch_stride": 2}
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def drain_options(tmp_path, **overrides) -> WorkerOptions:
+    kwargs = {
+        "queue": tmp_path / "queue",
+        "ledger": tmp_path / "ledger",
+        "retry": RetryPolicy(max_attempts=2, base_delay_s=0.01, max_delay_s=0.05),
+        "poll_s": 0.02,
+        "drain": True,
+    }
+    kwargs.update(overrides)
+    return WorkerOptions(**kwargs)
+
+
+class TestDrain:
+    def test_computes_then_serves_duplicates_from_cache(self, tmp_path):
+        opts = drain_options(tmp_path)
+        queue = JobQueue(opts.queue)
+        queue.submit(tiny_spec(policy="mixed"))
+        queue.submit(tiny_spec(policy="full"))
+        queue.submit(tiny_spec(policy="mixed"))  # duplicate of the first
+
+        report = run_worker(opts)
+        assert report.completed == 3
+        assert report.computed == 2
+        assert report.cache_hits == 1
+        assert report.failed == 0 and report.lost == 0
+
+        # exactly one ledger record per unique key, under the file lock
+        records = Ledger(opts.ledger).load().records()
+        assert len(records) == 2
+        assert len({r.workload_key for r in records}) == 2
+
+        # the cache-served duplicate carries the computed twin's identity
+        done = queue.jobs("done")
+        by_cached = {}
+        for job in done:
+            by_cached.setdefault(job.doc["result"]["cached"], []).append(job)
+        [dup] = by_cached[True]
+        twin = next(
+            j for j in by_cached[False] if j.workload_key == dup.workload_key
+        )
+        assert dup.doc["result"]["fingerprint"] == twin.doc["result"]["fingerprint"]
+
+    def test_cached_record_is_bit_identical_to_computation(self, tmp_path):
+        opts = drain_options(tmp_path)
+        queue = JobQueue(opts.queue)
+        spec = tiny_spec()
+        queue.submit(spec)
+        run_worker(opts)
+        [ledger_record] = Ledger(opts.ledger).load().records()
+        cached = ResultCache(opts.cache_dir()).get(spec.workload_key())
+        assert cached is not None
+        assert cached.to_json() == ledger_record.to_json()
+
+    def test_empty_queue_drains_immediately(self, tmp_path):
+        report = run_worker(drain_options(tmp_path))
+        assert report.completed == 0
+        assert report.wall_s < 30.0
+
+
+class TestFailureHandling:
+    def test_failing_job_retries_then_parks_in_failed(self, tmp_path, monkeypatch):
+        def explode(spec_doc):
+            raise RuntimeError("synthetic workload failure")
+
+        monkeypatch.setattr("repro.service.worker.execute_job", explode)
+        opts = drain_options(tmp_path)
+        queue = JobQueue(opts.queue)
+        queue.submit(tiny_spec())
+
+        report = run_worker(opts)
+        assert report.retried == 1  # attempt 1 re-queued with backoff
+        assert report.failed == 1  # attempt 2 exhausted the policy
+        assert report.completed == 0
+
+        [parked] = queue.jobs("failed")
+        assert parked.attempts == 2
+        assert "synthetic workload failure" in parked.doc["error"]
+        assert queue.active_count() == 0
+        # nothing poisonous reached the ledger or cache
+        assert len(Ledger(opts.ledger).load()) == 0
+        assert ResultCache(opts.cache_dir()).keys() == []
+
+    def test_failed_jobs_leave_queue_not_clean(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.service.worker.execute_job",
+            lambda spec_doc: (_ for _ in ()).throw(RuntimeError("nope")),
+        )
+        opts = drain_options(tmp_path, retry=RetryPolicy(max_attempts=1))
+        JobQueue(opts.queue).submit(tiny_spec())
+        report = run_worker(opts)
+        assert report.failed == 1 and report.retried == 0
+
+
+class TestIdleStop:
+    def test_should_stop_wins_over_pending_work(self, tmp_path):
+        opts = drain_options(tmp_path, drain=False)
+        JobQueue(opts.queue).submit(tiny_spec())
+        report = run_worker(opts, should_stop=lambda: True)
+        assert report.completed == 0  # stopped before claiming anything
+
+    def test_idle_timeout_stops_a_non_drain_worker(self, tmp_path):
+        opts = drain_options(tmp_path, drain=False, idle_timeout_s=0.05)
+        report = run_worker(opts)
+        assert report.completed == 0
+
+
+@pytest.mark.parametrize("explicit_cache", [False, True])
+def test_cache_dir_defaults_next_to_queue(tmp_path, explicit_cache):
+    cache = tmp_path / "elsewhere" if explicit_cache else None
+    opts = WorkerOptions(queue=tmp_path / "q", cache=cache)
+    expected = cache if explicit_cache else tmp_path / "q" / ".cache"
+    assert opts.cache_dir() == expected
