@@ -5,15 +5,29 @@ the table (measured Python wall-clock + modelled Haswell times + paper-
 scale checkpoint sizes), and checks the paper's shape: vectorization
 unlocks the single-precision gain (1.9x vectorized vs ~1.1x scalar), and
 min/mixed checkpoints are 2/3 of full.
+
+The compiled-backend cases extend the same ladder one rung further:
+scalar -> NumPy -> cext/numba, each measured on the identical workload
+(bit-identical by the backend contract, so the comparison is fair; see
+benchmarks/bench_kernel_backends.py for the gated speedup floors).
 """
 
 import pytest
 
 from benchmarks.conftest import emit
 from repro.clamr import ClamrSimulation, DamBreakConfig
+from repro.clamr import backends
 from repro.harness.experiments import table3_vectorization
 
 CFG = DamBreakConfig(nx=24, ny=24, max_level=1)
+
+#: the oracle plus whatever compiled backends this machine can build
+MEASURED_BACKENDS = ["numpy"] + [
+    name for name, probe in (
+        ("cext", backends.cext.availability),
+        ("numba", backends.numba_backend.availability),
+    ) if probe()[0]
+]
 
 
 def test_finite_diff_vectorized(benchmark):
@@ -24,6 +38,22 @@ def test_finite_diff_vectorized(benchmark):
 def test_finite_diff_scalar(benchmark):
     sim = ClamrSimulation(CFG, policy="min", vectorized=False)
     benchmark.pedantic(sim.run, args=(10,), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("backend", MEASURED_BACKENDS)
+def test_finite_diff_backend(benchmark, backend):
+    with backends.kernel_backend(backend):
+        backends.warmup(ClamrSimulation(CFG, policy="min").policy.compute_dtype)
+        sim = ClamrSimulation(CFG, policy="min", vectorized=True)
+        benchmark.pedantic(sim.run, args=(10,), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("backend", MEASURED_BACKENDS)
+def test_muscl_backend(benchmark, backend):
+    with backends.kernel_backend(backend):
+        backends.warmup(ClamrSimulation(CFG, policy="min").policy.compute_dtype)
+        sim = ClamrSimulation(CFG, policy="min", vectorized=True, scheme="muscl")
+        benchmark.pedantic(sim.run, args=(10,), rounds=3, iterations=1)
 
 
 def test_table3_shape(benchmark):

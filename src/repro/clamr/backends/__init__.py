@@ -1,0 +1,434 @@
+"""Multi-backend compiled kernels behind the differential oracle.
+
+This package generalizes the ``scatter_mode`` pattern one level up: the
+NumPy kernels in :mod:`repro.clamr.kernels` / :mod:`repro.clamr.muscl` /
+:mod:`repro.self_.equations` stay exactly as they are — the *oracle* —
+and a process-wide :func:`kernel_backend` switch can route the hot loops
+through a compiled implementation that is **bit-identical by contract**:
+
+``numpy``
+    The default.  No dispatch happens at all; the oracle path runs.
+``python``
+    The loop kernels in :mod:`.loops` interpreted by CPython over NumPy
+    scalars.  Orders of magnitude slower — it exists so the *logic* the
+    compiled backends execute can be bit-verified everywhere (including
+    float16, which the compiled backends don't instantiate) even on
+    machines with neither numba nor a C compiler.
+``numba``
+    :mod:`.loops` JIT-compiled by ``numba.njit`` (see
+    :mod:`.numba_backend`).  Optional dependency; absent → unavailable.
+``cext``
+    The same kernels as C (``_kernels.c``), compiled by the system C
+    compiler at first use and loaded via ctypes (see :mod:`.cext`).
+``auto``
+    The best available compiled backend: numba, else cext, else the
+    NumPy oracle.
+
+Selection: explicit (:func:`set_kernel_backend` / the
+:func:`kernel_backend` context manager / ``--backend`` on the CLI) wins;
+otherwise the ``REPRO_KERNEL_BACKEND`` environment variable; otherwise
+``numpy``.  The env var is how sweep workers inherit the parent's choice
+under the spawn start method.
+
+Fallback semantics (the *graceful* part): requesting ``numba`` or
+``cext`` when the backend can't be built silently runs the oracle — by
+the bit-identity contract the numbers cannot differ, so a missing
+toolchain degrades performance, never results.  The same applies
+per-dtype: the compiled backends instantiate float32/float64 only, so
+the ``half`` policy's float16 arithmetic always runs on the NumPy path
+(mirroring the CSR ScatterPlan dtype restriction).  Because backend
+choice can't change bits, it is deliberately **excluded** from hashed
+run identity — ``RunRecord.backend`` is recorded for provenance but is
+not part of the workload key or fingerprint.
+
+Two dispatch guards keep the oracle reachable: ``scatter_mode("add_at")``
+(the explicit oracle request) disables backend dispatch entirely, and an
+unknown backend name raises :class:`UnknownBackendError` (the CLI maps
+it to exit 2).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from collections import OrderedDict
+from types import SimpleNamespace
+
+import numpy as np
+
+from ..state import GRAVITY
+from . import cext, loops, numba_backend
+
+__all__ = [
+    "BACKENDS",
+    "ENV_VAR",
+    "UnknownBackendError",
+    "active_backend",
+    "available_backends",
+    "dispatch_ops",
+    "kernel_backend",
+    "normalize_backend",
+    "resolved_backend",
+    "set_kernel_backend",
+    "warmup",
+]
+
+BACKENDS = ("numpy", "python", "cext", "numba", "auto")
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: explicit process-level selection; None defers to the env var / default
+_ACTIVE: str | None = None
+_OPS_CACHE: dict = {}
+_WARMED: set = set()
+_COMPILED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+class UnknownBackendError(ValueError):
+    """Raised for a backend name outside :data:`BACKENDS`."""
+
+
+def normalize_backend(name: str) -> str:
+    """Validate and canonicalize a backend name."""
+    canon = str(name).strip().lower()
+    if canon not in BACKENDS:
+        raise UnknownBackendError(
+            f"unknown kernel backend {name!r}; choose from {', '.join(BACKENDS)}"
+        )
+    return canon
+
+
+def set_kernel_backend(name: str | None) -> None:
+    """Select the process-wide backend (None → env var / default)."""
+    global _ACTIVE
+    _ACTIVE = None if name is None else normalize_backend(name)
+
+
+def active_backend() -> str:
+    """The requested backend: explicit > ``$REPRO_KERNEL_BACKEND`` > numpy."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return normalize_backend(env)
+    return "numpy"
+
+
+@contextlib.contextmanager
+def kernel_backend(name: str):
+    """Temporarily select the kernel backend (mirrors ``scatter_mode``)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = normalize_backend(name)
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+def _build_ops(name: str, dt: np.dtype) -> SimpleNamespace | None:
+    if name == "auto":
+        for candidate in ("numba", "cext"):
+            ops = _build_ops(candidate, dt)
+            if ops is not None:
+                return ops
+        return None
+    if name == "python":
+        fns = {k: getattr(loops, k) for k in loops.__all__}
+        return SimpleNamespace(name="python", **fns)
+    if dt not in _COMPILED_DTYPES:
+        return None  # float16 (half policy) stays on the NumPy oracle
+    if name == "numba":
+        jitted = numba_backend.jitted_ops()
+        if jitted is None:
+            return None
+        fns = {k: getattr(jitted, k) for k in loops.__all__}
+        return SimpleNamespace(name="numba", **fns)
+    if name == "cext":
+        ok, _ = cext.availability()
+        if not ok:
+            return None
+        fns = {k: getattr(cext, k) for k in loops.__all__}
+        return SimpleNamespace(name="cext", **fns)
+    return None
+
+
+def dispatch_ops(cdtype) -> SimpleNamespace | None:
+    """The kernel namespace for the active backend, or None → run the oracle."""
+    name = active_backend()
+    if name == "numpy":
+        return None
+    dt = np.dtype(cdtype)
+    key = (name, dt)
+    if key not in _OPS_CACHE:
+        _OPS_CACHE[key] = _build_ops(name, dt)
+    return _OPS_CACHE[key]
+
+
+def resolved_backend(cdtype=np.float64) -> str:
+    """The concrete backend a run at ``cdtype`` would actually execute."""
+    if active_backend() == "numpy":
+        return "numpy"
+    ops = dispatch_ops(cdtype)
+    return ops.name if ops is not None else "numpy"
+
+
+def available_backends() -> list[dict]:
+    """Availability report for every registered backend (CLI surface)."""
+    rows = [
+        {"name": "numpy", "available": True,
+         "detail": f"numpy {np.__version__} (oracle; default)"},
+        {"name": "python", "available": True,
+         "detail": "pure-Python loop kernels (bit-reference; slow)"},
+    ]
+    for name, probe in (("cext", cext.availability), ("numba", numba_backend.availability)):
+        ok, detail = probe()
+        rows.append({"name": name, "available": ok, "detail": detail})
+    with kernel_backend("auto"):
+        rows.append({"name": "auto", "available": True,
+                     "detail": f"resolves to {resolved_backend()}"})
+    return rows
+
+
+def _reset_for_tests() -> None:
+    """Clear selection, dispatch caches, and probe state (test isolation)."""
+    global _ACTIVE
+    _ACTIVE = None
+    _OPS_CACHE.clear()
+    _WARMED.clear()
+    cext._reset_for_tests()
+    numba_backend._reset_for_tests()
+
+
+# -- marshalling: mesh/state objects -> the flat loops.py convention ------
+
+#: int64 neighbor-array casts, keyed by mesh generation (mesh stores int32)
+_NEIGHBORS64: OrderedDict[int, tuple] = OrderedDict()
+_NEIGHBORS64_CAP = 4
+
+
+def _neighbors64(mesh) -> tuple:
+    gen = mesh.generation
+    cached = _NEIGHBORS64.get(gen)
+    if cached is None:
+        cached = tuple(
+            np.ascontiguousarray(arr, dtype=np.int64)
+            for arr in (mesh.nlft, mesh.nrht, mesh.nbot, mesh.ntop)
+        )
+        _NEIGHBORS64[gen] = cached
+        while len(_NEIGHBORS64) > _NEIGHBORS64_CAP:
+            _NEIGHBORS64.popitem(last=False)
+    else:
+        _NEIGHBORS64.move_to_end(gen)
+    return cached
+
+
+def _boundary_table(faces) -> tuple[np.ndarray, np.ndarray]:
+    """(bcells int64, side offsets [l0, r0, b0, t0, nb] int64), memoized."""
+    cached = getattr(faces, "_bk_boundary", None)
+    if cached is None:
+        bcells, (sl_l, sl_r, sl_b, sl_t) = faces.boundary_concat()
+        bcells = np.ascontiguousarray(bcells, dtype=np.int64)
+        boff = np.array(
+            [sl_l.start, sl_r.start, sl_b.start, sl_t.start, bcells.size],
+            dtype=np.int64,
+        )
+        cached = (bcells, boff)
+        object.__setattr__(faces, "_bk_boundary", cached)
+    return cached
+
+
+def try_fd_flat(mesh, state, dt, faces, geom) -> bool:
+    """Run the flat-bottom FD step on the active backend; False → oracle."""
+    cdtype = state.policy.compute_dtype
+    ops = dispatch_ops(cdtype)
+    if ops is None:
+        return False
+    ct = cdtype.type
+    H, U, V = state.promoted()
+    size, area = geom.geometry(mesh, cdtype)
+    xplan, yplan = faces.scatter_plans(mesh.ncells)
+    dH, dU, dV = geom.workspace3(mesh, cdtype, slot="fd")
+    bcells, boff = _boundary_table(faces)
+    nf = int(faces.xl.size + faces.yb.size)
+    fbuf = geom.buffer(mesh, cdtype, "bk_fd_flux", (3, max(nf, 1)))
+    ops.fd_flat(
+        H, U, V, faces.xl, faces.xr, faces.yb, faces.yt,
+        xplan.indptr, xplan.cols, xplan._signed(cdtype),
+        yplan.indptr, yplan.cols, yplan._signed(cdtype),
+        bcells, boff, size, area,
+        fbuf[0], fbuf[1], fbuf[2], dH, dU, dV,
+        ct(GRAVITY), ct(0.5), ct(dt),
+    )
+    state.store(dH, dU, dV)
+    return True
+
+
+def try_fd_bathy(mesh, state, dt, faces, geom, bathy) -> bool:
+    """Run the well-balanced FD step on the active backend; False → oracle."""
+    cdtype = state.policy.compute_dtype
+    ops = dispatch_ops(cdtype)
+    if ops is None:
+        return False
+    ct = cdtype.type
+    H, U, V = state.promoted()
+    b = np.ascontiguousarray(bathy, dtype=cdtype)
+    size, area = geom.geometry(mesh, cdtype)
+    dH, dU, dV = geom.workspace3(mesh, cdtype, slot="fd")
+    bcells, boff = _boundary_table(faces)
+    xs, ys = faces.sizes_as(cdtype)
+    maxf = max(int(faces.xl.size), int(faces.yb.size), 1)
+    fbuf = geom.buffer(mesh, cdtype, "bk_wb_flux", (4, maxf))
+    ops.fd_bathy(
+        H, U, V, b, faces.xl, faces.xr, xs, faces.yb, faces.yt, ys,
+        bcells, boff, size, area,
+        fbuf[0], fbuf[1], fbuf[2], fbuf[3], dH, dU, dV,
+        ct(GRAVITY), ct(0.5), ct(dt),
+    )
+    state.store(dH, dU, dV)
+    return True
+
+
+def try_muscl_rhs(mesh, H, U, V, faces, cdtype, geom, slot, bathy):
+    """MUSCL spatial operator on the active backend; None → oracle."""
+    ops = dispatch_ops(cdtype)
+    if ops is None:
+        return None
+    ct = cdtype.type
+    size, _ = geom.geometry(mesh, cdtype)
+    dH, dU, dV = geom.workspace3(mesh, cdtype, slot=slot)
+    nlft, nrht, nbot, ntop = _neighbors64(mesh)
+    bcells, boff = _boundary_table(faces)
+    sl = geom.buffer(mesh, cdtype, "bk_slopes", (6, mesh.ncells))
+    maxf = max(int(faces.xl.size), int(faces.yb.size), 1)
+    if bathy is None:
+        xplan, yplan = faces.scatter_plans(mesh.ncells)
+        fb = geom.buffer(mesh, cdtype, "bk_muscl_flux", (3, maxf))
+        ops.muscl_flat(
+            H, U, V, nlft, nrht, nbot, ntop, size,
+            faces.xl, faces.xr, faces.yb, faces.yt,
+            xplan.indptr, xplan.cols, xplan._signed(cdtype),
+            yplan.indptr, yplan.cols, yplan._signed(cdtype),
+            bcells, boff,
+            sl[0], sl[1], sl[2], sl[3], sl[4], sl[5],
+            fb[0], fb[1], fb[2], dH, dU, dV, ct(GRAVITY), ct(0.5),
+        )
+    else:
+        b = np.ascontiguousarray(bathy, dtype=cdtype)
+        eta = H + b
+        xs, ys = faces.sizes_as(cdtype)
+        fb = geom.buffer(mesh, cdtype, "bk_wb_flux", (4, maxf))
+        ops.muscl_bathy(
+            H, U, V, b, eta, nlft, nrht, nbot, ntop, size,
+            faces.xl, faces.xr, xs, faces.yb, faces.yt, ys,
+            bcells, boff,
+            sl[0], sl[1], sl[2], sl[3], sl[4], sl[5],
+            fb[0], fb[1], fb[2], fb[3], dH, dU, dV, ct(GRAVITY), ct(0.5),
+        )
+    return dH, dU, dV
+
+
+def try_cfl_min(mesh, state, geom):
+    """Raw CFL min-reduction on the active backend; None → oracle."""
+    cdtype = state.policy.compute_dtype
+    ops = dispatch_ops(cdtype)
+    if ops is None or mesh.ncells == 0:
+        return None
+    ct = cdtype.type
+    H, U, V = state.promoted()
+    size, _ = geom.geometry(mesh, cdtype)
+    return float(ops.cfl_min(H, U, V, size, ct(GRAVITY), ct(1e-12)))
+
+
+def try_self_max_metric(U, mx, my, mz, gamma, gm1, dtype):
+    """SELF metric-weighted max wave speed; None → oracle."""
+    dt = np.dtype(dtype)
+    ops = dispatch_ops(dt)
+    if ops is None:
+        return None
+    nelem = int(U.shape[0])
+    n3 = int(U.shape[2] * U.shape[3] * U.shape[4])
+    if nelem * n3 == 0:
+        return None
+    Uc = np.ascontiguousarray(U)
+    return float(
+        ops.self_max_metric(
+            Uc.reshape(-1), nelem, n3, mx, my, mz, gamma, gm1, dt.type(0.5)
+        )
+    )
+
+
+# -- warm-up: force compilation outside the timed region ------------------
+
+def warmup(cdtype, which: str = "clamr") -> str | None:
+    """Resolve the backend and force-compile its kernels on tiny inputs.
+
+    Returns the concrete backend name, or None when the oracle will run.
+    Called by the simulation drivers inside a dedicated telemetry span so
+    JIT/C-build time never pollutes timed regions or flight-recorder
+    series.  Idempotent per (backend, dtype, which).
+    """
+    ops = dispatch_ops(cdtype)
+    if ops is None:
+        return None
+    dt = np.dtype(cdtype)
+    key = (ops.name, dt, which)
+    if key in _WARMED:
+        return ops.name
+    ct = dt.type
+    g, half = ct(GRAVITY), ct(0.5)
+    if which == "self":
+        Uf = np.array([1.0, 0.1, 0.2, 0.3, 1e5], dtype=dt)
+        ops.self_max_metric(Uf, 1, 1, ct(1), ct(1), ct(1), ct(1.4), ct(0.4), half)
+    else:
+        H = np.array([1.0, 2.0], dtype=dt)
+        U = np.array([0.1, -0.2], dtype=dt)
+        V = np.array([0.05, 0.0], dtype=dt)
+        b = np.array([0.1, 0.2], dtype=dt)
+        ones = np.ones(2, dtype=dt)
+        xl = np.array([0], dtype=np.int64)
+        xr = np.array([1], dtype=np.int64)
+        ey = np.empty(0, dtype=np.int64)
+        xsz = np.ones(1, dtype=dt)
+        ysz = np.empty(0, dtype=dt)
+        xip = np.array([0, 1, 2], dtype=np.int32)
+        xcols = np.array([0, 0], dtype=np.int32)
+        xsgn = np.array([-1.0, 1.0], dtype=dt)
+        yip = np.zeros(3, dtype=np.int32)
+        ycols = np.empty(0, dtype=np.int32)
+        ysgn = np.empty(0, dtype=dt)
+        bcells = np.array([0, 1, 0, 1], dtype=np.int64)
+        boff = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+        nlft = np.array([0, 0], dtype=np.int64)
+        nrht = np.array([1, 1], dtype=np.int64)
+        nbot = np.array([0, 1], dtype=np.int64)
+        ntop = np.array([0, 1], dtype=np.int64)
+        f4 = np.empty((4, 1), dtype=dt)
+        sl6 = np.empty((6, 2), dtype=dt)
+        d3 = np.zeros((3, 2), dtype=dt)
+        ops.fd_flat(
+            H, U, V, xl, xr, ey, ey, xip, xcols, xsgn, yip, ycols, ysgn,
+            bcells, boff, ones, ones, f4[0], f4[1], f4[2],
+            d3[0], d3[1], d3[2], g, half, ct(0.01),
+        )
+        d3[:] = 0
+        ops.fd_bathy(
+            H, U, V, b, xl, xr, xsz, ey, ey, ysz, bcells, boff, ones, ones,
+            f4[0], f4[1], f4[2], f4[3], d3[0], d3[1], d3[2], g, half, ct(0.01),
+        )
+        d3[:] = 0
+        ops.muscl_flat(
+            H, U, V, nlft, nrht, nbot, ntop, ones, xl, xr, ey, ey,
+            xip, xcols, xsgn, yip, ycols, ysgn, bcells, boff,
+            sl6[0], sl6[1], sl6[2], sl6[3], sl6[4], sl6[5],
+            f4[0], f4[1], f4[2], d3[0], d3[1], d3[2], g, half,
+        )
+        d3[:] = 0
+        ops.muscl_bathy(
+            H, U, V, b, H + b, nlft, nrht, nbot, ntop, ones,
+            xl, xr, xsz, ey, ey, ysz, bcells, boff,
+            sl6[0], sl6[1], sl6[2], sl6[3], sl6[4], sl6[5],
+            f4[0], f4[1], f4[2], f4[3], d3[0], d3[1], d3[2], g, half,
+        )
+        ops.cfl_min(H, U, V, ones, g, ct(1e-12))
+    _WARMED.add(key)
+    return ops.name

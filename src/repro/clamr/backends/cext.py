@@ -1,0 +1,230 @@
+"""The "cext" backend: the loop kernels compiled as C at first use.
+
+``_kernels.c`` (which instantiates ``_kernels_impl.h`` at float and
+double) is compiled with the system C compiler into a shared object in a
+content-addressed cache directory, then loaded with :mod:`ctypes`.  No
+build step, no toolchain beyond ``cc``: if no compiler is present (or the
+build fails), :func:`availability` reports why and the dispatcher falls
+back to the NumPy oracle.
+
+Bit-identity is a *compile-flag* contract here: ``-ffp-contract=off``
+forbids FMA fusion and nothing enables value-changing math (no
+``-ffast-math``), so on x86-64 SSE every C operation is the same single
+correctly-rounded IEEE-754 operation the NumPy kernels perform.  See
+``_kernels_impl.h`` for the replay details.
+
+Cache location: ``$REPRO_CEXT_CACHE`` if set, else
+``<tempdir>/repro-cext-<uid>``.  The object name embeds a digest of the
+sources, compiler, and flags, so edits or flag changes rebuild instead of
+reusing a stale binary.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+_SRC_DIR = Path(__file__).resolve().parent
+_SOURCES = ("_kernels.c", "_kernels_impl.h")
+_CFLAGS = ["-O3", "-fPIC", "-shared", "-ffp-contract=off", "-fno-math-errno"]
+_ABI = 1
+
+_lib = None
+_load_error: str | None = None
+_probed = False
+
+
+def _find_compiler() -> str | None:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_CEXT_CACHE")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / f"repro-cext-{os.getuid()}"
+
+
+def _digest(compiler: str) -> str:
+    h = hashlib.sha256()
+    h.update(compiler.encode())
+    h.update(" ".join(_CFLAGS).encode())
+    h.update(str(_ABI).encode())
+    for name in _SOURCES:
+        h.update((_SRC_DIR / name).read_bytes())
+    return h.hexdigest()[:16]
+
+
+def _build_and_load():
+    """Compile (if not cached) and dlopen the kernel library."""
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found (tried $CC, cc, gcc, clang)")
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    so_path = cache / f"_kernels-{_digest(compiler)}.so"
+    if not so_path.exists():
+        tmp = so_path.with_name(f".{so_path.name}.{os.getpid()}.tmp")
+        cmd = [compiler, *_CFLAGS, "-o", str(tmp), str(_SRC_DIR / "_kernels.c")]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            tmp.unlink(missing_ok=True)
+            tail = (proc.stderr or proc.stdout).strip().splitlines()[-3:]
+            raise RuntimeError(f"{compiler} failed: {' | '.join(tail) or 'no output'}")
+        os.replace(tmp, so_path)  # atomic: concurrent builders converge
+    lib = ctypes.CDLL(str(so_path))
+    lib.repro_kernels_abi.restype = ctypes.c_int
+    lib.repro_kernels_abi.argtypes = []
+    abi = lib.repro_kernels_abi()
+    if abi != _ABI:
+        raise RuntimeError(f"cached kernel ABI {abi} != expected {_ABI}")
+    _declare(lib)
+    return lib, compiler
+
+
+def _declare(lib) -> None:
+    P = ctypes.c_void_p
+    I = ctypes.c_int64
+    for suffix, S in (("f32", ctypes.c_float), ("f64", ctypes.c_double)):
+        fn = getattr(lib, f"fd_flat_{suffix}")
+        fn.restype = None
+        fn.argtypes = [P, P, P, P, P, I, P, P, I, P, P, P, P, P, P,
+                       P, P, P, P, I, P, P, P, P, P, P, S, S, S]
+        fn = getattr(lib, f"fd_bathy_{suffix}")
+        fn.restype = None
+        fn.argtypes = [P, P, P, P, P, P, P, I, P, P, P, I, P, P,
+                       P, P, I, P, P, P, P, P, P, P, S, S, S]
+        fn = getattr(lib, f"muscl_flat_{suffix}")
+        fn.restype = None
+        fn.argtypes = [P, P, P, P, P, P, P, P, P, P, I, P, P, I,
+                       P, P, P, P, P, P, P, P,
+                       P, P, P, P, P, P, P, P, P, P, P, P, I, S, S]
+        fn = getattr(lib, f"muscl_bathy_{suffix}")
+        fn.restype = None
+        fn.argtypes = [P, P, P, P, P, P, P, P, P, P,
+                       P, P, P, I, P, P, P, I, P, P,
+                       P, P, P, P, P, P, P, P, P, P, P, P, P, I, S, S]
+        fn = getattr(lib, f"cfl_min_{suffix}")
+        fn.restype = S
+        fn.argtypes = [P, P, P, P, I, S, S]
+        fn = getattr(lib, f"self_max_metric_{suffix}")
+        fn.restype = S
+        fn.argtypes = [P, I, I, S, S, S, S, S, S]
+
+
+def _ensure() -> None:
+    global _lib, _load_error, _probed
+    if _probed:
+        return
+    _probed = True
+    try:
+        _lib, compiler = _build_and_load()
+        _load_error = None
+        globals()["_compiler"] = compiler
+    except Exception as exc:  # availability is a report, not a crash
+        _lib = None
+        _load_error = str(exc)
+
+
+def _reset_for_tests() -> None:
+    global _lib, _load_error, _probed
+    _lib = None
+    _load_error = None
+    _probed = False
+
+
+def availability() -> tuple[bool, str]:
+    """(usable, detail) — detail names the compiler or the failure."""
+    _ensure()
+    if _lib is not None:
+        return True, f"compiled via {globals().get('_compiler', 'cc')}"
+    return False, _load_error or "unavailable"
+
+
+_SUFFIX = {np.dtype(np.float32): "f32", np.dtype(np.float64): "f64"}
+
+
+def supports_dtype(dtype) -> bool:
+    return np.dtype(dtype) in _SUFFIX
+
+
+def _p(arr: np.ndarray) -> int:
+    return arr.ctypes.data
+
+
+def _fn(name: str, like: np.ndarray):
+    return getattr(_lib, f"{name}_{_SUFFIX[like.dtype]}")
+
+
+# -- adapters: same positional signature as backends.loops ----------------
+
+def fd_flat(H, U, V, xl, xr, yb, yt, xip, xcols, xsgn, yip, ycols, ysgn,
+            bcells, boff, size, area, fh, fn, ft, dH, dU, dV, g, half, dt):
+    _fn("fd_flat", H)(
+        _p(H), _p(U), _p(V),
+        _p(xl), _p(xr), xl.shape[0], _p(yb), _p(yt), yb.shape[0],
+        _p(xip), _p(xcols), _p(xsgn), _p(yip), _p(ycols), _p(ysgn),
+        _p(bcells), _p(boff), _p(size), _p(area), H.shape[0],
+        _p(fh), _p(fn), _p(ft), _p(dH), _p(dU), _p(dV),
+        float(g), float(half), float(dt))
+
+
+def fd_bathy(H, U, V, b, xl, xr, xsz, yb, yt, ysz, bcells, boff, size, area,
+             f0, f1, f2, f3, dH, dU, dV, g, half, dt):
+    _fn("fd_bathy", H)(
+        _p(H), _p(U), _p(V), _p(b),
+        _p(xl), _p(xr), _p(xsz), xl.shape[0],
+        _p(yb), _p(yt), _p(ysz), yb.shape[0],
+        _p(bcells), _p(boff), _p(size), _p(area), H.shape[0],
+        _p(f0), _p(f1), _p(f2), _p(f3), _p(dH), _p(dU), _p(dV),
+        float(g), float(half), float(dt))
+
+
+def muscl_flat(H, U, V, nlft, nrht, nbot, ntop, size, xl, xr, yb, yt,
+               xip, xcols, xsgn, yip, ycols, ysgn, bcells, boff,
+               sxH, syH, sxU, syU, sxV, syV, f0, f1, f2, dH, dU, dV, g, half):
+    _fn("muscl_flat", H)(
+        _p(H), _p(U), _p(V),
+        _p(nlft), _p(nrht), _p(nbot), _p(ntop), _p(size),
+        _p(xl), _p(xr), xl.shape[0], _p(yb), _p(yt), yb.shape[0],
+        _p(xip), _p(xcols), _p(xsgn), _p(yip), _p(ycols), _p(ysgn),
+        _p(bcells), _p(boff),
+        _p(sxH), _p(syH), _p(sxU), _p(syU), _p(sxV), _p(syV),
+        _p(f0), _p(f1), _p(f2), _p(dH), _p(dU), _p(dV),
+        H.shape[0], float(g), float(half))
+
+
+def muscl_bathy(H, U, V, b, eta, nlft, nrht, nbot, ntop, size,
+                xl, xr, xsz, yb, yt, ysz, bcells, boff,
+                sxH, syH, sxU, syU, sxV, syV, f0, f1, f2, f3,
+                dH, dU, dV, g, half):
+    _fn("muscl_bathy", H)(
+        _p(H), _p(U), _p(V), _p(b), _p(eta),
+        _p(nlft), _p(nrht), _p(nbot), _p(ntop), _p(size),
+        _p(xl), _p(xr), _p(xsz), xl.shape[0],
+        _p(yb), _p(yt), _p(ysz), yb.shape[0],
+        _p(bcells), _p(boff),
+        _p(sxH), _p(syH), _p(sxU), _p(syU), _p(sxV), _p(syV),
+        _p(f0), _p(f1), _p(f2), _p(f3), _p(dH), _p(dU), _p(dV),
+        H.shape[0], float(g), float(half))
+
+
+def cfl_min(H, U, V, size, g, floor):
+    return _fn("cfl_min", H)(
+        _p(H), _p(U), _p(V), _p(size), H.shape[0], float(g), float(floor))
+
+
+def self_max_metric(Uf, nelem, n3, mx, my, mz, gamma, gm1, half):
+    return _fn("self_max_metric", Uf)(
+        _p(Uf), int(nelem), int(n3),
+        float(mx), float(my), float(mz), float(gamma), float(gm1), float(half))

@@ -1,0 +1,91 @@
+"""The "numba" backend: the loop kernels JIT-compiled with ``numba.njit``.
+
+numba is an *optional* dependency — this module never imports it at
+package import time.  :func:`availability` probes lazily; when numba is
+absent the dispatcher reports why and falls back to the NumPy oracle
+(the graceful-fallback contract exercised by the numba-free CI job).
+
+Compilation strategy: the pure-Python functions in :mod:`.loops` are the
+single source of truth.  numba resolves helper calls through the
+function's globals at compile time and needs those helpers to already be
+Dispatchers, so we *clone* each function (same code object, fresh globals
+dict) in dependency order, jitting helpers first — the :mod:`.loops`
+module itself is left untouched for the "python" backend.
+
+Two flags carry the bit contract:
+
+* ``fastmath=False`` (the default, made explicit): no reassociation, no
+  FMA contraction — every op is the single rounding NumPy performs.
+* ``error_model="numpy"``: float division by zero yields inf/nan exactly
+  like the array kernels instead of raising.
+
+All dtype-sensitive constants reach the kernels as arguments already cast
+to the compute dtype (see loops.py rule 1), so the absence of NEP-50
+weak-scalar promotion in numba cannot change any float32 rounding.
+"""
+
+from __future__ import annotations
+
+import types as _pytypes
+from types import SimpleNamespace
+
+from . import loops
+
+_state: tuple[SimpleNamespace | None, str] | None = None
+
+
+def _clone(func, env):
+    """Rebind ``func`` over a globals dict extended with jitted helpers."""
+    glb = dict(func.__globals__)
+    glb.update(env)
+    return _pytypes.FunctionType(
+        func.__code__, glb, func.__name__, func.__defaults__, func.__closure__
+    )
+
+
+def _build() -> tuple[SimpleNamespace | None, str]:
+    try:
+        import numba
+    except Exception as exc:  # ImportError or a broken install
+        return None, f"numba unavailable ({exc.__class__.__name__}: {exc})"
+    try:
+        jit = numba.njit(fastmath=False, error_model="numpy")
+        env: dict = {}
+        # helpers first: callees must be Dispatchers before callers compile
+        for name in (
+            "_npmax", "_npmin", "_minmod", "_rusanov", "_wellbalanced",
+            "_boundary", "_slopes", "_local_dt", "_metric_total",
+        ):
+            env[name] = jit(_clone(getattr(loops, name), env))
+        ops = SimpleNamespace(
+            **{
+                name: jit(_clone(getattr(loops, name), env))
+                for name in loops.__all__
+            }
+        )
+        return ops, f"numba {numba.__version__}"
+    except Exception as exc:  # pragma: no cover - depends on numba install
+        return None, f"numba jit setup failed ({exc})"
+
+
+def _ensure() -> tuple[SimpleNamespace | None, str]:
+    global _state
+    if _state is None:
+        _state = _build()
+    return _state
+
+
+def _reset_for_tests() -> None:
+    global _state
+    _state = None
+
+
+def availability() -> tuple[bool, str]:
+    """(usable, detail) — detail carries the version or the import error."""
+    ops, detail = _ensure()
+    return ops is not None, detail
+
+
+def jitted_ops() -> SimpleNamespace | None:
+    """The jitted kernel namespace, or None when numba is absent."""
+    return _ensure()[0]

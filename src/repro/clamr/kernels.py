@@ -43,6 +43,11 @@ from repro.clamr.mesh import AmrMesh
 from repro.clamr.state import GRAVITY, ShallowWaterState
 from repro.machine.counters import KernelCounters
 
+# imported late in this module's functions would cost a dict lookup per
+# step; bound once here. backends deliberately imports nothing from this
+# module, so the edge is acyclic.
+from repro.clamr import backends as _backends
+
 __all__ = [
     "FaceLists",
     "ScatterPlan",
@@ -705,10 +710,20 @@ def finite_diff_vectorized(
     if geom is None:
         geom = _DEFAULT_GEOMETRY_CACHE
     if bathy is not None:
+        # backend dispatch only in "plan" mode: scatter_mode("add_at") is
+        # the explicit full-oracle request and must win over any backend
+        if _SCATTER_MODE == "plan" and _backends.try_fd_bathy(
+            mesh, state, dt, faces, geom, bathy
+        ):
+            _count_work(counters, mesh, state, faces)
+            return
         _finite_diff_bathy(mesh, state, dt, faces, counters, geom, bathy)
         return
     if _SCATTER_MODE != "plan":
         _finite_diff_vectorized_legacy(mesh, state, dt, faces, counters)
+        return
+    if _backends.try_fd_flat(mesh, state, dt, faces, geom):
+        _count_work(counters, mesh, state, faces)
         return
     cdtype = state.policy.compute_dtype
     g = cdtype.type(GRAVITY)
@@ -1030,13 +1045,18 @@ def compute_timestep(
     if geom is None:
         geom = _DEFAULT_GEOMETRY_CACHE
     cdtype = state.policy.compute_dtype
-    H, U, V = state.promoted()
-    h = np.maximum(H, cdtype.type(1e-12))
-    vel = np.maximum(np.abs(U), np.abs(V)) / h
-    wave = vel + np.sqrt(cdtype.type(GRAVITY) * h)
-    size, _ = geom.geometry(mesh, cdtype)
-    local_dt = size / wave
-    dt = float(local_dt.min()) * courant
+    local_min = None
+    if _SCATTER_MODE == "plan":  # add_at keeps the full oracle, CFL included
+        local_min = _backends.try_cfl_min(mesh, state, geom)
+    if local_min is None:
+        H, U, V = state.promoted()
+        h = np.maximum(H, cdtype.type(1e-12))
+        vel = np.maximum(np.abs(U), np.abs(V)) / h
+        wave = vel + np.sqrt(cdtype.type(GRAVITY) * h)
+        size, _ = geom.geometry(mesh, cdtype)
+        local_dt = size / wave
+        local_min = float(local_dt.min())
+    dt = local_min * courant
     if counters is not None:
         counters.add(
             flops=mesh.ncells * FLOPS_PER_CELL_TIMESTEP,

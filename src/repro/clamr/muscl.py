@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.clamr import backends as _backends
+from repro.clamr import kernels as _kernels
 from repro.clamr.kernels import (
     FLOPS_PER_CELL_UPDATE,
     FLOPS_PER_FACE,
@@ -114,6 +116,12 @@ def muscl_rhs(
     """
     if geom is None:
         geom = geometry_cache()
+    if _kernels._SCATTER_MODE == "plan":  # add_at keeps the full oracle
+        compiled = _backends.try_muscl_rhs(
+            mesh, H, U, V, faces, cdtype, geom, slot, bathy
+        )
+        if compiled is not None:
+            return compiled
     g = cdtype.type(GRAVITY)
     half = cdtype.type(0.5)
     size, _ = geom.geometry(mesh, cdtype)

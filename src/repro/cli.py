@@ -111,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(.jsonl; see 'repro flight report')")
     clamr.add_argument("--flight-stride", type=int, default=4, metavar="N",
                        help="flight sampling stride in steps (default 4)")
+    clamr.add_argument("--backend", default=None, metavar="NAME",
+                       help="kernel backend: numpy|python|cext|numba|auto "
+                            "(default: $REPRO_KERNEL_BACKEND, else numpy; "
+                            "see 'repro backends')")
 
     selfp = sub.add_parser("self", help="run the SELF thermal bubble")
     selfp.add_argument("--elems", type=int, default=4)
@@ -125,8 +129,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(.jsonl; see 'repro flight report')")
     selfp.add_argument("--flight-stride", type=int, default=4, metavar="N",
                        help="flight sampling stride in steps (default 4)")
+    selfp.add_argument("--backend", default=None, metavar="NAME",
+                       help="kernel backend: numpy|python|cext|numba|auto "
+                            "(default: $REPRO_KERNEL_BACKEND, else numpy; "
+                            "see 'repro backends')")
 
     sub.add_parser("devices", help="list the simulated architectures")
+
+    sub.add_parser(
+        "backends",
+        help="list kernel backends (numpy oracle, compiled paths) and availability",
+    )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=range(1, 8))
@@ -205,6 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(.jsonl; see 'repro flight report')")
     trace.add_argument("--flight-stride", type=int, default=4, metavar="N",
                        help="flight sampling stride in steps (default 4)")
+    trace.add_argument("--backend", default=None, metavar="NAME",
+                       help="kernel backend: numpy|python|cext|numba|auto "
+                            "(default: $REPRO_KERNEL_BACKEND, else numpy)")
 
     flight = sub.add_parser(
         "flight", help="flight-recorder timelines: report, digest, compare, export"
@@ -263,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     lrec.add_argument("--elems", type=int, default=3, help="SELF elements per side")
     lrec.add_argument("--order", type=int, default=3, help="SELF polynomial order")
     lrec.add_argument("--precision", default="double", choices=("single", "double"))
+    lrec.add_argument("--backend", default=None, metavar="NAME",
+                      help="kernel backend: numpy|python|cext|numba|auto "
+                           "(default: $REPRO_KERNEL_BACKEND, else numpy; recorded "
+                           "on the record's 'backend' field, excluded from its "
+                           "fingerprint)")
 
     lrep = lsub.add_parser("report", help="terminal dashboard: trends + sparklines")
     lrep.add_argument("--ledger", required=True, metavar="PATH")
@@ -578,6 +599,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Honor ``--backend``: select it process-wide and export the env var.
+
+    The env export matters for commands that fan work out to spawned
+    worker processes (``--jobs``): workers re-read the selection from
+    ``$REPRO_KERNEL_BACKEND``.  An unknown name fails as a one-line
+    CLIError (exit 2) before any simulation work starts.
+    """
+    name = getattr(args, "backend", None)
+    if name is None:
+        return
+    import os
+
+    from repro.clamr.backends import ENV_VAR, UnknownBackendError, normalize_backend, set_kernel_backend
+
+    try:
+        canon = normalize_backend(name)
+    except UnknownBackendError as exc:
+        raise CLIError(str(exc)) from None
+    set_kernel_backend(canon)
+    os.environ[ENV_VAR] = canon
+
+
 def _make_flight(args: argparse.Namespace, label: str):
     """A FlightRecorder from ``--flight``/``--flight-stride``, or ``None``."""
     if not getattr(args, "flight", None):
@@ -602,6 +646,7 @@ def _write_flight_file(args: argparse.Namespace, tel, indent: str = "  ") -> Non
 def _cmd_clamr(args: argparse.Namespace) -> int:
     from repro.clamr import ClamrSimulation, DamBreakConfig, write_checkpoint
 
+    _apply_backend(args)
     tel = None
     if args.ledger or args.flight:
         from repro.telemetry import Telemetry
@@ -637,6 +682,7 @@ def _cmd_clamr(args: argparse.Namespace) -> int:
 def _cmd_self(args: argparse.Namespace) -> int:
     from repro.self_ import SelfSimulation, ThermalBubbleConfig
 
+    _apply_backend(args)
     tel = None
     if args.ledger or args.flight:
         from repro.telemetry import Telemetry
@@ -663,6 +709,26 @@ def _cmd_self(args: argparse.Namespace) -> int:
 
         record = Ledger(args.ledger).append(record_from_self(res, tel, cfg, label=tel.label))
         print(f"  ledger       : {args.ledger} += {record.fingerprint}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.clamr.backends import ENV_VAR, active_backend, available_backends, resolved_backend
+    from repro.harness.report import Table
+
+    table = Table(
+        title="Kernel backends (bit-identical by contract; see docs/performance.md)",
+        headers=["Backend", "Available", "Detail"],
+    )
+    for row in available_backends():
+        table.add_row(row["name"], "yes" if row["available"] else "no", row["detail"])
+    print(table.render())
+    env = os.environ.get(ENV_VAR)
+    print(f"selected : {active_backend()}"
+          + (f" (${ENV_VAR}={env})" if env else " (default)"))
+    print(f"resolved : {resolved_backend()} (float16 state always runs the numpy oracle)")
     return 0
 
 
@@ -817,6 +883,7 @@ def _strict_failures(tel, headroom_bits: float):
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    _apply_backend(args)
     from repro.telemetry import (
         Telemetry,
         event_report,
@@ -983,6 +1050,7 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     if args.ledger_command == "record":
         from repro.ledger import run_workload
 
+        _apply_backend(args)
         ledger = Ledger(args.ledger)
         for i in range(max(1, args.runs)):
             record, tel = run_workload(
@@ -1637,6 +1705,7 @@ _COMMANDS = {
     "clamr": _cmd_clamr,
     "self": _cmd_self,
     "devices": _cmd_devices,
+    "backends": _cmd_backends,
     "table": _cmd_table,
     "figure": _cmd_figure,
     "compare": _cmd_compare,

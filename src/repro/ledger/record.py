@@ -20,6 +20,15 @@ two hashes over canonical JSON:
 
 Wall-clock facts (timestamps, durations) are deliberately *excluded*
 from both hashes: identity is what was run, not how long it took.
+
+The kernel *backend* (``numpy`` oracle vs a compiled ``cext``/``numba``
+path) is likewise excluded from both hashes, by the same rule that keeps
+``machine`` out of the workload key: backends are bit-identical by
+contract (the parity suite enforces it), so switching one is an
+implementation detail of *how fast* the run went, not *what* was run.
+The resolved backend is still recorded on the ``backend`` field so a
+ledger row says which implementation produced it; records written before
+this field existed read back as ``"numpy"``.
 """
 
 from __future__ import annotations
@@ -83,6 +92,10 @@ class RunRecord:
     kernel_s: float
     kernels: dict[str, KernelSummary]
     fidelity: dict = field(default_factory=dict)
+    #: Kernel implementation that produced the run ("numpy", "cext",
+    #: "numba", "python").  Provenance only — excluded from both hashes;
+    #: see the module docstring.
+    backend: str = "numpy"
 
     def to_json(self) -> str:
         doc = asdict(self)
@@ -304,6 +317,7 @@ def _build(
     wall_s: float,
     kernel_s: float,
     fidelity: dict,
+    backend: str = "numpy",
 ) -> RunRecord:
     machine = machine_spec()
     sha = git_sha()
@@ -323,6 +337,7 @@ def _build(
         kernel_s=kernel_s,
         kernels=kernel_summaries(tel),
         fidelity=fidelity,
+        backend=backend,
     )
 
 
@@ -358,6 +373,8 @@ def record_from_clamr(result, tel, config, seed: int = 0, label: str = "") -> Ru
     }
     _attach_flight(cfg, fidelity, tel)
     _attach_ladder(cfg, fidelity, tel)
+    from repro.clamr.backends import resolved_backend
+
     return _build(
         workload="clamr",
         config=cfg,
@@ -368,6 +385,7 @@ def record_from_clamr(result, tel, config, seed: int = 0, label: str = "") -> Ru
         wall_s=float(result.elapsed_s),
         kernel_s=float(result.kernel_elapsed_s),
         fidelity=fidelity,
+        backend=resolved_backend(result.policy.compute_dtype),
     )
 
 
@@ -403,6 +421,8 @@ def record_from_self(result, tel, config, seed: int = 0, label: str = "") -> Run
     }
     _attach_flight(cfg, fidelity, tel)
     _attach_ladder(cfg, fidelity, tel)
+    from repro.clamr.backends import resolved_backend
+
     return _build(
         workload="self",
         config=cfg,
@@ -413,4 +433,5 @@ def record_from_self(result, tel, config, seed: int = 0, label: str = "") -> Run
         wall_s=float(result.elapsed_s),
         kernel_s=float(result.kernel_elapsed_s),
         fidelity=fidelity,
+        backend=resolved_backend(),
     )

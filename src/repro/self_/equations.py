@@ -337,6 +337,14 @@ class CompressibleEuler:
 
     def max_wave_speed_metric(self, U: np.ndarray) -> float:
         """max over nodes of Σ_d m_d (|u_d| + c): the CFL denominator."""
+        from repro.clamr.backends import try_self_max_metric
+
+        mx_, my_, mz_ = self.metric
+        compiled = try_self_max_metric(
+            U, mx_, my_, mz_, self._gamma, self._gm1, self.dtype
+        )
+        if compiled is not None:
+            return compiled
         rho, u, v, w, p = self.primitives(U)
         c = self.sound_speed(rho, p)
         mx, my, mz = self.metric

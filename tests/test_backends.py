@@ -1,0 +1,391 @@
+"""Kernel-backend registry, dispatch, and bit-identity parity.
+
+The compiled backends (``python`` loops, ``cext``, ``numba``) sit behind
+the NumPy oracle under a hard contract: *bit-identical state at every
+precision level, scheme, and scenario, or the dispatch is a bug*.  These
+tests enforce the contract end to end — raw kernel calls, full
+simulation runs (AMR regrids included), ledger conservation digests,
+state-hash ladders, process-parallel sweeps — plus the registry
+semantics (selection precedence, env var, graceful fallback) and the
+deliberate exclusion of the backend from run identity.
+
+The ``python`` backend is always importable, so the parity net stays
+armed even where no compiler or numba exists.  ``cext``/``numba`` cases
+skip where unavailable and run in CI.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.clamr import ClamrSimulation, DamBreakConfig
+from repro.clamr import backends
+from repro.clamr.backends import (
+    BACKENDS,
+    ENV_VAR,
+    UnknownBackendError,
+    active_backend,
+    available_backends,
+    kernel_backend,
+    normalize_backend,
+    resolved_backend,
+    set_kernel_backend,
+)
+from repro.clamr.kernels import FaceLists, compute_timestep, finite_diff_vectorized
+from repro.clamr.muscl import finite_diff_muscl
+
+HAVE_CEXT = backends.cext.availability()[0]
+HAVE_NUMBA = backends.numba_backend.availability()[0]
+
+#: compiled backends present in this environment (parametrized cases)
+COMPILED = [
+    pytest.param("cext", marks=pytest.mark.skipif(not HAVE_CEXT, reason="no C compiler")),
+    pytest.param("numba", marks=pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")),
+]
+
+BEST_COMPILED = "numba" if HAVE_NUMBA else ("cext" if HAVE_CEXT else None)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_backend():
+    """Every test starts and ends on the default selection, env unset."""
+    os.environ.pop(ENV_VAR, None)
+    set_kernel_backend(None)
+    yield
+    os.environ.pop(ENV_VAR, None)
+    set_kernel_backend(None)
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert BACKENDS == ("numpy", "python", "cext", "numba", "auto")
+
+    def test_normalize_canonicalizes(self):
+        assert normalize_backend(" CEXT ") == "cext"
+        assert normalize_backend("NumPy") == "numpy"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(UnknownBackendError, match="bogus"):
+            normalize_backend("bogus")
+        # a ValueError subclass: the CLI turns it into a one-line exit 2
+        assert issubclass(UnknownBackendError, ValueError)
+
+    def test_default_is_numpy(self):
+        assert active_backend() == "numpy"
+        assert resolved_backend() == "numpy"
+
+    def test_env_var_selects(self):
+        os.environ[ENV_VAR] = "python"
+        assert active_backend() == "python"
+
+    def test_explicit_beats_env(self):
+        os.environ[ENV_VAR] = "python"
+        set_kernel_backend("numpy")
+        assert active_backend() == "numpy"
+
+    def test_context_manager_restores(self):
+        with kernel_backend("python"):
+            assert active_backend() == "python"
+            with kernel_backend("numpy"):
+                assert active_backend() == "numpy"
+            assert active_backend() == "python"
+        assert active_backend() == "numpy"
+
+    def test_available_backends_report(self):
+        rows = {r["name"]: r for r in available_backends()}
+        assert set(rows) == set(BACKENDS)
+        assert rows["numpy"]["available"] and rows["python"]["available"]
+        assert rows["auto"]["detail"].startswith("resolves to ")
+
+    def test_float16_always_runs_the_oracle(self):
+        # the half policy computes in float16, which no compiled backend
+        # supports; dispatch must fall back rather than convert
+        for name in ("cext", "numba", "auto"):
+            with kernel_backend(name):
+                assert resolved_backend(np.float16) == "numpy"
+        # the pure-Python loops are dtype-generic and do run float16
+        with kernel_backend("python"):
+            assert resolved_backend(np.float16) == "python"
+
+
+def _snapshot(level, nx=12, max_level=1, prerun=4):
+    """A small evolved dam break: mixed-level mesh, live wave front."""
+    cfg = DamBreakConfig(nx=nx, ny=nx, max_level=max_level)
+    sim = ClamrSimulation(cfg, policy=level)
+    sim.run(prerun)
+    return sim.mesh, sim.state, FaceLists.from_mesh(sim.mesh)
+
+
+def _evolve(mesh, state, faces, kernel, bathy, backend, steps=4):
+    s = state.copy()
+    dts = []
+    with kernel_backend(backend):
+        for _ in range(steps):
+            dt = compute_timestep(mesh, s, 0.25)
+            dts.append(dt)
+            kernel(mesh, s, dt, faces=faces, bathy=bathy)
+    return s, dts
+
+
+def _assert_states_equal(a, b, context=""):
+    assert np.array_equal(a.H, b.H, equal_nan=True), f"H bits diverged {context}"
+    assert np.array_equal(a.U, b.U, equal_nan=True), f"U bits diverged {context}"
+    assert np.array_equal(a.V, b.V, equal_nan=True), f"V bits diverged {context}"
+
+
+class TestKernelParity:
+    """Raw kernel calls on a frozen mesh: fd + muscl, flat + bathymetry."""
+
+    @pytest.mark.parametrize("level", ["half", "min", "mixed", "full"])
+    @pytest.mark.parametrize("kernel", [finite_diff_vectorized, finite_diff_muscl],
+                             ids=["fd", "muscl"])
+    @pytest.mark.parametrize("with_bathy", [False, True], ids=["flat", "bathy"])
+    def test_python_matches_numpy(self, level, kernel, with_bathy):
+        mesh, state, faces = _snapshot(level)
+        bathy = 0.05 * np.random.default_rng(7).random(mesh.ncells) if with_bathy else None
+        ref, ref_dts = _evolve(mesh, state, faces, kernel, bathy, "numpy")
+        got, got_dts = _evolve(mesh, state, faces, kernel, bathy, "python")
+        _assert_states_equal(ref, got, f"({level})")
+        assert ref_dts == got_dts
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    @pytest.mark.parametrize("level", ["min", "mixed", "full"])
+    @pytest.mark.parametrize("kernel", [finite_diff_vectorized, finite_diff_muscl],
+                             ids=["fd", "muscl"])
+    @pytest.mark.parametrize("with_bathy", [False, True], ids=["flat", "bathy"])
+    def test_compiled_matches_numpy(self, backend, level, kernel, with_bathy):
+        mesh, state, faces = _snapshot(level, nx=16, max_level=2)
+        bathy = 0.05 * np.random.default_rng(7).random(mesh.ncells) if with_bathy else None
+        ref, ref_dts = _evolve(mesh, state, faces, kernel, bathy, "numpy", steps=6)
+        got, got_dts = _evolve(mesh, state, faces, kernel, bathy, backend, steps=6)
+        _assert_states_equal(ref, got, f"({backend}/{level})")
+        assert ref_dts == got_dts
+
+
+class TestSimulationParity:
+    """Whole runs through the drivers: dispatch + warmup + AMR regrids."""
+
+    def _run(self, backend, level="mixed", scheme="rusanov", steps=12):
+        cfg = DamBreakConfig(nx=12, ny=12, max_level=2)
+        with kernel_backend(backend):
+            sim = ClamrSimulation(cfg, policy=level, scheme=scheme)
+            res = sim.run(steps)
+        return sim, res
+
+    @pytest.mark.parametrize("level", ["half", "min", "mixed", "full"])
+    @pytest.mark.parametrize("scheme", ["rusanov", "muscl"])
+    def test_python_full_run(self, level, scheme):
+        ref_sim, ref = self._run("numpy", level, scheme, steps=8)
+        got_sim, got = self._run("python", level, scheme, steps=8)
+        _assert_states_equal(ref_sim.state, got_sim.state, f"({level}/{scheme})")
+        assert ref.mass_history == got.mass_history
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    @pytest.mark.parametrize("level", ["min", "mixed", "full"])
+    @pytest.mark.parametrize("scheme", ["rusanov", "muscl"])
+    def test_compiled_full_run(self, backend, level, scheme):
+        ref_sim, ref = self._run("numpy", level, scheme)
+        got_sim, got = self._run(backend, level, scheme)
+        _assert_states_equal(ref_sim.state, got_sim.state, f"({backend}/{level}/{scheme})")
+        assert ref.mass_history == got.mass_history
+
+    def test_self_python_parity(self):
+        from repro.self_ import SelfSimulation, ThermalBubbleConfig
+
+        for precision in ("single", "double"):
+            cfg = ThermalBubbleConfig(nex=2, ney=2, nez=2, order=2)
+            with kernel_backend("numpy"):
+                ref = SelfSimulation(cfg, precision=precision).run(4)
+            with kernel_backend("python"):
+                got = SelfSimulation(cfg, precision=precision).run(4)
+            assert np.array_equal(ref.anomaly_field, got.anomaly_field), precision
+            assert ref.max_vertical_velocity == got.max_vertical_velocity
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_self_compiled_parity(self, backend):
+        from repro.self_ import SelfSimulation, ThermalBubbleConfig
+
+        cfg = ThermalBubbleConfig(nex=2, ney=2, nez=2, order=3)
+        with kernel_backend("numpy"):
+            ref = SelfSimulation(cfg, precision="double").run(6)
+        with kernel_backend(backend):
+            got = SelfSimulation(cfg, precision="double").run(6)
+        assert np.array_equal(ref.anomaly_field, got.anomaly_field)
+        assert ref.max_vertical_velocity == got.max_vertical_velocity
+
+
+@pytest.mark.skipif(BEST_COMPILED is None, reason="no compiled backend available")
+class TestScenarioParity:
+    """Every registered scenario, compiled vs oracle, bit for bit."""
+
+    def _states(self, name, backend, steps=6):
+        from repro.scenarios import build_simulation
+
+        with kernel_backend(backend):
+            sim, _cfg, _steps, _policy = build_simulation(name, scale="quick")
+            sim.run(steps)
+        if hasattr(sim, "state"):
+            return sim.state.H.copy(), sim.state.U.copy(), sim.state.V.copy()
+        return (sim.U.copy(),)
+
+    def test_all_scenarios_bit_identical(self):
+        from repro.scenarios import scenario_names
+
+        names = scenario_names()
+        assert len(names) >= 8  # the full library rides through the backends
+        for name in names:
+            ref = self._states(name, "numpy")
+            got = self._states(name, BEST_COMPILED)
+            for a, b in zip(ref, got):
+                assert a.dtype == b.dtype, name
+                assert np.array_equal(a, b, equal_nan=True), \
+                    f"{name}: state bits diverged on {BEST_COMPILED}"
+
+
+class TestLadderAndLedgerParity:
+    """Fingerprint-level equivalence: hashes, digests, run identity."""
+
+    BACKEND = BEST_COMPILED or "python"
+
+    def _record(self, backend):
+        from repro.ledger import run_workload
+
+        with kernel_backend(backend):
+            record, _tel = run_workload(
+                "clamr", nx=12, steps=10, max_level=1,
+                policy="mixed", scheme="rusanov",
+            )
+        return record
+
+    def test_conservation_hex_and_identity_shared(self):
+        ref = self._record("numpy")
+        got = self._record(self.BACKEND)
+        # bitwise-identical conservation sums, same run identity...
+        assert ref.fidelity["conservation_last_hex"] == got.fidelity["conservation_last_hex"]
+        assert ref.workload_key == got.workload_key
+        assert ref.fingerprint == got.fingerprint
+        # ...while the provenance field says who computed it
+        assert ref.backend == "numpy"
+        assert got.backend in ("cext", "numba", "python")
+
+    def test_workload_key_pinned(self):
+        # the literal guards the *exclusion*: if the backend ever leaks
+        # into the hashed identity, this stops matching and the committed
+        # golden fingerprints all silently fork per machine
+        assert self._record(self.BACKEND).workload_key == "584954c819aff89d"
+
+    def test_record_roundtrip_and_legacy_default(self):
+        from repro.ledger.record import RunRecord
+
+        rec = self._record(self.BACKEND)
+        clone = RunRecord.from_json(rec.to_json())
+        assert clone.backend == rec.backend
+        # pre-backend records (no field at all) read back as the oracle
+        doc = __import__("json").loads(rec.to_json())
+        del doc["backend"]
+        assert RunRecord.from_dict(doc).backend == "numpy"
+
+    def test_hash_ladder_root_identical(self):
+        from repro.diverge.ladder import StateHashLadder
+        from repro.telemetry import Telemetry
+
+        roots = {}
+        for backend in ("numpy", self.BACKEND):
+            ladder = StateHashLadder(stride=2, label=backend)
+            tel = Telemetry(label="t", ladder=ladder)
+            cfg = DamBreakConfig(nx=12, ny=12, max_level=1)
+            with kernel_backend(backend):
+                ClamrSimulation(cfg, policy="mixed", telemetry=tel).run(10)
+            roots[backend] = ladder.root()
+        assert roots["numpy"] == roots[self.BACKEND]
+
+    def test_warmup_span_only_off_oracle(self):
+        from repro.telemetry import Telemetry
+
+        for backend, expect in (("numpy", 0), (self.BACKEND, 1)):
+            tel = Telemetry(label="t")
+            cfg = DamBreakConfig(nx=8, ny=8, max_level=0)
+            with kernel_backend(backend):
+                ClamrSimulation(cfg, policy="full", telemetry=tel).run(2)
+            spans = [s for s in tel.tracer.spans if s.name == "clamr/backend_warmup"]
+            assert len(spans) == expect, backend
+
+
+@pytest.mark.skipif(BEST_COMPILED is None, reason="no compiled backend available")
+class TestExecutorParity:
+    def test_jobs2_compiled_matches_serial_oracle(self):
+        # workers are spawned processes: they inherit the selection via
+        # $REPRO_KERNEL_BACKEND, not via module state
+        from repro.harness.experiments import run_clamr_levels
+
+        serial = run_clamr_levels(nx=12, steps=8)
+        os.environ[ENV_VAR] = BEST_COMPILED
+        parallel = run_clamr_levels(nx=12, steps=8, jobs=2)
+        assert serial.keys() == parallel.keys()
+        for level in serial:
+            a, b = serial[level], parallel[level]
+            assert np.array_equal(a.slice_precise, b.slice_precise), level
+            assert a.mass_history == b.mass_history, level
+            assert np.array_equal(a.field, b.field), level
+
+
+class TestFallback:
+    def test_numba_absent_falls_back_to_oracle(self, monkeypatch):
+        # force the probe to fail, whatever this environment has
+        monkeypatch.setattr(backends.numba_backend, "jitted_ops", lambda: None)
+        monkeypatch.setattr(
+            backends.numba_backend, "availability", lambda: (False, "forced absent")
+        )
+        backends._OPS_CACHE.clear()
+        try:
+            with kernel_backend("numba"):
+                assert resolved_backend(np.float64) == "numpy"
+                cfg = DamBreakConfig(nx=8, ny=8, max_level=1)
+                got = ClamrSimulation(cfg, policy="mixed")
+                got.run(6)
+            ref = ClamrSimulation(DamBreakConfig(nx=8, ny=8, max_level=1), policy="mixed")
+            ref.run(6)
+            _assert_states_equal(ref.state, got.state, "(numba fallback)")
+        finally:
+            backends._OPS_CACHE.clear()
+
+    def test_auto_resolves_to_something_runnable(self):
+        with kernel_backend("auto"):
+            name = resolved_backend(np.float64)
+        assert name in ("numpy", "cext", "numba")
+
+    def test_explicit_oracle_scatter_mode_disables_dispatch(self):
+        # scatter_mode("add_at") is the *other* oracle switch; backends
+        # must never engage under it, so the two escape hatches compose
+        from repro.clamr.kernels import scatter_mode
+
+        mesh, state, faces = _snapshot("full", nx=8)
+        with scatter_mode("add_at"):
+            ref, _ = _evolve(mesh, state, faces, finite_diff_vectorized, None, "numpy")
+            got, _ = _evolve(mesh, state, faces, finite_diff_vectorized, None, "python")
+        _assert_states_equal(ref, got, "(add_at)")
+
+
+class TestCli:
+    def test_backends_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in BACKENDS:
+            assert name in out
+
+    def test_unknown_backend_exits_2_one_line(self, capsys):
+        from repro.cli import main
+
+        assert main(["clamr", "--nx", "8", "--steps", "2", "--backend", "tpu"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown kernel backend" in err
+
+    def test_backend_flag_runs_and_exports_env(self, capsys):
+        from repro.cli import main
+
+        assert main(["clamr", "--nx", "8", "--steps", "3", "--backend", "python"]) == 0
+        assert os.environ.get(ENV_VAR) == "python"
